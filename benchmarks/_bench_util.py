@@ -1,0 +1,17 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def emit(text: str) -> None:
+    """Print a regenerated series/table (visible with pytest -s)."""
+    print()
+    print(text)
+
+
+def monotone_nondecreasing(values) -> bool:
+    return all(a <= b for a, b in zip(values, values[1:]))
+
+
+def strictly_increasing(values) -> bool:
+    return all(a < b for a, b in zip(values, values[1:]))

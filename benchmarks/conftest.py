@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each module regenerates
+one experiment from the paper (a figure or a table), asserts its
+qualitative claims, and — with ``-s`` — prints the regenerated series in
+the paper's layout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel.parameters import PaperParameters
+
+
+@pytest.fixture(scope="session")
+def paper_params() -> PaperParameters:
+    """Table 1 defaults, shared by every benchmark."""
+    return PaperParameters()
+
+
+def emit(text: str) -> None:
+    """Print a regenerated series (visible with -s)."""
+    print()
+    print(text)

@@ -1,0 +1,114 @@
+"""E9 — the Section 3.1 correctness matrix as a benchmark.
+
+Audits every algorithm against randomized workloads and interleavings and
+reports the strongest correctness level each one achieved/violated —
+reproducing the paper's qualitative table:
+
+==============  ==========================================
+basic           anomalous (fails weak consistency)
+ECA             strongly consistent (Appendix B)
+ECA-Key         strongly consistent (Appendix C)
+ECA-Local       strongly consistent
+LCA             complete
+SC              complete
+RV (s | k)      strongly consistent
+==============  ==========================================
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from _bench_util import emit
+
+from repro.consistency import check_trace
+from repro.core.registry import create_algorithm
+from repro.core.stored_copies import StoredCopies
+from repro.experiments.report import render_table
+from repro.relational.engine import evaluate_view
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.simulation.driver import Simulation
+from repro.simulation.schedules import (
+    BestCaseSchedule,
+    EagerSourceSchedule,
+    RandomSchedule,
+    WorstCaseSchedule,
+)
+from repro.source.memory import MemorySource
+from repro.workloads.random_gen import random_workload
+
+SCHEMAS = [
+    RelationSchema("r1", ("W", "X"), key=("W",)),
+    RelationSchema("r2", ("X", "Y"), key=("Y",)),
+]
+INITIAL = {"r1": [(1, 2), (2, 3)], "r2": [(2, 5), (3, 6)]}
+ALGORITHMS = ("basic", "eca", "eca-key", "eca-local", "lca", "stored-copies")
+
+LEVEL_ORDER = [
+    "incorrect",
+    "convergent",
+    "weakly consistent",
+    "consistent",
+    "strongly consistent",
+    "complete",
+]
+
+
+def audit(workload_count=10, k=10):
+    view = View.natural_join("V", SCHEMAS, ["W", "Y"])
+    worst = defaultdict(lambda: len(LEVEL_ORDER) - 1)
+    best = defaultdict(int)
+    for seed in range(workload_count):
+        workload = random_workload(
+            SCHEMAS, k, seed=seed, initial=INITIAL, respect_keys=True
+        )
+        schedules = [
+            BestCaseSchedule(),
+            WorstCaseSchedule(),
+            EagerSourceSchedule(),
+            RandomSchedule(seed),
+            RandomSchedule(seed + 5000),
+        ]
+        for schedule in schedules:
+            for name in ALGORITHMS:
+                source = MemorySource(SCHEMAS, INITIAL)
+                initial_view = evaluate_view(view, source.snapshot())
+                if name == "stored-copies":
+                    algo = StoredCopies(view, initial_view, source.snapshot())
+                else:
+                    algo = create_algorithm(name, view, initial_view)
+                trace = Simulation(source, algo, workload).run(schedule)
+                level = LEVEL_ORDER.index(check_trace(view, trace).level())
+                worst[name] = min(worst[name], level)
+                best[name] = max(best[name], level)
+    return {
+        name: (LEVEL_ORDER[worst[name]], LEVEL_ORDER[best[name]])
+        for name in ALGORITHMS
+    }
+
+
+def test_bench_consistency_audit(benchmark):
+    results = benchmark.pedantic(audit, rounds=1, iterations=1)
+    rows = [
+        {"algorithm": name, "worst observed": lo, "best observed": hi}
+        for name, (lo, hi) in results.items()
+    ]
+    emit(render_table("Correctness audit (random workloads x interleavings)", rows))
+
+    # The paper's guarantees hold as observed *floors*:
+    assert LEVEL_ORDER.index(results["eca"][0]) >= LEVEL_ORDER.index(
+        "strongly consistent"
+    )
+    assert LEVEL_ORDER.index(results["eca-key"][0]) >= LEVEL_ORDER.index(
+        "strongly consistent"
+    )
+    assert LEVEL_ORDER.index(results["eca-local"][0]) >= LEVEL_ORDER.index(
+        "strongly consistent"
+    )
+    assert results["lca"][0] == "complete"
+    assert results["stored-copies"][0] == "complete"
+    # ...and the basic algorithm demonstrably breaks somewhere:
+    assert LEVEL_ORDER.index(results["basic"][0]) < LEVEL_ORDER.index(
+        "weakly consistent"
+    )

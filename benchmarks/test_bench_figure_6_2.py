@@ -1,0 +1,64 @@
+"""E2 — Figure 6.2: bytes transferred versus relation cardinality C.
+
+Example 6 with three updates, C swept over 1..20.  Paper claims:
+ECA's curves are flat in C, RV's grow linearly, and ECA beats RV unless
+the relations are extremely small (fewer than ~5 tuples).
+"""
+
+from __future__ import annotations
+
+from _bench_util import emit, monotone_nondecreasing
+
+from repro.experiments.figures import figure_6_2
+from repro.experiments.report import render_series
+
+
+def test_bench_figure_6_2(benchmark, paper_params):
+    series = benchmark(figure_6_2, paper_params)
+    emit(render_series("Figure 6.2 — B versus C (3 updates)", series, x_key="C"))
+
+    # ECA curves are independent of C.
+    assert len(set(series["BECABest"])) == 1
+    assert len(set(series["BECAWorst"])) == 1
+
+    # RV curves grow linearly with C (strictly, since S*sigma*J^2 > 0).
+    assert monotone_nondecreasing(series["BRVBest"])
+    steps = {
+        round(series["BRVBest"][i + 1] - series["BRVBest"][i], 6)
+        for i in range(len(series["C"]) - 1)
+    }
+    assert len(steps) == 1
+
+    # Worst-case ordering: RVWorst is 3x RVBest throughout.
+    for best, worst in zip(series["BRVBest"], series["BRVWorst"]):
+        assert worst == 3 * best
+
+    # Crossover: ECA wins except for extremely small relations (C < ~5).
+    for c, rv_best, eca_worst in zip(
+        series["C"], series["BRVBest"], series["BECAWorst"]
+    ):
+        if c >= 5:
+            assert eca_worst <= rv_best
+    assert series["BECAWorst"][0] > series["BRVBest"][0]  # tiny C: RV wins
+
+
+def test_bench_figure_6_2_wide_join_factor_sensitivity(benchmark, paper_params):
+    """Paper: 'this result continues to hold over wide ranges of J,
+    except if J is very small'."""
+
+    def sweep():
+        return {
+            j: figure_6_2(paper_params.replace(join_factor=j))
+            for j in (1, 2, 4, 8, 16)
+        }
+
+    by_j = benchmark(sweep)
+    for j, series in by_j.items():
+        if j <= 1:
+            continue  # very small J: the exception the paper allows
+        tail = [
+            (rv, eca)
+            for c, rv, eca in zip(series["C"], series["BRVBest"], series["BECAWorst"])
+            if c >= 10
+        ]
+        assert all(eca <= rv for rv, eca in tail), f"J={j}"

@@ -1,0 +1,86 @@
+"""E3 — Figure 6.3: bytes transferred versus number of updates k (C=100).
+
+Paper claims: BECABest is linear and crosses BRVBest (one recompute) at
+k = 100; BECAWorst is quadratic and crosses at k = 30; BRVWorst is always
+substantially worse than BECAWorst.
+"""
+
+from __future__ import annotations
+
+from _bench_util import emit, strictly_increasing
+
+from repro.experiments.figures import figure_6_3
+from repro.experiments.report import render_series
+
+
+def test_bench_figure_6_3(benchmark, paper_params):
+    series = benchmark(figure_6_3, paper_params)
+    sampled = {
+        name: [values[i] for i in range(0, 120, 10)]
+        for name, values in series.items()
+    }
+    emit(render_series("Figure 6.3 — B versus k (C=100), every 10th k", sampled))
+
+    k = series["k"]
+    rv_best = series["BRVBest"][0]
+
+    # RVBest constant; every other curve strictly increasing in k.
+    assert len(set(series["BRVBest"])) == 1
+    for name in ("BRVWorst", "BECABest", "BECAWorst"):
+        assert strictly_increasing(series[name]), name
+
+    # Crossovers at exactly the paper's k values.
+    def crossover(name):
+        for kk, value in zip(k, series[name]):
+            if value >= rv_best:
+                return kk
+        raise AssertionError(f"{name} never crosses RVBest")
+
+    assert crossover("BECABest") == 100
+    assert crossover("BECAWorst") == 30
+
+    # RVWorst dominates ECAWorst everywhere.
+    for worst_rv, worst_eca in zip(series["BRVWorst"], series["BECAWorst"]):
+        assert worst_rv > worst_eca
+
+
+def test_bench_figure_6_3_quadratic_compensation_term(benchmark, paper_params):
+    """The worst-case gap to the best case is the pure compensation cost,
+    k(k-1) S sigma J / 3 — quadratic in k."""
+
+    def gaps():
+        series = figure_6_3(paper_params)
+        return [w - b for w, b in zip(series["BECAWorst"], series["BECABest"])]
+
+    import pytest
+
+    gap = benchmark(gaps)
+    S, sigma, J = paper_params.S, paper_params.sigma, paper_params.J
+    for index, value in enumerate(gap):
+        k = index + 1
+        assert value == pytest.approx(k * (k - 1) * S * sigma * J / 3)
+
+
+def test_bench_figure_6_3_larger_cardinality_moves_crossover_out(
+    benchmark, paper_params
+):
+    """Paper: 'for larger cardinalities the crossover points will be at
+    larger numbers of updates'."""
+
+    def crossovers():
+        from repro.costmodel import analytic
+
+        out = {}
+        for c in (50, 100, 200, 400):
+            params = paper_params.replace(cardinality=c)
+            out[c] = analytic.crossover_k(
+                lambda p, k: analytic.bytes_eca_worst(p, k),
+                lambda p, k: analytic.bytes_rv_best(p),
+                params,
+            )
+        return out
+
+    points = benchmark(crossovers)
+    values = [points[c] for c in sorted(points)]
+    assert values == sorted(values)
+    assert values[0] < values[-1]

@@ -1,0 +1,50 @@
+"""E4 — Figure 6.4: I/O versus k, Scenario 1 (indexes + ample memory).
+
+Paper claims: crossover at k = 3 (against recomputing once, which costs a
+flat 3I = 15 I/Os); ECA's worst case adds a quadratic compensation term;
+RVWorst grows linearly at 3I per update.
+"""
+
+from __future__ import annotations
+
+from _bench_util import emit
+
+from repro.experiments.figures import figure_6_4
+from repro.experiments.report import render_series
+
+
+def test_bench_figure_6_4(benchmark, paper_params):
+    series = benchmark(figure_6_4, paper_params)
+    emit(render_series("Figure 6.4 — IO versus k, Scenario 1", series))
+
+    k = series["k"]
+    rv_best = series["IORVBest"][0]
+    assert rv_best == 3 * paper_params.I  # 15
+
+    # Crossover at k = 3 for the ECA best case.
+    assert series["IOECABest"][k.index(2.0)] < rv_best
+    assert series["IOECABest"][k.index(3.0)] >= rv_best
+
+    # Per-update slopes: best case J+1 per update, RVWorst 3I per update.
+    for i in range(len(k) - 1):
+        assert series["IOECABest"][i + 1] - series["IOECABest"][i] == (
+            paper_params.J + 1
+        )
+        assert series["IORVWorst"][i + 1] - series["IORVWorst"][i] == 3 * paper_params.I
+
+    # Worst ECA stays below worst RV throughout the plotted range.
+    for eca, rv in zip(series["IOECAWorst"], series["IORVWorst"]):
+        assert eca <= rv
+
+
+def test_bench_figure_6_4_j_less_than_i_advantage(benchmark, paper_params):
+    """Paper: 'if J < I, then ECA can outperform RV arbitrarily'."""
+
+    def gap_for_large_relations():
+        # One update (k=1): ECA best = J+1, RV best = 3I.
+        params = paper_params.replace(cardinality=2000)  # I = 100
+        series = figure_6_4(params, k_values=[1])
+        return series["IORVBest"][0] - series["IOECABest"][0]
+
+    gap = benchmark(gap_for_large_relations)
+    assert gap == 3 * 100 - (paper_params.J + 1)

@@ -1,0 +1,65 @@
+"""E1 — Section 6.1: message counts, analytic and on-the-wire.
+
+The paper's claim: RV sends between 2 (recompute once) and 2k messages,
+ECA always sends exactly 2k.  We regenerate the analytic table and verify
+the 2k / 2*ceil(k/s) laws against the actual simulation's channels.
+"""
+
+from __future__ import annotations
+
+from repro.core.eca import ECA
+from repro.core.recompute import RecomputeView
+from repro.costmodel.analytic import messages_eca, messages_rv
+from repro.costmodel.counters import CostRecorder
+from repro.experiments.report import render_table
+from repro.experiments.tables import messages_table
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.simulation.driver import Simulation
+from repro.simulation.schedules import BestCaseSchedule, WorstCaseSchedule
+from repro.source.memory import MemorySource
+from repro.source.updates import insert
+
+from _bench_util import emit
+
+SCHEMAS = [RelationSchema("r1", ("W", "X")), RelationSchema("r2", ("X", "Y"))]
+
+
+def _run(algorithm_factory, k, schedule):
+    view = View.natural_join("V", SCHEMAS, ["W"])
+    source = MemorySource(SCHEMAS)
+    recorder = CostRecorder()
+    workload = [insert("r1", (i, i % 3)) for i in range(k)]
+    Simulation(source, algorithm_factory(view), workload, recorder).run(schedule)
+    return recorder.messages
+
+
+def test_bench_messages_table(benchmark):
+    rows = benchmark(messages_table, k_values=(1, 5, 10, 50, 100), periods=(1, 5, 10))
+    emit(render_table("Section 6.1 — message counts (analytic)", rows))
+    for row in rows:
+        assert row["M_ECA"] == 2 * row["k"]
+        assert 2 <= row["M_RV"] <= row["M_ECA"]
+
+
+def test_bench_eca_sends_exactly_2k_messages(benchmark):
+    def run():
+        return {k: _run(lambda v: ECA(v), k, WorstCaseSchedule()) for k in (1, 4, 8, 16)}
+
+    measured = benchmark(run)
+    for k, messages in measured.items():
+        assert messages == messages_eca(k)
+
+
+def test_bench_rv_message_law_on_the_wire(benchmark):
+    def run():
+        out = {}
+        for k, s in ((8, 1), (8, 2), (8, 4), (8, 8)):
+            out[(k, s)] = _run(
+                lambda v, s=s: RecomputeView(v, period=s), k, BestCaseSchedule()
+            )
+        return out
+
+    measured = benchmark(run)
+    for (k, s), messages in measured.items():
+        assert messages == messages_rv(k, s)

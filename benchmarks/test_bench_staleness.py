@@ -1,0 +1,85 @@
+"""Freshness versus message cost — the timing-policy trade-off.
+
+Section 2 situates the paper among immediate/deferred/periodic update
+policies ("the efficiency of an approach depends heavily on ... update
+patterns" [Han87]).  This benchmark quantifies that frontier for our
+implementations: ECA buys minimal lag with 2k messages; RV(s) and
+BatchECA(b) slide along the curve — fewer messages, more staleness.
+"""
+
+from __future__ import annotations
+
+from _bench_util import emit
+
+from repro.consistency import check_trace, staleness_profile
+from repro.core.batch import BatchECA
+from repro.core.eca import ECA
+from repro.core.recompute import RecomputeView
+from repro.costmodel.counters import CostRecorder
+from repro.experiments.report import render_table
+from repro.relational.engine import evaluate_view
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.simulation.driver import Simulation
+from repro.simulation.schedules import BestCaseSchedule
+from repro.source.memory import MemorySource
+from repro.workloads.random_gen import random_workload
+
+SCHEMAS = [RelationSchema("r1", ("W", "X")), RelationSchema("r2", ("X", "Y"))]
+INITIAL = {"r1": [(1, 2), (2, 3)], "r2": [(2, 5), (3, 6)]}
+K = 24
+
+
+def run_policy(label, factory):
+    view = View.natural_join("V", SCHEMAS, ["W", "Y"])
+    source = MemorySource(SCHEMAS, INITIAL)
+    warehouse = factory(view, evaluate_view(view, source.snapshot()))
+    recorder = CostRecorder()
+    workload = random_workload(SCHEMAS, K, seed=9, initial=INITIAL)
+    trace = Simulation(source, warehouse, workload, recorder).run(
+        BestCaseSchedule()
+    )
+    profile = staleness_profile(view, trace)
+    report = check_trace(view, trace)
+    return {
+        "policy": label,
+        "messages": recorder.messages,
+        "mean lag": round(profile.mean_lag, 2),
+        "max lag": profile.max_lag,
+        "in sync": f"{profile.in_sync_fraction:.0%}",
+        "level": report.level(),
+    }
+
+
+def test_bench_staleness_vs_messages(benchmark):
+    policies = [
+        ("ECA (immediate)", lambda v, iv: ECA(v, iv)),
+        ("RV s=1", lambda v, iv: RecomputeView(v, iv, period=1)),
+        ("RV s=6", lambda v, iv: RecomputeView(v, iv, period=6)),
+        ("RV s=24", lambda v, iv: RecomputeView(v, iv, period=24)),
+        ("Batch b=4", lambda v, iv: BatchECA(v, iv, batch_size=4)),
+        ("Batch b=12", lambda v, iv: BatchECA(v, iv, batch_size=12)),
+    ]
+
+    def sweep():
+        return [run_policy(label, factory) for label, factory in policies]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(render_table(f"Freshness vs messages (k={K}, quiet schedule)", rows))
+
+    by_policy = {row["policy"]: row for row in rows}
+    # Everything here is at least strongly consistent.
+    for row in rows:
+        assert row["level"] in ("strongly consistent", "complete"), row
+
+    # The frontier: fewer messages <-> more staleness.
+    assert by_policy["ECA (immediate)"]["messages"] == 2 * K
+    assert by_policy["RV s=24"]["messages"] == 2
+    assert by_policy["RV s=24"]["max lag"] >= K - 1
+    assert by_policy["ECA (immediate)"]["mean lag"] <= by_policy["RV s=6"]["mean lag"]
+    assert by_policy["RV s=6"]["mean lag"] <= by_policy["RV s=24"]["mean lag"]
+    assert (
+        by_policy["Batch b=4"]["messages"]
+        < by_policy["ECA (immediate)"]["messages"]
+    )
+    assert by_policy["Batch b=4"]["mean lag"] <= by_policy["Batch b=12"]["mean lag"]

@@ -1,0 +1,68 @@
+"""The paper's anomalies, live: Examples 1-3 replayed event by event.
+
+Shows the exact interleavings from Section 1.1 producing
+
+- Example 1: a correct run even under naive maintenance;
+- Example 2: the insertion anomaly ([1],[4],[4] instead of [1],[4]);
+- Example 3: the deletion anomaly (a stale tuple survives);
+
+then re-runs the same interleavings under ECA and shows the compensating
+queries repairing both.
+
+Run:  python examples/anomaly_demo.py
+"""
+
+from repro import check_trace
+from repro.experiments.runner import run_scenario
+from repro.relational.engine import evaluate_view
+from repro.workloads.paper_examples import PAPER_EXAMPLES
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def show(name: str) -> None:
+    scenario = PAPER_EXAMPLES[name]
+    banner(f"{scenario.paper_ref} — algorithm: {scenario.algorithm}")
+    print(scenario.description)
+    print()
+    trace, warehouse = run_scenario(scenario)
+    print(trace.describe())
+    correct = evaluate_view(scenario.view, trace.final_source_state)
+    report = check_trace(scenario.view, trace)
+    print(f"\nfinal view:    {sorted(warehouse.mv.rows())}")
+    print(f"correct view:  {sorted(correct.expand_rows())}")
+    print(f"correctness:   {report.level()}")
+
+    if scenario.algorithm == "basic":
+        # Re-run the identical event order under ECA.
+        trace2, warehouse2 = run_scenario(scenario, algorithm="eca")
+        report2 = check_trace(scenario.view, trace2)
+        print("\n--- same interleaving under ECA ---")
+        print(f"final view:    {sorted(warehouse2.mv.rows())}")
+        print(f"correctness:   {report2.level()}")
+        assert report2.strongly_consistent
+
+
+def main() -> None:
+    for name in ("example-1", "example-2", "example-3"):
+        show(name)
+
+    banner("Appendix A — ECA under adversarial interleavings (Examples 4-9)")
+    for name in ("example-4", "example-5", "example-7", "example-8", "example-9"):
+        scenario = PAPER_EXAMPLES[name]
+        trace, warehouse = run_scenario(scenario)
+        report = check_trace(scenario.view, trace)
+        print(
+            f"{scenario.paper_ref:<28} {scenario.algorithm:<8} "
+            f"final={sorted(warehouse.mv.rows())!s:<22} {report.level()}"
+        )
+        assert sorted(warehouse.mv.rows()) == scenario.expected_final
+
+
+if __name__ == "__main__":
+    main()

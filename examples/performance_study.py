@@ -1,0 +1,89 @@
+"""Regenerate the paper's entire Section 6 performance study as text.
+
+Prints, in order:
+
+- Table 1 (model parameters);
+- the Section 6.1 message-count table;
+- Figures 6.2-6.5 as aligned numeric series (analytic, exact);
+- measured counterparts from real simulated runs (Example 6 data through
+  the full source/warehouse stack), with the crossovers annotated.
+
+Run:  python examples/performance_study.py           # full study
+      python examples/performance_study.py --quick   # analytic only
+"""
+
+import sys
+
+from repro.costmodel import analytic
+from repro.costmodel.parameters import PaperParameters
+from repro.experiments.figures import figure_6_2, figure_6_3, figure_6_4, figure_6_5
+from repro.experiments.measured import measure_bytes_series, measure_io_series
+from repro.experiments.report import render_series, render_table
+from repro.experiments.tables import messages_table, parameter_table
+
+
+def crossover_notes(params: PaperParameters) -> str:
+    lines = ["Crossover points (smallest k where ECA cost >= recompute-once):"]
+    pairs = [
+        ("bytes, ECA best  vs RV best", analytic.bytes_eca_best, analytic.bytes_rv_best),
+        ("bytes, ECA worst vs RV best", analytic.bytes_eca_worst, analytic.bytes_rv_best),
+        ("IO s1, ECA best  vs RV best", analytic.io1_eca_best, analytic.io1_rv_best),
+        ("IO s2, ECA best  vs RV best", analytic.io2_eca_best, analytic.io2_rv_best),
+        ("IO s2, ECA worst vs RV best", analytic.io2_eca_worst, analytic.io2_rv_best),
+    ]
+    for label, eca_curve, rv_curve in pairs:
+        k = analytic.crossover_k(
+            lambda p, kk: eca_curve(p, kk), lambda p, kk: rv_curve(p), params
+        )
+        lines.append(f"  {label}: k = {k}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    params = PaperParameters()
+
+    print(render_table("Table 1 — model parameters", parameter_table(params)))
+    print()
+    print(
+        render_table(
+            "Section 6.1 — messages (M_RV vs M_ECA)",
+            messages_table(k_values=(1, 10, 100), periods=(1, 10)),
+        )
+    )
+    print()
+    print(render_series("Figure 6.2 — B vs C (3 updates)", figure_6_2(params), "C"))
+    print()
+    fig63 = figure_6_3(params, k_values=range(10, 121, 10))
+    print(render_series("Figure 6.3 — B vs k (C=100)", fig63))
+    print()
+    print(render_series("Figure 6.4 — IO vs k, Scenario 1", figure_6_4(params)))
+    print()
+    print(render_series("Figure 6.5 — IO vs k, Scenario 2", figure_6_5(params)))
+    print()
+    print(crossover_notes(params))
+
+    if quick:
+        return
+
+    print("\n" + "=" * 72)
+    print("Measured counterparts (full simulation on generated Example 6 data)")
+    print("=" * 72 + "\n")
+    measured_b = measure_bytes_series(params, k_values=(3, 12, 24, 48, 96))
+    print(render_series("Measured B vs k", measured_b))
+    print()
+    measured_io1 = measure_io_series(1, params, k_values=(1, 3, 5, 7, 9, 11))
+    print(render_series("Measured IO vs k, Scenario 1", measured_io1))
+    print()
+    measured_io2 = measure_io_series(2, params, k_values=(1, 3, 5, 7, 9, 11))
+    print(render_series("Measured IO vs k, Scenario 2", measured_io2))
+    print(
+        "\nNote: measured worst-case byte curves sit near the best case "
+        "because on random data most compensating terms return no tuples; "
+        "the compensation overhead is still visible in I/O and in query "
+        "term counts (see EXPERIMENTS.md, E7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,331 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``
+    Print Table 1 and the Section 6.1 message-count analysis.
+``figures``
+    Regenerate the analytic series of Figures 6.2-6.5.
+``measure``
+    Run the simulated (measured) counterparts of the cost curves.
+``scenario``
+    Replay one of the paper's worked examples event by event.
+``audit``
+    Run the correctness-hierarchy audit over randomized workloads.
+``crossovers``
+    Print the headline crossover points the figures claim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.costmodel.parameters import PaperParameters
+
+
+def _add_param_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cardinality", "-C", type=int, default=100, help="relation cardinality C")
+    parser.add_argument("--tuple-bytes", "-S", type=int, default=4, help="bytes per projected tuple S")
+    parser.add_argument("--selectivity", type=float, default=0.5, help="selection factor sigma")
+    parser.add_argument("--join-factor", "-J", type=int, default=4, help="join factor J")
+    parser.add_argument("--block-factor", "-K", type=int, default=20, help="tuples per block K")
+
+
+def _params(args: argparse.Namespace) -> PaperParameters:
+    return PaperParameters(
+        cardinality=args.cardinality,
+        tuple_bytes=args.tuple_bytes,
+        selectivity=args.selectivity,
+        join_factor=args.join_factor,
+        block_factor=args.block_factor,
+    )
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_table
+    from repro.experiments.tables import messages_table, parameter_table
+
+    print(render_table("Table 1 — model parameters", parameter_table(_params(args))))
+    print()
+    print(
+        render_table(
+            "Section 6.1 — messages",
+            messages_table(k_values=(1, 10, 100), periods=(1, 10)),
+        )
+    )
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import ALL_FIGURES
+    from repro.experiments.report import render_series
+
+    params = _params(args)
+    wanted = args.figure
+    for name, builder in ALL_FIGURES.items():
+        if wanted != "all" and not name.endswith(wanted):
+            continue
+        series = builder(params)
+        x_key = "C" if name == "figure-6.2" else "k"
+        print(render_series(name, series, x_key=x_key))
+        print()
+    return 0
+
+
+def cmd_measure(args: argparse.Namespace) -> int:
+    from repro.experiments.measured import measure_bytes_series, measure_io_series
+    from repro.experiments.report import render_series
+
+    params = _params(args)
+    k_values = tuple(args.k)
+    if args.metric == "bytes":
+        series = measure_bytes_series(params, k_values=k_values, source_kind=args.source)
+        title = "Measured B versus k"
+    else:
+        scenario = 1 if args.metric == "io1" else 2
+        series = measure_io_series(
+            scenario, params, k_values=k_values, source_kind=args.source
+        )
+        title = f"Measured IO versus k, Scenario {scenario}"
+    print(render_series(title, series))
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.consistency import check_trace
+    from repro.experiments.runner import run_scenario
+    from repro.relational.engine import evaluate_view
+    from repro.workloads.paper_examples import PAPER_EXAMPLES
+
+    if args.list or args.name is None:
+        for name, scenario in sorted(PAPER_EXAMPLES.items()):
+            print(f"{name:<12} {scenario.paper_ref:<28} algorithm={scenario.algorithm}")
+        return 0
+    try:
+        scenario = PAPER_EXAMPLES[args.name]
+    except KeyError:
+        print(f"unknown scenario {args.name!r}; use --list", file=sys.stderr)
+        return 2
+    trace, warehouse = run_scenario(
+        scenario, algorithm=args.algorithm, source_kind=args.source
+    )
+    print(f"{scenario.paper_ref} — {scenario.description}\n")
+    print(trace.describe())
+    correct = evaluate_view(scenario.view, trace.final_source_state)
+    report = check_trace(scenario.view, trace)
+    print(f"\nfinal view:   {sorted(warehouse.mv.rows())}")
+    print(f"correct view: {sorted(correct.expand_rows())}")
+    print(f"correctness:  {report.level()}")
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from collections import defaultdict
+
+    from repro.consistency import check_trace
+    from repro.core.registry import ALGORITHMS, create_algorithm
+    from repro.core.stored_copies import StoredCopies
+    from repro.experiments.report import render_table
+    from repro.relational.engine import evaluate_view
+    from repro.relational.schema import RelationSchema
+    from repro.relational.views import View
+    from repro.simulation.driver import Simulation
+    from repro.simulation.schedules import (
+        BestCaseSchedule,
+        RandomSchedule,
+        WorstCaseSchedule,
+    )
+    from repro.source.memory import MemorySource
+    from repro.workloads.random_gen import random_workload
+
+    schemas = [
+        RelationSchema("r1", ("W", "X"), key=("W",)),
+        RelationSchema("r2", ("X", "Y"), key=("Y",)),
+    ]
+    initial = {"r1": [(1, 2), (2, 3)], "r2": [(2, 5), (3, 6)]}
+    view = View.natural_join("V", schemas, ["W", "Y"])
+    names = [n for n in sorted(ALGORITHMS) if n not in ("recompute", "deferred-eca")]
+    levels = defaultdict(set)
+    for seed in range(args.workloads):
+        workload = random_workload(
+            schemas, args.updates, seed=seed, initial=initial, respect_keys=True
+        )
+        schedules = [BestCaseSchedule(), WorstCaseSchedule(), RandomSchedule(seed)]
+        for schedule in schedules:
+            for name in names:
+                source = MemorySource(schemas, initial)
+                initial_view = evaluate_view(view, source.snapshot())
+                if name == "stored-copies":
+                    algo = StoredCopies(view, initial_view, source.snapshot())
+                elif name == "batch-eca":
+                    size = max(1, args.updates // 3)
+                    while args.updates % size:
+                        size -= 1
+                    algo = create_algorithm(name, view, initial_view, batch_size=size)
+                else:
+                    algo = create_algorithm(name, view, initial_view)
+                trace = Simulation(source, algo, list(workload)).run(schedule)
+                levels[name].add(check_trace(view, trace).level())
+    rows = [
+        {"algorithm": name, "observed levels": ", ".join(sorted(levels[name]))}
+        for name in names
+    ]
+    print(
+        render_table(
+            f"Correctness audit ({args.workloads} workloads x 3 schedules)", rows
+        )
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.full_report import generate_report
+
+    text = generate_report(_params(args), quick=args.quick)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_staleness(args: argparse.Namespace) -> int:
+    from repro.consistency import check_trace, staleness_profile
+    from repro.core.batch import BatchECA
+    from repro.core.eca import ECA
+    from repro.core.recompute import RecomputeView
+    from repro.costmodel.counters import CostRecorder
+    from repro.experiments.report import render_table
+    from repro.relational.engine import evaluate_view
+    from repro.relational.schema import RelationSchema
+    from repro.relational.views import View
+    from repro.simulation.driver import Simulation
+    from repro.simulation.schedules import BestCaseSchedule
+    from repro.source.memory import MemorySource
+    from repro.workloads.random_gen import random_workload
+
+    schemas = [RelationSchema("r1", ("W", "X")), RelationSchema("r2", ("X", "Y"))]
+    initial = {"r1": [(1, 2), (2, 3)], "r2": [(2, 5), (3, 6)]}
+    k = args.updates
+    policies = [("ECA (immediate)", lambda v, iv: ECA(v, iv))]
+    for s in args.periods:
+        policies.append(
+            (f"RV s={s}", lambda v, iv, s=s: RecomputeView(v, iv, period=s))
+        )
+    for b in args.batches:
+        policies.append(
+            (f"Batch b={b}", lambda v, iv, b=b: BatchECA(v, iv, batch_size=b))
+        )
+    rows = []
+    for label, factory in policies:
+        view = View.natural_join("V", schemas, ["W", "Y"])
+        source = MemorySource(schemas, initial)
+        warehouse = factory(view, evaluate_view(view, source.snapshot()))
+        recorder = CostRecorder()
+        workload = random_workload(schemas, k, seed=args.seed, initial=initial)
+        trace = Simulation(source, warehouse, workload, recorder).run(
+            BestCaseSchedule()
+        )
+        profile = staleness_profile(view, trace)
+        rows.append(
+            {
+                "policy": label,
+                "messages": recorder.messages,
+                "mean lag": round(profile.mean_lag, 2),
+                "max lag": profile.max_lag,
+                "level": check_trace(view, trace).level(),
+            }
+        )
+    print(render_table(f"Freshness vs messages (k={k})", rows))
+    return 0
+
+
+def cmd_crossovers(args: argparse.Namespace) -> int:
+    from repro.costmodel import analytic
+
+    params = _params(args)
+    pairs = [
+        ("bytes  ECA best  vs recompute-once", analytic.bytes_eca_best, analytic.bytes_rv_best),
+        ("bytes  ECA worst vs recompute-once", analytic.bytes_eca_worst, analytic.bytes_rv_best),
+        ("IO s1  ECA best  vs recompute-once", analytic.io1_eca_best, analytic.io1_rv_best),
+        ("IO s2  ECA best  vs recompute-once", analytic.io2_eca_best, analytic.io2_rv_best),
+        ("IO s2  ECA worst vs recompute-once", analytic.io2_eca_worst, analytic.io2_rv_best),
+    ]
+    for label, eca_curve, rv_curve in pairs:
+        k = analytic.crossover_k(
+            lambda p, kk: eca_curve(p, kk), lambda p, kk: rv_curve(p), params
+        )
+        print(f"{label}: k = {k}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'View Maintenance in a Warehousing Environment' "
+            "(SIGMOD 1995)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tables", help="Table 1 and message counts")
+    _add_param_arguments(p)
+    p.set_defaults(func=cmd_tables)
+
+    p = sub.add_parser("figures", help="analytic series of Figures 6.2-6.5")
+    _add_param_arguments(p)
+    p.add_argument("--figure", default="all", choices=["all", "6.2", "6.3", "6.4", "6.5"])
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("measure", help="measured cost curves from full simulation")
+    _add_param_arguments(p)
+    p.add_argument("--metric", default="bytes", choices=["bytes", "io1", "io2"])
+    p.add_argument("--k", type=int, nargs="+", default=[3, 6, 12, 24])
+    p.add_argument("--source", default="memory", choices=["memory", "sqlite"])
+    p.set_defaults(func=cmd_measure)
+
+    p = sub.add_parser("scenario", help="replay a worked example from the paper")
+    p.add_argument("name", nargs="?", help="scenario name (see --list)")
+    p.add_argument("--list", action="store_true", help="list scenarios")
+    p.add_argument("--algorithm", help="override the scenario's algorithm")
+    p.add_argument("--source", default="memory", choices=["memory", "sqlite"])
+    p.set_defaults(func=cmd_scenario)
+
+    p = sub.add_parser("audit", help="correctness-hierarchy audit")
+    p.add_argument("--workloads", type=int, default=6)
+    p.add_argument("--updates", type=int, default=9)
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("report", help="regenerate the full experimental record")
+    _add_param_arguments(p)
+    p.add_argument("--output", "-o", help="write to a file instead of stdout")
+    p.add_argument("--quick", action="store_true", help="skip measured runs")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("staleness", help="freshness vs message-cost frontier")
+    p.add_argument("--updates", type=int, default=24)
+    p.add_argument("--periods", type=int, nargs="+", default=[1, 6, 24])
+    p.add_argument("--batches", type=int, nargs="+", default=[4, 12])
+    p.add_argument("--seed", type=int, default=9)
+    p.set_defaults(func=cmd_staleness)
+
+    p = sub.add_parser("crossovers", help="headline crossover points")
+    _add_param_arguments(p)
+    p.set_defaults(func=cmd_crossovers)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Correctness hierarchy of Section 3.1, checked over recorded traces,
+plus the staleness (freshness-lag) profile."""
+
+from repro.consistency.checker import ConsistencyReport, check_trace
+from repro.consistency.staleness import StalenessReport, staleness_profile
+
+__all__ = [
+    "ConsistencyReport",
+    "StalenessReport",
+    "check_trace",
+    "staleness_profile",
+]

@@ -1,0 +1,180 @@
+"""Batched and deferred ECA — Section 7's first future-work item, built.
+
+The paper: "We will consider how ECA can be extended to handle a set of
+updates at once ... since we expect that in practice many source updates
+will be 'batched,' this extension should result in a very useful
+performance enhancement."  And Section 2 notes the algorithms apply to
+deferred and periodic maintenance timing "with little or no modification".
+
+Both live here, as one algorithm with two flush triggers:
+
+- :class:`BatchECA` buffers incoming update notifications and, every
+  ``batch_size`` updates, ships a *single* compensated query for the whole
+  batch: ``sum_j D(V<U_j>, rest-of-batch)`` (the Lemma B.2 backdating that
+  makes each per-update delta read as of its own source state), plus a
+  staged correction for every query that was in flight while buffered
+  updates arrived.
+- :class:`DeferredECA` flushes only when a warehouse client *reads* the
+  view (a :class:`~repro.messaging.messages.RefreshRequest`; place
+  :data:`repro.simulation.driver.REFRESH` markers in the workload) —
+  deferred maintenance.  Issue refreshes at fixed intervals and you have
+  periodic maintenance.
+
+Message economics: k updates cost ``2 * ceil(k / batch_size)`` messages
+instead of ECA's ``2k``, interpolating between ECA (``batch_size=1``) and
+a single incremental round-trip per refresh.
+
+Compensation bookkeeping (where this genuinely extends ECA): because
+compensation is *deferred* to flush time, a contaminated query may already
+have been answered and left the UQS.  The algorithm therefore remembers,
+for every query sent, how many currently-buffered updates arrived while it
+was in flight (always a prefix of the buffer, by FIFO), and at flush time
+ships :func:`~repro.core.compensation.staged_compensation` for each —
+whether or not the query is still pending.  The view installs only when
+the UQS is empty and no such un-flushed contamination exists.
+
+Convergence for a finite run requires a final flush — end workloads with a
+``REFRESH`` marker, pick a ``batch_size`` dividing the update count, or
+call :meth:`BatchECA.flush`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.compensation import batch_delta_query, staged_compensation
+from repro.core.protocol import WarehouseAlgorithm
+from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
+from repro.relational.bag import SignedBag
+from repro.relational.expressions import Query
+from repro.relational.views import View
+from repro.source.updates import Update
+
+
+class BatchECA(WarehouseAlgorithm):
+    """ECA with warehouse-side update batching.
+
+    Parameters
+    ----------
+    view, initial:
+        As for every :class:`WarehouseAlgorithm`.
+    batch_size:
+        Flush automatically once this many relevant updates are buffered;
+        ``None`` disables automatic flushing (refresh-triggered only).
+        ``batch_size=1`` behaves like ECA, one query per update.
+    """
+
+    name = "batch-eca"
+
+    def __init__(
+        self,
+        view: View,
+        initial: Optional[SignedBag] = None,
+        batch_size: Optional[int] = 4,
+    ) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1 or None, got {batch_size}")
+        super().__init__(view, initial)
+        self.batch_size = batch_size
+        self.collect = SignedBag()
+        self._buffer: List[Update] = []
+        #: query id -> full query expression, kept past retirement while
+        #: un-flushed contamination refers to it.
+        self._sent: Dict[int, Query] = {}
+        #: query id -> how many of the *current* buffer's updates arrived
+        #: while the query was in flight (a prefix of the buffer).
+        self._seen: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # W_up
+    # ------------------------------------------------------------------ #
+
+    def on_update(self, notification: UpdateNotification) -> List[QueryRequest]:
+        if not self.relevant(notification):
+            return []
+        self._buffer.append(notification.update)
+        for query_id in self.uqs:
+            self._seen[query_id] = self._seen.get(query_id, 0) + 1
+        if self.batch_size is not None and len(self._buffer) >= self.batch_size:
+            return self.flush()
+        return []
+
+    # ------------------------------------------------------------------ #
+    # Flush
+    # ------------------------------------------------------------------ #
+
+    def flush(self) -> List[QueryRequest]:
+        """Ship one compensated query covering every buffered update."""
+        if not self._buffer:
+            return []
+        batch = self._buffer
+        self._buffer = []
+        query = batch_delta_query(self.view, batch)
+        for query_id, count in self._seen.items():
+            if count:
+                query = query + staged_compensation(
+                    self._sent[query_id], batch, count
+                )
+        self._seen.clear()
+        # Expressions for already-answered queries are no longer needed.
+        for query_id in list(self._sent):
+            if query_id not in self.uqs:
+                del self._sent[query_id]
+        return self._dispatch(query)
+
+    def _dispatch(self, query: Query) -> List[QueryRequest]:
+        local = query.fully_bound_terms()
+        remote = query.source_terms()
+        if not local.is_empty():
+            self.collect.add_bag(local.evaluate({}))
+        if remote.is_empty():
+            self._maybe_install()
+            return []
+        request = self._make_request(remote)
+        self._sent[request.query_id] = remote
+        return [request]
+
+    # ------------------------------------------------------------------ #
+    # W_ans / refresh
+    # ------------------------------------------------------------------ #
+
+    def on_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
+        self._retire(answer)
+        self.collect.add_bag(answer.answer)
+        self._maybe_install()
+        return []
+
+    def on_refresh(self) -> List[QueryRequest]:
+        return self.flush()
+
+    def _maybe_install(self) -> None:
+        if self.uqs:
+            return
+        if any(count for count in self._seen.values()):
+            # Some already-received answer saw buffered updates whose
+            # compensation has not shipped yet; installing now would
+            # expose an invalid state.
+            return
+        if self.collect.is_empty():
+            return
+        self.mv.apply_delta(self.collect)
+        self.collect = SignedBag()
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+
+    def buffered_updates(self) -> int:
+        return len(self._buffer)
+
+    def is_quiescent(self) -> bool:
+        return not self.uqs and not self._buffer and self.collect.is_empty()
+
+
+class DeferredECA(BatchECA):
+    """Deferred maintenance: flush only when the view is read."""
+
+    name = "deferred-eca"
+
+    def __init__(self, view: View, initial: Optional[SignedBag] = None) -> None:
+        super().__init__(view, initial, batch_size=None)

@@ -1,0 +1,120 @@
+"""Algorithm 5.2 — the Eager Compensating Algorithm (ECA).
+
+On receiving update ``U_i`` the warehouse sends
+
+    Q_i = V<U_i> - sum over Q_j in UQS of Q_j<U_i>
+
+The compensating terms offset the effect ``U_i`` will have on the pending
+queries: FIFO delivery guarantees that if the warehouse has seen ``U_i``
+before ``Q_j``'s answer, the source executed ``U_i`` before evaluating
+``Q_j``, so ``Q_j`` will "see" ``U_i``'s tuple.
+
+Answers accumulate in ``COLLECT`` and are installed into the view only when
+the UQS drains — installing earlier would expose invalid intermediate
+states (convergent but not consistent; see Section 5.2).
+
+Following Appendix D, terms of ``Q_i`` in which *every* relation is bound
+to a concrete tuple are not shipped to the source: they reference no base
+data, so the warehouse evaluates them locally and feeds the result straight
+into ``COLLECT``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.protocol import WarehouseAlgorithm
+from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
+from repro.relational.bag import SignedBag
+from repro.relational.expressions import Query
+from repro.relational.views import View
+
+
+class ECA(WarehouseAlgorithm):
+    """The Eager Compensating Algorithm — strongly consistent.
+
+    Parameters
+    ----------
+    view, initial:
+        As for every :class:`WarehouseAlgorithm`.
+    buffer_answers:
+        When True (the paper's algorithm, default) answers collect until
+        the UQS is empty.  When False, each answer is applied to the view
+        immediately — the variant Section 5.2 warns about, kept here so the
+        consistency checker can demonstrate it is convergent but *not*
+        consistent.
+    """
+
+    name = "eca"
+
+    def __init__(
+        self,
+        view: View,
+        initial: Optional[SignedBag] = None,
+        buffer_answers: bool = True,
+    ) -> None:
+        super().__init__(view, initial)
+        self.collect = SignedBag()
+        self.buffer_answers = buffer_answers
+
+    # ------------------------------------------------------------------ #
+    # W_up
+    # ------------------------------------------------------------------ #
+
+    def on_update(self, notification: UpdateNotification) -> List[QueryRequest]:
+        if not self.relevant(notification):
+            return []
+        update = notification.update
+        signed = update.signed_tuple()
+        query = self.view.substitute(update.relation, signed)
+        for pending in self.uqs_queries():
+            query = query - pending.substitute(update.relation, signed)
+        return self._dispatch(query)
+
+    def _dispatch(self, query: Query) -> List[QueryRequest]:
+        """Evaluate fully-bound terms locally; ship the rest to the source."""
+        local = query.fully_bound_terms()
+        remote = query.source_terms()
+        if not local.is_empty():
+            self._absorb(local.evaluate({}))
+        if remote.is_empty():
+            # Nothing to ask the source; a flush may be due right now.
+            self._maybe_install()
+            return []
+        return [self._make_request(remote)]
+
+    # ------------------------------------------------------------------ #
+    # W_ans
+    # ------------------------------------------------------------------ #
+
+    def on_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
+        self._retire(answer)
+        self._absorb(answer.answer)
+        self._maybe_install()
+        return []
+
+    # ------------------------------------------------------------------ #
+    # COLLECT handling
+    # ------------------------------------------------------------------ #
+
+    def _absorb(self, delta: SignedBag) -> None:
+        if self.buffer_answers:
+            self.collect.add_bag(delta)
+        else:
+            # The unbuffered strawman applies answers immediately; its
+            # intermediate states may hold negative replication counts
+            # (invalid states), but the final sum converges.
+            self.mv.apply_delta(delta, on_negative="allow")
+
+    def _maybe_install(self) -> None:
+        if not self.buffer_answers:
+            return
+        if self.uqs:
+            return
+        if self.collect.is_empty():
+            return
+        self.mv.apply_delta(self.collect)
+        self.collect = SignedBag()
+
+    def is_quiescent(self) -> bool:
+        return not self.uqs and self.collect.is_empty()

@@ -1,0 +1,64 @@
+"""Section 5.5 — the ECA-Local algorithm (ECA_L).
+
+The paper sketches ECA_L but leaves the details as future work, noting that
+interleaving local updates with in-flight compensated queries "is not
+straightforward" and would require buffering updates and splitting query
+results.  We implement the sound core of the idea:
+
+- An update is handled **locally** (no source query at all) when it is
+  autonomously computable for this view *and* no queries are in flight.
+  For SPJ views the autonomously-computable case we support is the
+  [BLT86]/[GB94] one the paper itself uses: a deletion whose relation's
+  key is projected by the view — ``key-delete`` then identifies exactly
+  the derived view tuples.
+- Every other update takes the regular ECA path (compensated query).
+
+Requiring an empty UQS side-steps the ordering problem the paper warns
+about: with no in-flight queries the view is in a consistent state
+``V[ss_{i-1}]``, and the local key-delete moves it directly to
+``V[ss_i]``.  When updates are sparse (the common warehouse regime, per
+Section 5.6 property 3) every eligible delete is handled locally, matching
+ECA_K's behaviour without requiring keys for *all* relations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.eca import ECA
+from repro.errors import SchemaError
+from repro.messaging.messages import QueryRequest, UpdateNotification
+from repro.relational.bag import SignedBag
+from repro.relational.views import View
+from repro.source.updates import Update
+
+
+class ECALocal(ECA):
+    """ECA plus local handling of autonomously computable deletions."""
+
+    name = "eca-local"
+
+    def __init__(self, view: View, initial: Optional[SignedBag] = None) -> None:
+        super().__init__(view, initial)
+        #: Count of updates handled without contacting the source.
+        self.local_updates_handled = 0
+
+    def is_local_candidate(self, update: Update) -> bool:
+        """Autonomously computable for this view, regardless of UQS state."""
+        if not update.is_delete:
+            return False
+        try:
+            self.view.key_output_positions(update.relation)
+        except SchemaError:
+            return False
+        return True
+
+    def on_update(self, notification: UpdateNotification) -> List[QueryRequest]:
+        if not self.relevant(notification):
+            return []
+        update = notification.update
+        if self.is_local_candidate(update) and not self.uqs:
+            self.mv.key_delete(update.relation, update.values)
+            self.local_updates_handled += 1
+            return []
+        return super().on_update(notification)

@@ -1,0 +1,111 @@
+"""The common protocol all warehouse maintenance algorithms implement.
+
+The simulation driver delivers source -> warehouse messages to the
+algorithm by calling :meth:`WarehouseAlgorithm.on_update` (the ``W_up``
+event) and :meth:`WarehouseAlgorithm.on_answer` (``W_ans``).  Either call
+may return query requests, which the driver ships over the
+warehouse -> source channel.  Per Section 3, each such call is atomic.
+
+Algorithms own their query-id sequence so that the UQS bookkeeping stays
+inside the algorithm; the driver treats query ids as opaque.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ProtocolError
+from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
+from repro.relational.bag import SignedBag
+from repro.relational.expressions import Query
+from repro.relational.views import View
+from repro.warehouse.state import MaterializedView
+
+
+class WarehouseAlgorithm:
+    """Base class: query-id bookkeeping plus the event API.
+
+    Subclasses implement :meth:`on_update` and :meth:`on_answer`, calling
+    :meth:`_make_request` to register outgoing queries in the unanswered
+    query set (UQS).
+    """
+
+    #: Human-readable algorithm name (overridden by subclasses).
+    name = "abstract"
+
+    def __init__(self, view: View, initial: Optional[SignedBag] = None) -> None:
+        self.view = view
+        self.mv = MaterializedView(view, initial)
+        self._next_query_id = 1
+        #: The unanswered query set: query id -> full query expression.
+        self.uqs: Dict[int, Query] = {}
+
+    # ------------------------------------------------------------------ #
+    # Event API (called by the simulation driver)
+    # ------------------------------------------------------------------ #
+
+    def on_update(self, notification: UpdateNotification) -> List[QueryRequest]:
+        """Process ``W_up``: an update notification arrived.
+
+        Returns the query requests to ship to the source (possibly none).
+        """
+        raise NotImplementedError
+
+    def on_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
+        """Process ``W_ans``: a query answer arrived.
+
+        Returns follow-up query requests (most algorithms return none).
+        """
+        raise NotImplementedError
+
+    def on_refresh(self) -> List[QueryRequest]:
+        """Process a warehouse-client refresh request (deferred timing).
+
+        Immediate-update algorithms keep the view current at all times, so
+        the default is a no-op; deferred algorithms override this to flush
+        buffered updates.
+        """
+        return []
+
+    # ------------------------------------------------------------------ #
+    # Shared plumbing
+    # ------------------------------------------------------------------ #
+
+    def _make_request(self, query: Query) -> QueryRequest:
+        """Assign a fresh id, record the query in the UQS, build the request."""
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        self.uqs[query_id] = query
+        return QueryRequest(query_id, query)
+
+    def _retire(self, answer: QueryAnswer) -> Query:
+        """Remove the answered query from the UQS and return it."""
+        try:
+            return self.uqs.pop(answer.query_id)
+        except KeyError:
+            raise ProtocolError(
+                f"{self.name}: answer for unknown query id {answer.query_id}"
+            ) from None
+
+    def uqs_queries(self) -> List[Query]:
+        """Pending queries in send order (ids are monotonically increasing)."""
+        return [self.uqs[qid] for qid in sorted(self.uqs)]
+
+    # ------------------------------------------------------------------ #
+    # State inspection
+    # ------------------------------------------------------------------ #
+
+    def view_state(self) -> SignedBag:
+        """Current materialized view contents."""
+        return self.mv.as_bag()
+
+    def is_quiescent(self) -> bool:
+        """True when no queries are outstanding and no work is buffered."""
+        return not self.uqs
+
+    def relevant(self, notification: UpdateNotification) -> bool:
+        """Whether the update touches a relation this view is defined over."""
+        return self.view.involves(notification.update.relation)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(view={self.view.name}, uqs={sorted(self.uqs)})"

@@ -1,0 +1,50 @@
+"""Algorithm registry: construct maintenance algorithms by name."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.basic import BasicAlgorithm
+from repro.core.batch import BatchECA, DeferredECA
+from repro.core.eca import ECA
+from repro.core.eca_key import ECAKey
+from repro.core.eca_local import ECALocal
+from repro.core.lazy import LCA
+from repro.core.protocol import WarehouseAlgorithm
+from repro.core.recompute import RecomputeView
+from repro.core.stored_copies import StoredCopies
+from repro.relational.bag import SignedBag
+from repro.relational.views import View
+
+#: Name -> algorithm class, for every algorithm the paper discusses.
+ALGORITHMS: Dict[str, type] = {
+    BasicAlgorithm.name: BasicAlgorithm,
+    BatchECA.name: BatchECA,
+    DeferredECA.name: DeferredECA,
+    ECA.name: ECA,
+    ECAKey.name: ECAKey,
+    ECALocal.name: ECALocal,
+    LCA.name: LCA,
+    RecomputeView.name: RecomputeView,
+    StoredCopies.name: StoredCopies,
+}
+
+
+def create_algorithm(
+    name: str,
+    view: View,
+    initial: Optional[SignedBag] = None,
+    **options: object,
+) -> WarehouseAlgorithm:
+    """Instantiate the named algorithm.
+
+    ``options`` are forwarded to the constructor (e.g. ``period=5`` for
+    ``"recompute"``, ``buffer_answers=False`` for ``"eca"``).
+    """
+    try:
+        cls = ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from None
+    return cls(view, initial, **options)

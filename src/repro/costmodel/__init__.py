@@ -1,0 +1,29 @@
+"""Cost model: the paper's three metrics (M, B, IO), analytic and measured.
+
+- :mod:`repro.costmodel.parameters` — Table 1's variables and defaults;
+- :mod:`repro.costmodel.analytic` — Appendix D's closed forms for bytes
+  transferred and I/O under both scenarios, plus Section 6.1's message
+  counts;
+- :mod:`repro.costmodel.counters` — a recorder the simulation driver feeds,
+  measuring messages and bytes exactly and estimating I/O per evaluated
+  term;
+- :mod:`repro.costmodel.io_scenarios` — per-term I/O estimators encoding
+  the access-path assumptions of Scenario 1 (clustering indexes, ample
+  memory) and Scenario 2 (no indexes, three buffer blocks, nested loops).
+"""
+
+from repro.costmodel.counters import CostRecorder
+from repro.costmodel.io_scenarios import (
+    IndexCatalog,
+    Scenario1Estimator,
+    Scenario2Estimator,
+)
+from repro.costmodel.parameters import PaperParameters
+
+__all__ = [
+    "CostRecorder",
+    "IndexCatalog",
+    "PaperParameters",
+    "Scenario1Estimator",
+    "Scenario2Estimator",
+]

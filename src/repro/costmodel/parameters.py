@@ -1,0 +1,128 @@
+"""Table 1 — the performance-model variables and their default values.
+
+=====  ================================================  =======
+Name   Meaning                                           Default
+=====  ================================================  =======
+C      Cardinality of a relation                         100
+S      Size of projected attributes                      4 bytes
+sigma  Selection factor                                  1/2
+J      Join factor                                       4
+K      Tuples per physical block                         20
+k      Number of updates at the source                   (per experiment)
+s      Updates skipped before recomputing the view, <=k  (per experiment)
+=====  ================================================  =======
+
+Derived quantities used throughout Appendix D:
+
+- ``I = ceil(C / K)`` — I/Os to read one entire base relation;
+- ``I' = ceil(C / (2K))`` — double-block buffer groups for Scenario 2's
+  nested-loop join.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+
+class PaperParameters:
+    """Immutable bundle of the Table 1 parameters."""
+
+    __slots__ = ("cardinality", "tuple_bytes", "selectivity", "join_factor", "block_factor")
+
+    def __init__(
+        self,
+        cardinality: int = 100,
+        tuple_bytes: int = 4,
+        selectivity: float = 0.5,
+        join_factor: int = 4,
+        block_factor: int = 20,
+    ) -> None:
+        if cardinality < 1:
+            raise ValueError(f"cardinality must be >= 1, got {cardinality}")
+        if tuple_bytes < 1:
+            raise ValueError(f"tuple_bytes must be >= 1, got {tuple_bytes}")
+        if not 0.0 <= selectivity <= 1.0:
+            raise ValueError(f"selectivity must be in [0, 1], got {selectivity}")
+        if join_factor < 1:
+            raise ValueError(f"join_factor must be >= 1, got {join_factor}")
+        if block_factor < 1:
+            raise ValueError(f"block_factor must be >= 1, got {block_factor}")
+        self.cardinality = cardinality
+        self.tuple_bytes = tuple_bytes
+        self.selectivity = selectivity
+        self.join_factor = join_factor
+        self.block_factor = block_factor
+
+    # Short aliases matching the paper's symbols. ----------------------- #
+
+    @property
+    def C(self) -> int:  # noqa: N802 - paper notation
+        return self.cardinality
+
+    @property
+    def S(self) -> int:  # noqa: N802 - paper notation
+        return self.tuple_bytes
+
+    @property
+    def sigma(self) -> float:
+        return self.selectivity
+
+    @property
+    def J(self) -> int:  # noqa: N802 - paper notation
+        return self.join_factor
+
+    @property
+    def K(self) -> int:  # noqa: N802 - paper notation
+        return self.block_factor
+
+    @property
+    def I(self) -> int:  # noqa: N802,E743 - paper notation
+        """I/Os needed to read an entire base relation: ``ceil(C/K)``."""
+        return math.ceil(self.cardinality / self.block_factor)
+
+    @property
+    def I_prime(self) -> int:  # noqa: N802 - paper notation
+        """Double-block buffer groups of a relation: ``ceil(C/(2K))``."""
+        return math.ceil(self.cardinality / (2 * self.block_factor))
+
+    def replace(self, **overrides: object) -> "PaperParameters":
+        """A copy with some fields replaced (parameter sweeps)."""
+        fields: Dict[str, object] = {
+            "cardinality": self.cardinality,
+            "tuple_bytes": self.tuple_bytes,
+            "selectivity": self.selectivity,
+            "join_factor": self.join_factor,
+            "block_factor": self.block_factor,
+        }
+        unknown = set(overrides) - set(fields)
+        if unknown:
+            raise TypeError(f"unknown parameter(s): {sorted(unknown)}")
+        fields.update(overrides)
+        return PaperParameters(**fields)  # type: ignore[arg-type]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "C": self.cardinality,
+            "S": self.tuple_bytes,
+            "sigma": self.selectivity,
+            "J": self.join_factor,
+            "K": self.block_factor,
+            "I": self.I,
+            "I_prime": self.I_prime,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PaperParameters):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"PaperParameters(C={self.C}, S={self.S}, sigma={self.sigma}, "
+            f"J={self.J}, K={self.K})"
+        )
+
+
+#: The defaults of Table 1.
+DEFAULTS = PaperParameters()

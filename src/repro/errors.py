@@ -1,0 +1,74 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+downstream application can catch one type to handle anything the warehouse
+machinery raises while still letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or violated.
+
+    Raised for duplicate attribute names, arity mismatches between a schema
+    and a tuple, references to unknown attributes, and key declarations that
+    do not name schema attributes.
+    """
+
+
+class ExpressionError(ReproError):
+    """A relational expression (term, query, or view) is malformed.
+
+    Raised for projections onto attributes the product does not produce,
+    conditions referencing unknown attributes, and substitutions that name
+    relations not used by the expression.
+    """
+
+
+class SignError(ReproError):
+    """A signed-tuple operation received an invalid sign value."""
+
+
+class UpdateError(ReproError):
+    """A base-relation update could not be applied.
+
+    Raised when deleting a tuple that is not present, when an update names a
+    relation the source does not store, or when the updated tuple does not
+    match the relation's schema.
+    """
+
+
+class ViewStateError(ReproError):
+    """Applying a delta would drive a materialized view inconsistent.
+
+    In a correct run, ``MV + COLLECT`` never produces a tuple with negative
+    multiplicity; this error surfaces algorithm bugs instead of silently
+    clamping counts.
+    """
+
+
+class ProtocolError(ReproError):
+    """The source/warehouse messaging protocol was violated.
+
+    Raised for out-of-order message consumption, answers to unknown queries,
+    and attempts to process events after a simulation has quiesced.
+    """
+
+
+class SimulationError(ReproError):
+    """A simulation schedule requested an impossible step.
+
+    Raised when a schedule asks the source to answer with no pending query,
+    asks for an update when the workload is exhausted, or deadlocks before
+    quiescence.
+    """
+
+
+class ConsistencyViolation(ReproError):
+    """A trace failed a correctness property it was asserted to satisfy."""

@@ -1,0 +1,35 @@
+"""Experiment harness: regenerates every table and figure of Section 6.
+
+- :mod:`repro.experiments.figures` — analytic series for Figures 6.2-6.5;
+- :mod:`repro.experiments.tables` — Table 1 and the Section 6.1 message
+  analysis;
+- :mod:`repro.experiments.measured` — simulated (measured) counterparts of
+  the analytic curves, via the full source/warehouse simulation;
+- :mod:`repro.experiments.runner` — replay of the paper's worked examples;
+- :mod:`repro.experiments.report` — plain-text rendering of series, used
+  by the example scripts and EXPERIMENTS.md.
+"""
+
+from repro.experiments.figures import (
+    figure_6_2,
+    figure_6_3,
+    figure_6_4,
+    figure_6_5,
+)
+from repro.experiments.measured import measure_bytes_series, measure_io_series
+from repro.experiments.report import render_series
+from repro.experiments.runner import run_scenario
+from repro.experiments.tables import messages_table, parameter_table
+
+__all__ = [
+    "figure_6_2",
+    "figure_6_3",
+    "figure_6_4",
+    "figure_6_5",
+    "measure_bytes_series",
+    "measure_io_series",
+    "messages_table",
+    "parameter_table",
+    "render_series",
+    "run_scenario",
+]

@@ -1,0 +1,94 @@
+"""Analytic series for the paper's four figures.
+
+Each function returns a dict with the x-axis values and one list per curve,
+named exactly as in the paper's legends.  The benchmark harness prints
+these series and asserts their qualitative claims (who wins, crossover
+locations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.costmodel import analytic
+from repro.costmodel.parameters import PaperParameters
+
+Series = Dict[str, List[float]]
+
+
+def figure_6_2(
+    params: Optional[PaperParameters] = None,
+    cardinalities: Optional[Sequence[int]] = None,
+) -> Series:
+    """Figure 6.2 — bytes transferred versus relation cardinality C.
+
+    Three updates (Example 6); default sweep C in 1..20 as in the paper.
+    """
+    params = params or PaperParameters()
+    cardinalities = list(cardinalities or range(1, 21))
+    k = 3
+    series: Series = {"C": [float(c) for c in cardinalities]}
+    series["BRVBest"] = []
+    series["BRVWorst"] = []
+    series["BECABest"] = []
+    series["BECAWorst"] = []
+    for c in cardinalities:
+        p = params.replace(cardinality=c)
+        series["BRVBest"].append(analytic.bytes_rv_best(p))
+        series["BRVWorst"].append(analytic.bytes_rv_worst(p, k))
+        series["BECABest"].append(analytic.bytes_eca_best(p, k))
+        series["BECAWorst"].append(analytic.bytes_eca_worst_distinct3(p))
+    return series
+
+
+def figure_6_3(
+    params: Optional[PaperParameters] = None,
+    k_values: Optional[Sequence[int]] = None,
+) -> Series:
+    """Figure 6.3 — bytes transferred versus number of updates k (C=100)."""
+    params = params or PaperParameters()
+    k_values = list(k_values or range(1, 121))
+    series: Series = {"k": [float(k) for k in k_values]}
+    series["BRVBest"] = [analytic.bytes_rv_best(params) for _ in k_values]
+    series["BRVWorst"] = [analytic.bytes_rv_worst(params, k) for k in k_values]
+    series["BECABest"] = [analytic.bytes_eca_best(params, k) for k in k_values]
+    series["BECAWorst"] = [analytic.bytes_eca_worst(params, k) for k in k_values]
+    return series
+
+
+def figure_6_4(
+    params: Optional[PaperParameters] = None,
+    k_values: Optional[Sequence[int]] = None,
+) -> Series:
+    """Figure 6.4 — I/O versus k, Scenario 1 (indexes + ample memory)."""
+    params = params or PaperParameters()
+    k_values = list(k_values or range(1, 12))
+    series: Series = {"k": [float(k) for k in k_values]}
+    series["IORVBest"] = [analytic.io1_rv_best(params) for _ in k_values]
+    series["IORVWorst"] = [analytic.io1_rv_worst(params, k) for k in k_values]
+    series["IOECABest"] = [analytic.io1_eca_best(params, k) for k in k_values]
+    series["IOECAWorst"] = [analytic.io1_eca_worst(params, k) for k in k_values]
+    return series
+
+
+def figure_6_5(
+    params: Optional[PaperParameters] = None,
+    k_values: Optional[Sequence[int]] = None,
+) -> Series:
+    """Figure 6.5 — I/O versus k, Scenario 2 (no indexes, 3 blocks)."""
+    params = params or PaperParameters()
+    k_values = list(k_values or range(1, 12))
+    series: Series = {"k": [float(k) for k in k_values]}
+    series["IORVBest"] = [analytic.io2_rv_best(params) for _ in k_values]
+    series["IORVWorst"] = [analytic.io2_rv_worst(params, k) for k in k_values]
+    series["IOECABest"] = [analytic.io2_eca_best(params, k) for k in k_values]
+    series["IOECAWorst"] = [analytic.io2_eca_worst(params, k) for k in k_values]
+    return series
+
+
+ALL_FIGURES = {
+    "figure-6.2": figure_6_2,
+    "figure-6.3": figure_6_3,
+    "figure-6.4": figure_6_4,
+    "figure-6.5": figure_6_5,
+}

@@ -1,0 +1,136 @@
+"""Measured (simulated) counterparts of the analytic cost curves.
+
+These run the *actual* system — generated Example 6 data, a real source, a
+real warehouse algorithm, FIFO channels — under the schedule that realizes
+each best/worst case, and read the costs off the wire:
+
+- bytes are exact (S per answer tuple actually transferred);
+- I/Os are charged per evaluated term by the scenario estimators, using
+  the live relation cardinalities.
+
+Absolute values will not coincide with the closed forms (the analytic
+model assumes every join expands by exactly J and every selection keeps
+exactly sigma of its input), but the curves' *shape* must match — that is
+what the measured benchmarks assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.eca import ECA
+from repro.core.recompute import RecomputeView
+from repro.costmodel.counters import CostRecorder
+from repro.costmodel.io_scenarios import Scenario1Estimator, Scenario2Estimator
+from repro.costmodel.parameters import PaperParameters
+from repro.relational.engine import evaluate_view
+from repro.simulation.driver import Simulation
+from repro.simulation.schedules import BestCaseSchedule, Schedule, WorstCaseSchedule
+from repro.source.memory import MemorySource
+from repro.source.sqlite import SQLiteSource
+from repro.workloads.example6 import build_example6
+
+Series = Dict[str, List[float]]
+
+
+def _make_source(setup, source_kind: str):
+    if source_kind == "memory":
+        return MemorySource(setup.schemas, setup.initial)
+    if source_kind == "sqlite":
+        return SQLiteSource(setup.schemas, setup.initial)
+    raise ValueError(f"unknown source kind {source_kind!r}")
+
+
+def run_example6_once(
+    params: PaperParameters,
+    k: int,
+    algorithm: str,
+    schedule: Schedule,
+    io_scenario: Optional[int] = None,
+    seed: int = 0,
+    source_kind: str = "memory",
+    hot_fraction: float = 0.0,
+) -> CostRecorder:
+    """One simulated Example 6 run; returns the populated recorder.
+
+    ``algorithm`` is ``"eca"``, ``"rv-best"`` (recompute once, period=k) or
+    ``"rv-worst"`` (recompute every update, period=1).
+    """
+    setup = build_example6(params, k, seed, hot_fraction=hot_fraction)
+    source = _make_source(setup, source_kind)
+    initial_view = evaluate_view(setup.view, source.snapshot())
+    if algorithm == "eca":
+        warehouse = ECA(setup.view, initial_view)
+    elif algorithm == "rv-best":
+        warehouse = RecomputeView(setup.view, initial_view, period=max(1, k))
+    elif algorithm == "rv-worst":
+        warehouse = RecomputeView(setup.view, initial_view, period=1)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    if io_scenario is None:
+        estimator = None
+    elif io_scenario == 1:
+        estimator = Scenario1Estimator(params)
+    elif io_scenario == 2:
+        estimator = Scenario2Estimator(params)
+    else:
+        raise ValueError(f"io_scenario must be 1 or 2, got {io_scenario!r}")
+    recorder = CostRecorder(params, estimator)
+    simulation = Simulation(source, warehouse, setup.workload, recorder)
+    simulation.run(schedule)
+    if source_kind == "sqlite":
+        source.close()
+    return recorder
+
+
+_CASES = {
+    "RVBest": ("rv-best", BestCaseSchedule),
+    "RVWorst": ("rv-worst", BestCaseSchedule),
+    "ECABest": ("eca", BestCaseSchedule),
+    "ECAWorst": ("eca", WorstCaseSchedule),
+}
+
+
+def measure_bytes_series(
+    params: Optional[PaperParameters] = None,
+    k_values: Sequence[int] = (3, 6, 12, 24, 48),
+    seed: int = 0,
+    source_kind: str = "memory",
+) -> Series:
+    """Measured counterpart of Figure 6.3 (B versus k)."""
+    params = params or PaperParameters()
+    series: Series = {"k": [float(k) for k in k_values]}
+    for label, (algorithm, schedule_cls) in _CASES.items():
+        series["B" + label] = [
+            float(
+                run_example6_once(
+                    params, k, algorithm, schedule_cls(), seed=seed,
+                    source_kind=source_kind,
+                ).bytes
+            )
+            for k in k_values
+        ]
+    return series
+
+
+def measure_io_series(
+    scenario: int,
+    params: Optional[PaperParameters] = None,
+    k_values: Sequence[int] = (1, 3, 5, 7, 9, 11),
+    seed: int = 0,
+    source_kind: str = "memory",
+) -> Series:
+    """Measured counterpart of Figures 6.4/6.5 (IO versus k)."""
+    params = params or PaperParameters()
+    series: Series = {"k": [float(k) for k in k_values]}
+    for label, (algorithm, schedule_cls) in _CASES.items():
+        series["IO" + label] = [
+            float(
+                run_example6_once(
+                    params, k, algorithm, schedule_cls(),
+                    io_scenario=scenario, seed=seed, source_kind=source_kind,
+                ).ios
+            )
+            for k in k_values
+        ]
+    return series

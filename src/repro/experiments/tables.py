@@ -1,0 +1,60 @@
+"""Table 1 and the Section 6.1 message-count analysis."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.costmodel import analytic
+from repro.costmodel.parameters import PaperParameters
+
+
+def parameter_table(params: Optional[PaperParameters] = None) -> List[Dict[str, object]]:
+    """Table 1 — the performance-model variables with their defaults."""
+    params = params or PaperParameters()
+    return [
+        {"name": "C", "meaning": "Cardinality of a relation", "value": params.C},
+        {"name": "S", "meaning": "Size of projected attributes (bytes)", "value": params.S},
+        {"name": "sigma", "meaning": "Selection factor", "value": params.sigma},
+        {"name": "J", "meaning": "Join factor", "value": params.J},
+        {"name": "K", "meaning": "Tuples per physical block", "value": params.K},
+        {"name": "I", "meaning": "I/Os to read one relation (= ceil(C/K))", "value": params.I},
+        {
+            "name": "I'",
+            "meaning": "Double-block groups (= ceil(C/2K))",
+            "value": params.I_prime,
+        },
+    ]
+
+
+def messages_table(
+    k_values: Sequence[int] = (1, 5, 10, 50, 100),
+    periods: Sequence[int] = (1, 5, 10),
+) -> List[Dict[str, object]]:
+    """Section 6.1 — M_RV = 2*ceil(k/s) versus M_ECA = 2k.
+
+    One row per (k, s) combination, plus the ECA column (independent of s).
+    RV spans from 2 messages (s = k, view recomputed once) to 2k (s = 1).
+    """
+    rows: List[Dict[str, object]] = []
+    for k in k_values:
+        for s in periods:
+            if s > k:
+                continue
+            rows.append(
+                {
+                    "k": k,
+                    "s": s,
+                    "M_RV": analytic.messages_rv(k, s),
+                    "M_ECA": analytic.messages_eca(k),
+                }
+            )
+        # The paper's two extremes for this k.
+        rows.append(
+            {
+                "k": k,
+                "s": k,
+                "M_RV": analytic.messages_rv(k, k),
+                "M_ECA": analytic.messages_eca(k),
+            }
+        )
+    return rows

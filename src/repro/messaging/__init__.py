@@ -1,0 +1,24 @@
+"""Messaging substrate between source and warehouse.
+
+Section 3 assumes messages are delivered **in order** and processed in
+order; the compensation logic of ECA is only sound under that assumption
+(receiving the notification for ``U2`` before the answer to ``Q1`` is what
+lets the warehouse deduce ``Q1`` will see ``U2``).  We model this with two
+FIFO channels:
+
+- source -> warehouse, carrying :class:`UpdateNotification` and
+  :class:`QueryAnswer` messages interleaved (one stream — ordering between
+  notifications and answers is what ECA relies on);
+- warehouse -> source, carrying :class:`QueryRequest` messages.
+"""
+
+from repro.messaging.channel import FifoChannel
+from repro.messaging.messages import Message, QueryAnswer, QueryRequest, UpdateNotification
+
+__all__ = [
+    "FifoChannel",
+    "Message",
+    "QueryAnswer",
+    "QueryRequest",
+    "UpdateNotification",
+]

@@ -1,0 +1,60 @@
+"""In-order message channels.
+
+A :class:`FifoChannel` delivers messages in exactly the order they were
+sent.  It also counts messages and (via a pluggable sizer) bytes, feeding
+the cost model's ``M`` and ``B`` metrics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+from repro.errors import ProtocolError
+from repro.messaging.messages import Message
+
+
+class FifoChannel:
+    """A reliable, ordered, unidirectional message queue."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._queue: Deque[Message] = deque()
+        self.sent_count = 0
+        self.delivered_count = 0
+
+    def send(self, message: Message) -> None:
+        self._queue.append(message)
+        self.sent_count += 1
+
+    def receive(self) -> Message:
+        """Deliver the oldest undelivered message."""
+        if not self._queue:
+            raise ProtocolError(f"receive on empty channel {self.name!r}")
+        self.delivered_count += 1
+        return self._queue.popleft()
+
+    def peek(self) -> Optional[Message]:
+        """The next message to be delivered, without consuming it."""
+        return self._queue[0] if self._queue else None
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def drain(self) -> Iterator[Message]:
+        """Deliver all pending messages."""
+        while self._queue:
+            yield self.receive()
+
+    def snapshot(self) -> List[Message]:
+        """The undelivered messages, oldest first (inspection only)."""
+        return list(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"FifoChannel({self.name}, pending={len(self._queue)})"

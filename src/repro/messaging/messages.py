@@ -1,0 +1,76 @@
+"""Message types exchanged between source and warehouse."""
+
+from __future__ import annotations
+
+from repro.relational.bag import SignedBag
+from repro.relational.expressions import Query
+from repro.source.updates import Update
+
+
+class Message:
+    """Base class for protocol messages (useful for isinstance dispatch)."""
+
+    __slots__ = ()
+
+
+class UpdateNotification(Message):
+    """Source -> warehouse: "update U happened" (the payload of ``S_up``).
+
+    ``serial`` is the source-assigned sequence number of the update; it
+    exists for logging and trace alignment, not for the algorithms — the
+    paper's algorithms rely only on FIFO delivery.
+    """
+
+    __slots__ = ("update", "serial")
+
+    def __init__(self, update: Update, serial: int) -> None:
+        self.update = update
+        self.serial = serial
+
+    def __repr__(self) -> str:
+        return f"UpdateNotification(#{self.serial}, {self.update!r})"
+
+
+class QueryRequest(Message):
+    """Warehouse -> source: "evaluate this query"."""
+
+    __slots__ = ("query_id", "query")
+
+    def __init__(self, query_id: int, query: Query) -> None:
+        self.query_id = query_id
+        self.query = query
+
+    def __repr__(self) -> str:
+        return f"QueryRequest(Q{self.query_id}, {self.query!r})"
+
+
+class QueryAnswer(Message):
+    """Source -> warehouse: the answer relation for an earlier query."""
+
+    __slots__ = ("query_id", "answer")
+
+    def __init__(self, query_id: int, answer: SignedBag) -> None:
+        self.query_id = query_id
+        self.answer = answer
+
+    def __repr__(self) -> str:
+        return f"QueryAnswer(Q{self.query_id}, {self.answer!r})"
+
+
+class RefreshRequest(Message):
+    """Warehouse client -> warehouse: "bring the view up to date".
+
+    Not part of the paper's core protocol: it models the *deferred* and
+    *periodic* maintenance timings of Section 2 ("with little or no
+    modification our algorithms can be applied to deferred and periodic
+    update as well").  A refresh never touches the source directly — the
+    maintenance algorithm decides what queries to issue.
+    """
+
+    __slots__ = ("serial",)
+
+    def __init__(self, serial: int = 0) -> None:
+        self.serial = serial
+
+    def __repr__(self) -> str:
+        return f"RefreshRequest(#{self.serial})"

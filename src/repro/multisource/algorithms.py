@@ -1,0 +1,171 @@
+"""Warehouse algorithms for multi-source views — one broken, one sound.
+
+:class:`FragmentingIncremental` is the single-source incremental
+algorithm (Algorithm 5.1) transplanted to multiple sources with query
+fragmentation.  Each incremental query's fragments ship to their owning
+sources; when the last fragment answer arrives the term is reassembled
+and applied.  The transplant is *deliberately* faithful to the
+single-source logic — and the tests show it is anomalous: fragments of
+one query are evaluated against different global states, and no FIFO
+deduction exists across sources to even detect it.  This is the
+"additional issues" Section 7 warns about.
+
+:class:`MultiSourceStoredCopies` is the SC strategy: the warehouse keeps
+copies of every base relation and never queries the sources, so the
+missing cross-source ordering is irrelevant — it stays complete.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError, UpdateError
+from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
+from repro.multisource.fragment import FragmentPlan, fragment_query
+from repro.relational.bag import SignedBag
+from repro.relational.expressions import Query
+from repro.relational.views import View
+from repro.warehouse.state import MaterializedView
+
+Routed = List[Tuple[str, QueryRequest]]
+
+
+class _PendingTerm:
+    """One term awaiting fragment answers from one or more sources."""
+
+    def __init__(self, plan: FragmentPlan) -> None:
+        self.plan = plan
+        self.answers: Dict[str, SignedBag] = {}
+
+    def complete(self) -> bool:
+        return set(self.answers) == set(self.plan.fragments)
+
+
+class FragmentingIncremental:
+    """Naive incremental maintenance over multiple sources (anomalous)."""
+
+    name = "fragmenting-incremental"
+
+    def __init__(
+        self,
+        view: View,
+        owners: Dict[str, str],
+        initial: Optional[SignedBag] = None,
+    ) -> None:
+        self.view = view
+        self.owners = dict(owners)
+        self.mv = MaterializedView(view, initial)
+        self._next_query_id = 1
+        #: query id -> pending term state.
+        self._pending: Dict[int, _PendingTerm] = {}
+        #: query id -> destination source (for validation).
+        self._destination: Dict[int, str] = {}
+        #: Count of queries whose fragments spanned several sources.
+        self.spanning_queries = 0
+
+    # ------------------------------------------------------------------ #
+    # Events (called by MultiSourceSimulation)
+    # ------------------------------------------------------------------ #
+
+    def on_update(self, source: str, notification: UpdateNotification) -> Routed:
+        update = notification.update
+        if not self.view.involves(update.relation):
+            return []
+        query = self.view.substitute(update.relation, update.signed_tuple())
+        routed: Routed = []
+        for plan in fragment_query(query, self.owners):
+            if plan.is_local():
+                self.mv.apply_delta(plan.reassemble({}), strict=False)
+                continue
+            if plan.spans_sources():
+                self.spanning_queries += 1
+            pending = _PendingTerm(plan)
+            for destination, fragment in plan.fragments.items():
+                query_id = self._next_query_id
+                self._next_query_id += 1
+                self._pending[query_id] = pending
+                self._destination[query_id] = destination
+                routed.append(
+                    (destination, QueryRequest(query_id, Query([fragment])))
+                )
+        return routed
+
+    def on_answer(self, source: str, answer: QueryAnswer) -> Routed:
+        try:
+            pending = self._pending.pop(answer.query_id)
+        except KeyError:
+            raise ProtocolError(f"answer for unknown query {answer.query_id}") from None
+        expected = self._destination.pop(answer.query_id)
+        if expected != source:
+            raise ProtocolError(
+                f"fragment {answer.query_id} answered by {source}, sent to {expected}"
+            )
+        pending.answers[source] = answer.answer
+        if pending.complete():
+            # Naive: apply as soon as reassembled (clamping, like the
+            # single-source baseline, so anomalies are observable rather
+            # than fatal).
+            self.mv.apply_delta(
+                pending.plan.reassemble(pending.answers), strict=False
+            )
+        return []
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+
+    def view_state(self) -> SignedBag:
+        return self.mv.as_bag()
+
+    def is_quiescent(self) -> bool:
+        return not self._pending
+
+
+class MultiSourceStoredCopies:
+    """SC over multiple sources: correct because it never asks anything."""
+
+    name = "multi-stored-copies"
+
+    def __init__(
+        self,
+        view: View,
+        owners: Dict[str, str],
+        initial: Optional[SignedBag] = None,
+        initial_copies: Optional[Dict[str, SignedBag]] = None,
+    ) -> None:
+        self.view = view
+        self.owners = dict(owners)
+        self.mv = MaterializedView(view, initial)
+        self.copies: Dict[str, SignedBag] = {
+            name: SignedBag() for name in view.relation_names
+        }
+        if initial_copies:
+            for relation, bag in initial_copies.items():
+                if relation in self.copies:
+                    self.copies[relation] = bag.copy()
+
+    def on_update(self, source: str, notification: UpdateNotification) -> Routed:
+        update = notification.update
+        if not self.view.involves(update.relation):
+            return []
+        copy = self.copies[update.relation]
+        if update.is_insert:
+            copy.add(update.values, 1)
+        else:
+            if copy.multiplicity(update.values) <= 0:
+                raise UpdateError(
+                    f"copy of {update.relation!r} missing {update.values!r}"
+                )
+            copy.add(update.values, -1)
+        delta = self.view.substitute(update.relation, update.signed_tuple())
+        self.mv.apply_delta(delta.evaluate(self.copies))
+        return []
+
+    def on_answer(self, source: str, answer: QueryAnswer) -> Routed:
+        raise ProtocolError("stored-copies never sends queries")
+
+    def view_state(self) -> SignedBag:
+        return self.mv.as_bag()
+
+    def is_quiescent(self) -> bool:
+        return True

@@ -1,0 +1,167 @@
+"""Simulation driver for multiple autonomous sources.
+
+Each source gets its own FIFO channel pair, so ordering guarantees hold
+*per source* only — there is no global order between one source's update
+notifications and another source's query answers.  That missing order is
+precisely what ECA's compensation deduction relies on, and its absence is
+what the multi-source tests demonstrate.
+
+Actions (for schedules):
+
+- ``"update"``          — execute the next workload update at its owning
+  source and send the notification;
+- ``"answer:<name>"``   — source ``<name>`` evaluates its oldest pending
+  fragment query and sends the answer;
+- ``"warehouse:<name>"`` — the warehouse processes the oldest message from
+  source ``<name>``'s channel.
+
+:class:`repro.simulation.schedules.RandomSchedule` works unchanged (it
+chooses among whatever actions are available).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.messaging.channel import FifoChannel
+from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
+from repro.relational.bag import SignedBag
+from repro.simulation.trace import S_QU, S_UP, Trace, W_ANS, W_UP
+from repro.source.base import Source
+from repro.source.updates import Update
+
+
+class MultiSourceSimulation:
+    """One warehouse, several sources, per-source FIFO ordering.
+
+    Parameters
+    ----------
+    sources:
+        name -> source database.  Relation names must be globally unique.
+    algorithm:
+        An object with ``on_update(source_name, notification)`` and
+        ``on_answer(source_name, answer)``, both returning a list of
+        ``(destination_source, QueryRequest)`` pairs, plus ``view_state()``
+        and ``is_quiescent()``.
+    workload:
+        Updates, in global order; each is routed to the source owning its
+        relation.
+    """
+
+    def __init__(
+        self,
+        sources: Mapping[str, Source],
+        algorithm: object,
+        workload: Sequence[Update],
+    ) -> None:
+        self.sources = dict(sources)
+        self.algorithm = algorithm
+        self._updates: Deque[Update] = deque(workload)
+        self.owners: Dict[str, str] = {}
+        for name, source in self.sources.items():
+            for schema in source.schemas:
+                if schema.name in self.owners:
+                    raise SimulationError(
+                        f"relation {schema.name!r} owned by two sources"
+                    )
+                self.owners[schema.name] = name
+        self.to_warehouse: Dict[str, FifoChannel] = {
+            name: FifoChannel(f"{name}->warehouse") for name in self.sources
+        }
+        self.to_source: Dict[str, FifoChannel] = {
+            name: FifoChannel(f"warehouse->{name}") for name in self.sources
+        }
+        self.trace = Trace()
+        self._serial = 0
+        #: Per-source state histories: name -> [state after i updates at
+        #: that source].  Used by the cut-consistency checker.
+        self.per_source_states: Dict[str, List[Dict[str, SignedBag]]] = {
+            name: [source.snapshot()] for name, source in self.sources.items()
+        }
+        self.trace.record_source_state(self._snapshot())
+        self.trace.record_view_state(algorithm.view_state())
+
+    def _snapshot(self) -> Dict[str, SignedBag]:
+        combined: Dict[str, SignedBag] = {}
+        for source in self.sources.values():
+            combined.update(source.snapshot())
+        return combined
+
+    # ------------------------------------------------------------------ #
+    # Actions
+    # ------------------------------------------------------------------ #
+
+    def available_actions(self) -> List[str]:
+        actions: List[str] = []
+        if self._updates:
+            actions.append("update")
+        for name in sorted(self.sources):
+            if not self.to_source[name].is_empty():
+                actions.append(f"answer:{name}")
+            if not self.to_warehouse[name].is_empty():
+                actions.append(f"warehouse:{name}")
+        return actions
+
+    def step(self, action: str) -> None:
+        if action == "update":
+            self._do_update()
+        elif action.startswith("answer:"):
+            self._do_answer(action.split(":", 1)[1])
+        elif action.startswith("warehouse:"):
+            self._do_warehouse(action.split(":", 1)[1])
+        else:
+            raise SimulationError(f"unknown action {action!r}")
+
+    def _do_update(self) -> None:
+        update = self._updates.popleft()
+        owner = self.owners.get(update.relation)
+        if owner is None:
+            raise SimulationError(f"no source owns relation {update.relation!r}")
+        self.sources[owner].apply_update(update)
+        self._serial += 1
+        self.trace.record_event(S_UP, f"U{self._serial}@{owner} = {update!r}")
+        self.trace.record_source_state(self._snapshot())
+        self.per_source_states[owner].append(self.sources[owner].snapshot())
+        self.to_warehouse[owner].send(UpdateNotification(update, self._serial))
+
+    def _do_answer(self, name: str) -> None:
+        message = self.to_source[name].receive()
+        if not isinstance(message, QueryRequest):
+            raise SimulationError(f"source {name} received {message!r}")
+        answer = self.sources[name].evaluate(message.query)
+        self.trace.record_event(
+            S_QU, f"{name}: Q{message.query_id} -> {answer.total_count()} tuple(s)"
+        )
+        self.to_warehouse[name].send(QueryAnswer(message.query_id, answer))
+
+    def _do_warehouse(self, name: str) -> None:
+        message = self.to_warehouse[name].receive()
+        if isinstance(message, UpdateNotification):
+            routed = self.algorithm.on_update(name, message)
+            self.trace.record_event(W_UP, f"U{message.serial} from {name}")
+        elif isinstance(message, QueryAnswer):
+            routed = self.algorithm.on_answer(name, message)
+            self.trace.record_event(W_ANS, f"A(Q{message.query_id}) from {name}")
+        else:
+            raise SimulationError(f"warehouse received {message!r}")
+        for destination, request in routed:
+            self.to_source[destination].send(request)
+        self.trace.record_view_state(self.algorithm.view_state())
+
+    # ------------------------------------------------------------------ #
+    # Run loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, schedule: object, max_steps: int = 1_000_000) -> Trace:
+        steps = 0
+        while True:
+            available = self.available_actions()
+            if not available:
+                break
+            if steps >= max_steps:
+                raise SimulationError(f"exceeded {max_steps} steps")
+            self.step(schedule.choose(available))
+            steps += 1
+        return self.trace

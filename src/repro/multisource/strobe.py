@@ -1,0 +1,201 @@
+"""A Strobe-style correct multi-source algorithm.
+
+The paper defers multi-source views to future work; the authors' own
+follow-up (Zhuge et al., "The Strobe Algorithms for Multi-Source
+Warehouse Consistency", 1996) solved it for key-complete views.  This
+module implements the same idea on our substrate, so the repository
+contains not just the *demonstration* of the open problem
+(:class:`~repro.multisource.algorithms.FragmentingIncremental`) but a
+working answer to it:
+
+- the view must project a key of every base relation (as in ECA-Key) and
+  is maintained with **set semantics** — provenance by key is what makes
+  cross-source races resolvable;
+- the warehouse accumulates an **action list** (AL) instead of touching
+  the view directly;
+- a **delete** appends ``key-delete`` to the AL immediately and is also
+  registered as a filter against every query currently in flight (the
+  same correction our single-source ECA-Key needed — a pending insert
+  query carries the deleted key as a bound constant and its late answer
+  must not resurrect the tuple);
+- an **insert** fans out fragment queries to the owning sources; when the
+  last fragment answer arrives, the reassembled tuples (minus filtered
+  keys) are appended to the AL as inserts;
+- when **no queries are pending**, the AL is applied to the materialized
+  view atomically (deletes by key, inserts with duplicate suppression)
+  — the quiescent-apply that keeps intermediate states invisible.
+
+Why this dodges the naive transplant's failure: double derivations caused
+by a fragment reading another source *after* a concurrent insert collapse
+under set semantics (the concurrent insert's own query derives the same
+tuple, and duplicates are suppressed), missing derivations are covered by
+the concurrent update's own query, and delete races are covered by the
+filter + ordered AL.  We validate the claim empirically: over randomized
+workloads and interleavings the algorithm is always cut-consistent and
+convergent (``tests/integration/test_strobe.py``), while the naive
+transplant fails on roughly half of them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError, SchemaError
+from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
+from repro.multisource.fragment import FragmentPlan, fragment_query
+from repro.relational.bag import SignedBag
+from repro.relational.expressions import Query
+from repro.relational.views import View
+from repro.warehouse.state import MaterializedView, key_delete
+
+Routed = List[Tuple[str, QueryRequest]]
+
+_DELETE = "delete"
+_INSERT = "insert"
+
+
+class _PendingInsert:
+    """One insert's fragment plans awaiting answers, plus delete filters."""
+
+    def __init__(self) -> None:
+        self.plans: List[Tuple[FragmentPlan, Dict[str, SignedBag]]] = []
+        self.outstanding = 0
+        #: (key output positions, key values) registered while in flight.
+        self.filters: List[Tuple[Tuple[int, ...], Tuple[object, ...]]] = []
+
+
+class StrobeStyle:
+    """Correct multi-source maintenance for key-complete views."""
+
+    name = "strobe-style"
+
+    def __init__(
+        self,
+        view: View,
+        owners: Dict[str, str],
+        initial: Optional[SignedBag] = None,
+    ) -> None:
+        if not view.contains_all_keys():
+            raise SchemaError(
+                f"the Strobe-style algorithm requires view {view.name!r} to "
+                f"project a key of every base relation"
+            )
+        self.view = view
+        self.owners = dict(owners)
+        self.mv = MaterializedView(view, initial)
+        self._next_query_id = 1
+        #: query id -> (pending insert record, its plan index)
+        self._route: Dict[int, Tuple[_PendingInsert, int, str]] = {}
+        self._pending: List[_PendingInsert] = []
+        #: The action list: ("delete", relation, values) | ("insert", bag).
+        self._actions: List[Tuple] = []
+
+    # ------------------------------------------------------------------ #
+    # Events (called by MultiSourceSimulation)
+    # ------------------------------------------------------------------ #
+
+    def on_update(self, source: str, notification: UpdateNotification) -> Routed:
+        update = notification.update
+        if not self.view.involves(update.relation):
+            return []
+        if update.is_delete:
+            self._actions.append((_DELETE, update.relation, update.values))
+            schema = self.view.schema_for(update.relation)
+            positions = self.view.key_output_positions(update.relation)
+            key = schema.key_of(update.values)
+            for pending in self._pending:
+                pending.filters.append((positions, key))
+            self._maybe_apply()
+            return []
+        # Insert: fan fragments out to the owning sources.
+        query = self.view.substitute(update.relation, update.signed_tuple())
+        record = _PendingInsert()
+        routed: Routed = []
+        for plan in fragment_query(query, self.owners):
+            answers: Dict[str, SignedBag] = {}
+            plan_index = len(record.plans)
+            record.plans.append((plan, answers))
+            if plan.is_local():
+                continue  # fully bound; reassembles with no answers
+            for destination, fragment in plan.fragments.items():
+                query_id = self._next_query_id
+                self._next_query_id += 1
+                self._route[query_id] = (record, plan_index, destination)
+                record.outstanding += 1
+                routed.append(
+                    (destination, QueryRequest(query_id, Query([fragment])))
+                )
+        if record.outstanding:
+            self._pending.append(record)
+        else:
+            self._finish_insert(record)
+            self._maybe_apply()
+        return routed
+
+    def on_answer(self, source: str, answer: QueryAnswer) -> Routed:
+        try:
+            record, plan_index, destination = self._route.pop(answer.query_id)
+        except KeyError:
+            raise ProtocolError(
+                f"answer for unknown fragment {answer.query_id}"
+            ) from None
+        if destination != source:
+            raise ProtocolError(
+                f"fragment {answer.query_id} answered by {source}, "
+                f"sent to {destination}"
+            )
+        plan, answers = record.plans[plan_index]
+        answers[source] = answer.answer
+        record.outstanding -= 1
+        if record.outstanding == 0:
+            self._pending.remove(record)
+            self._finish_insert(record)
+        self._maybe_apply()
+        return []
+
+    # ------------------------------------------------------------------ #
+    # Action list
+    # ------------------------------------------------------------------ #
+
+    def _finish_insert(self, record: _PendingInsert) -> None:
+        derived = SignedBag()
+        for plan, answers in record.plans:
+            derived.add_bag(plan.reassemble(answers))
+        survivors = SignedBag()
+        for row, count in derived.items():
+            if count <= 0:
+                # Insert queries over positive data cannot produce signed
+                # tuples; surface a mis-wired source loudly.
+                raise ProtocolError(f"negative derivation {row!r} for an insert")
+            if any(
+                tuple(row[i] for i in positions) == key
+                for positions, key in record.filters
+            ):
+                continue  # deleted while the query was in flight
+            survivors.add(row, 1)  # set semantics
+        if not survivors.is_empty():
+            self._actions.append((_INSERT, survivors))
+
+    def _maybe_apply(self) -> None:
+        if self._pending or not self._actions:
+            return
+        working = self.mv.as_bag()
+        for action in self._actions:
+            if action[0] == _DELETE:
+                key_delete(working, self.view, action[1], action[2])
+            else:
+                for row in action[1].rows():
+                    if working.multiplicity(row) == 0:
+                        working.add(row, 1)
+        self._actions = []
+        self.mv.replace(working)
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+
+    def view_state(self) -> SignedBag:
+        return self.mv.as_bag()
+
+    def is_quiescent(self) -> bool:
+        return not self._pending and not self._actions

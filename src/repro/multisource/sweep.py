@@ -1,0 +1,305 @@
+"""A SWEEP-style correct multi-source algorithm — no keys required.
+
+The second published answer to the paper's multi-source problem (after
+Strobe) was SWEEP (Agrawal, El Abbadi, Singh, Yurek: "Efficient View
+Maintenance at Data Warehouses", 1997): evaluate each update's
+incremental query by *sweeping* one base relation at a time, and cancel
+concurrent-update interference with corrections the warehouse can compute
+**locally**, because by the time a hop's answer arrives the warehouse has
+already received (per-source FIFO!) the notification of every update that
+hop could have seen — and the interference of such an update on the hop
+is just ``current-bindings |x| tuple(U')``, a fully bound expression.
+
+Shape of the algorithm here:
+
+- updates are processed **serially** (like LCA): while ``U``'s sweep runs,
+  later notifications queue;
+- ``V<U>`` binds ``U``'s relation; the sweep then visits each remaining
+  free relation in term order.  Each *hop* ships one query to the owning
+  source: the current partial bindings (as bound constants) joined with
+  that one relation, projecting all covered columns;
+- when a hop's answer arrives, the warehouse subtracts, for every
+  *received-but-unprocessed* update ``U'`` on the hop's relation, the
+  locally evaluated ``bindings |x| tuple(U')`` — per-source FIFO makes
+  this correction set exact (``U'`` interfered iff its notification beat
+  the answer);
+- after the last hop, the final bindings (filtered by the full view
+  condition, projected) are the delta: ``MV += delta``, and the next
+  queued update starts.
+
+Compared with :class:`~repro.multisource.strobe.StrobeStyle`:
+
+===========  =======================  ==============================
+             Strobe-style             SWEEP-style
+===========  =======================  ==============================
+requires     keys of every relation   nothing (duplicates fine)
+queries      parallel fragments       sequential hops (semi-join)
+concurrency  pipelined                one update at a time
+correction   key-delete filters       algebraic, fully bound
+===========  =======================  ==============================
+
+Self-joins are not supported (each base relation may appear once) — the
+sweep's per-relation corrections assume a single occurrence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError, SchemaError
+from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
+from repro.relational.bag import SignedBag
+from repro.relational.conditions import conjunction, flatten_conjuncts
+from repro.relational.expressions import BoundOperand, Query, RelationOperand, Term
+from repro.relational.schema import ProductSchema
+from repro.relational.tuples import SignedTuple
+from repro.relational.views import View
+from repro.source.updates import Update
+from repro.warehouse.state import MaterializedView
+
+Routed = List[Tuple[str, QueryRequest]]
+Row = Tuple[object, ...]
+
+
+class _Sweep:
+    """State of one update's sweep."""
+
+    def __init__(self, term: Term, free_indices: List[int]) -> None:
+        #: The substituted view term V<U> (updated relation bound).
+        self.term = term
+        #: Operand indices not yet visited, in term order.
+        self.remaining = list(free_indices)
+        #: Operand indices whose values the bindings currently carry.
+        self.covered = [
+            i for i, op in enumerate(term.operands) if op.is_bound
+        ]
+        #: Partial rows over the covered operands (signed multiplicities).
+        sign = term.coefficient
+        values: List[object] = []
+        for index in self.covered:
+            operand = term.operands[index]
+            sign *= operand.tuple.sign
+            values.extend(operand.tuple.values)
+        self.bindings = SignedBag({tuple(values): sign})
+        #: The hop currently in flight: (query id, operand index).
+        self.in_flight: Optional[Tuple[int, int]] = None
+
+
+class SweepStyle:
+    """Correct multi-source maintenance with no key requirement."""
+
+    name = "sweep-style"
+
+    def __init__(
+        self,
+        view: View,
+        owners: Dict[str, str],
+        initial: Optional[SignedBag] = None,
+    ) -> None:
+        names = [schema.base for schema in view.relations]
+        if len(set(names)) != len(names):
+            raise SchemaError(
+                f"the SWEEP-style algorithm does not support self-joins "
+                f"(view {view.name!r} mentions a relation twice)"
+            )
+        self.view = view
+        self.owners = dict(owners)
+        self.mv = MaterializedView(view, initial)
+        self._next_query_id = 1
+        self._queue: Deque[Update] = deque()
+        self._current: Optional[_Sweep] = None
+
+    # ------------------------------------------------------------------ #
+    # Events (called by MultiSourceSimulation)
+    # ------------------------------------------------------------------ #
+
+    def on_update(self, source: str, notification: UpdateNotification) -> Routed:
+        update = notification.update
+        if not self.view.involves(update.relation):
+            return []
+        self._queue.append(update)
+        if self._current is None:
+            return self._start_next()
+        return []
+
+    def on_answer(self, source: str, answer: QueryAnswer) -> Routed:
+        sweep = self._current
+        if sweep is None or sweep.in_flight is None:
+            raise ProtocolError(f"unexpected answer {answer.query_id}")
+        query_id, operand_index = sweep.in_flight
+        if answer.query_id != query_id:
+            raise ProtocolError(
+                f"answer {answer.query_id} does not match hop {query_id}"
+            )
+        sweep.in_flight = None
+        corrected = answer.answer + self._hop_corrections(sweep, operand_index)
+        sweep.bindings = corrected
+        sweep.covered = sorted(sweep.covered + [operand_index])
+        return self._advance()
+
+    # ------------------------------------------------------------------ #
+    # Sweep machinery
+    # ------------------------------------------------------------------ #
+
+    def _start_next(self) -> Routed:
+        routed: Routed = []
+        while self._queue and self._current is None:
+            update = self._queue.popleft()
+            query = self.view.substitute(update.relation, update.signed_tuple())
+            # Single-occurrence SPJ views produce exactly one term.
+            term = query.terms[0]
+            free = [
+                i for i, operand in enumerate(term.operands) if not operand.is_bound
+            ]
+            self._current = _Sweep(term, free)
+            routed.extend(self._advance())
+        return routed
+
+    def _advance(self) -> Routed:
+        sweep = self._current
+        assert sweep is not None
+        if not sweep.remaining:
+            self._finish(sweep)
+            self._current = None
+            return self._start_next()
+        operand_index = sweep.remaining.pop(0)
+        hop_query, destination = self._build_hop(sweep, operand_index)
+        if hop_query.is_empty():
+            # No bindings survive: the delta is empty from here on out.
+            sweep.bindings = SignedBag()
+            sweep.covered = sorted(sweep.covered + [operand_index])
+            return self._advance()
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        sweep.in_flight = (query_id, operand_index)
+        return [(destination, QueryRequest(query_id, hop_query))]
+
+    def _hop_operands_and_condition(self, sweep: _Sweep, operand_index: int):
+        """Shared layout for hop queries and their local corrections."""
+        term = sweep.term
+        included = sorted(sweep.covered + [operand_index])
+        schemas = [term.operands[i].schema for i in included]
+        sub_product = ProductSchema(schemas)
+        decidable = []
+        for conjunct in flatten_conjuncts(term.condition):
+            try:
+                for name in conjunct.attributes():
+                    sub_product.resolve(name)
+            except SchemaError:
+                continue
+            decidable.append(conjunct)
+        projection = [
+            f"{schema.name}.{attribute}"
+            for schema in schemas
+            for attribute in schema.attributes
+        ]
+        return included, conjunction(decidable), projection
+
+    def _build_hop(self, sweep: _Sweep, operand_index: int) -> Tuple[Query, str]:
+        term = sweep.term
+        relation = term.operands[operand_index].schema
+        destination = self.owners[relation.base]
+        included, condition, projection = self._hop_operands_and_condition(
+            sweep, operand_index
+        )
+        terms: List[Term] = []
+        for row, count in sweep.bindings.items():
+            sign = 1 if count > 0 else -1
+            operands = []
+            offset = 0
+            for index in included:
+                schema = term.operands[index].schema
+                if index == operand_index:
+                    operands.append(RelationOperand(schema))
+                else:
+                    values = row[offset : offset + schema.arity]
+                    operands.append(BoundOperand(schema, SignedTuple(values)))
+                    offset += schema.arity
+            hop_term = Term(operands, projection, condition, sign)
+            terms.extend([hop_term] * abs(count))
+        return Query(terms), destination
+
+    def _hop_corrections(self, sweep: _Sweep, operand_index: int) -> SignedBag:
+        """Subtract interference from received-but-unprocessed updates.
+
+        Per-source FIFO: any update on the hop's relation whose
+        notification has been received (it is sitting in our queue) was
+        executed before the hop's answer was evaluated, so the hop saw it
+        and its contribution — ``bindings |x| tuple(U')`` — must come out.
+        Updates not yet received cannot have been seen.  The correction is
+        fully bound and evaluated at the warehouse.
+        """
+        term = sweep.term
+        relation = term.operands[operand_index].schema
+        interfering = [u for u in self._queue if u.relation == relation.base]
+        if not interfering:
+            return SignedBag()
+        included, condition, projection = self._hop_operands_and_condition(
+            sweep, operand_index
+        )
+        correction = SignedBag()
+        for update in interfering:
+            signed = update.signed_tuple()
+            for row, count in sweep.bindings.items():
+                sign = -1 if count > 0 else 1  # negated binding sign
+                operands = []
+                offset = 0
+                for index in included:
+                    schema = term.operands[index].schema
+                    if index == operand_index:
+                        operands.append(
+                            BoundOperand(schema, SignedTuple(signed.values))
+                        )
+                    else:
+                        values = row[offset : offset + schema.arity]
+                        operands.append(BoundOperand(schema, SignedTuple(values)))
+                        offset += schema.arity
+                bound_term = Term(operands, projection, condition, sign)
+                result = bound_term.evaluate({})
+                for _ in range(abs(count)):
+                    # The update's own sign scales the interference.
+                    correction.add_bag(
+                        result if signed.sign > 0 else -result
+                    )
+        return correction
+
+    def _finish(self, sweep: _Sweep) -> None:
+        """Apply the final projection/condition and install the delta."""
+        term = sweep.term
+        positions: List[int] = []
+        offset = 0
+        layout: Dict[int, int] = {}
+        for index in sorted(sweep.covered):
+            layout[index] = offset
+            offset += term.operands[index].schema.arity
+        # Map term projection (product positions) into binding-row slots.
+        for name in term.projection:
+            product_position = term.product.resolve(name)
+            running = 0
+            for index, operand in enumerate(term.operands):
+                arity = operand.schema.arity
+                if product_position < running + arity:
+                    positions.append(layout[index] + (product_position - running))
+                    break
+                running += arity
+        predicate_product = ProductSchema(
+            [term.operands[i].schema for i in sorted(sweep.covered)]
+        )
+        predicate = term.condition.bind(predicate_product)
+        delta = SignedBag()
+        for row, count in sweep.bindings.items():
+            if not predicate(row):
+                continue
+            delta.add(tuple(row[i] for i in positions), count)
+        self.mv.apply_delta(delta)
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+
+    def view_state(self) -> SignedBag:
+        return self.mv.as_bag()
+
+    def is_quiescent(self) -> bool:
+        return self._current is None and not self._queue

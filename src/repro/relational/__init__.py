@@ -1,0 +1,61 @@
+"""Signed-tuple relational algebra (Section 4 of the paper).
+
+This package implements the data model the paper's algorithms are written
+against:
+
+- :mod:`repro.relational.schema` — named relation schemas with optional keys;
+- :mod:`repro.relational.bag` — duplicate-retaining relations with signed
+  tuples (:class:`SignedBag`), including the paper's ``+`` and ``-``
+  operators on relations;
+- :mod:`repro.relational.conditions` — a small condition language evaluable
+  in Python and renderable to SQL;
+- :mod:`repro.relational.expressions` — terms
+  ``pi_proj(sigma_cond(r1 x ... x rn))``, sum-of-term queries, and the
+  substitution operator ``Q<U>``;
+- :mod:`repro.relational.views` — select-project-join view definitions with
+  a natural-join convenience constructor.
+"""
+
+from repro.relational.bag import SignedBag
+from repro.relational.conditions import (
+    And,
+    Attr,
+    Comparison,
+    Condition,
+    Const,
+    Not,
+    Or,
+    TrueCondition,
+    attr,
+    conjunction,
+)
+from repro.relational.expressions import BoundOperand, Query, RelationOperand, Term
+from repro.relational.schema import ProductSchema, RelationSchema
+from repro.relational.tuples import MINUS, PLUS, SignedTuple
+from repro.relational.unions import UnionView
+from repro.relational.views import View
+
+__all__ = [
+    "And",
+    "Attr",
+    "BoundOperand",
+    "Comparison",
+    "Condition",
+    "Const",
+    "MINUS",
+    "Not",
+    "Or",
+    "PLUS",
+    "ProductSchema",
+    "Query",
+    "RelationOperand",
+    "RelationSchema",
+    "SignedBag",
+    "SignedTuple",
+    "Term",
+    "TrueCondition",
+    "UnionView",
+    "View",
+    "attr",
+    "conjunction",
+]

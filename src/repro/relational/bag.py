@@ -1,0 +1,213 @@
+"""Duplicate-retaining relations with signed tuples.
+
+The paper keeps duplicates in materialized views ("duplicate retention, or
+at least a replication count, is essential if deletions are to be handled
+incrementally" — Section 1.1) and defines ``+`` and ``-`` on relations of
+signed tuples (Section 4.1):
+
+    r1 + r2 = (pos(r1) U pos(r2)) - (neg(r1) U neg(r2))
+    r1 - r2 = r1 + (-r2)
+
+We represent such a relation as a mapping from tuple values to an integer
+multiplicity (a Z-multiset, sometimes called a z-relation).  A positive
+multiplicity ``n`` encodes ``n`` copies with a ``+`` sign; a negative
+multiplicity encodes copies carrying ``-``.  Under this encoding the
+paper's ``+`` is pointwise integer addition, unary ``-`` is pointwise
+negation, and both operator laws used by the correctness proofs
+(commutativity, associativity, distributivity of ``x`` over ``+``) hold by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.relational.tuples import MINUS, PLUS, SignedTuple, check_sign
+
+Row = Tuple[object, ...]
+
+
+class SignedBag:
+    """A relation of signed tuples with integer multiplicities.
+
+    The empty bag is falsy; bags compare equal when every tuple has the
+    same multiplicity in both.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping[Row, int] = None) -> None:
+        self._counts: Dict[Row, int] = {}
+        if counts:
+            for row, count in counts.items():
+                self.add(tuple(row), count)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Sequence[object]]) -> "SignedBag":
+        """Bag of positive tuples, one occurrence per listed row."""
+        bag = cls()
+        for row in rows:
+            bag.add(tuple(row), 1)
+        return bag
+
+    @classmethod
+    def from_signed(cls, tuples: Iterable[SignedTuple]) -> "SignedBag":
+        """Bag built from explicit :class:`SignedTuple` occurrences."""
+        bag = cls()
+        for t in tuples:
+            bag.add(t.values, t.sign)
+        return bag
+
+    @classmethod
+    def singleton(cls, row: Sequence[object], sign: int = PLUS) -> "SignedBag":
+        bag = cls()
+        bag.add(tuple(row), check_sign(sign))
+        return bag
+
+    def copy(self) -> "SignedBag":
+        clone = SignedBag()
+        clone._counts = dict(self._counts)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, row: Sequence[object], count: int = 1) -> None:
+        """Add ``count`` signed occurrences of ``row`` (count may be negative)."""
+        if count == 0:
+            return
+        key = tuple(row)
+        new = self._counts.get(key, 0) + count
+        if new == 0:
+            self._counts.pop(key, None)
+        else:
+            self._counts[key] = new
+
+    def add_bag(self, other: "SignedBag") -> None:
+        """In-place ``self + other``."""
+        for row, count in other._counts.items():
+            self.add(row, count)
+
+    def discard_row(self, row: Sequence[object]) -> None:
+        """Remove every occurrence of ``row`` regardless of multiplicity."""
+        self._counts.pop(tuple(row), None)
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    # ------------------------------------------------------------------ #
+    # The paper's relation operators
+    # ------------------------------------------------------------------ #
+
+    def __add__(self, other: "SignedBag") -> "SignedBag":
+        result = self.copy()
+        result.add_bag(other)
+        return result
+
+    def __sub__(self, other: "SignedBag") -> "SignedBag":
+        return self + (-other)
+
+    def __neg__(self) -> "SignedBag":
+        result = SignedBag()
+        result._counts = {row: -count for row, count in self._counts.items()}
+        return result
+
+    def pos(self) -> "SignedBag":
+        """The sub-bag of tuples carrying a plus sign."""
+        result = SignedBag()
+        result._counts = {r: c for r, c in self._counts.items() if c > 0}
+        return result
+
+    def neg(self) -> "SignedBag":
+        """The sub-bag of tuples carrying a minus sign, as positive counts."""
+        result = SignedBag()
+        result._counts = {r: -c for r, c in self._counts.items() if c < 0}
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    def multiplicity(self, row: Sequence[object]) -> int:
+        return self._counts.get(tuple(row), 0)
+
+    def __contains__(self, row: object) -> bool:
+        return tuple(row) in self._counts  # type: ignore[arg-type]
+
+    def items(self) -> Iterator[Tuple[Row, int]]:
+        """Iterate ``(row, signed multiplicity)`` pairs."""
+        return iter(self._counts.items())
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate distinct rows (ignoring multiplicity and sign)."""
+        return iter(self._counts.keys())
+
+    def signed_tuples(self) -> Iterator[SignedTuple]:
+        """Expand to individual :class:`SignedTuple` occurrences."""
+        for row, count in self._counts.items():
+            sign = PLUS if count > 0 else MINUS
+            for _ in range(abs(count)):
+                yield SignedTuple(row, sign)
+
+    def expand_rows(self) -> List[Row]:
+        """Rows with positive multiplicity, repeated per multiplicity.
+
+        Only valid for non-negative bags (e.g. base relations, final views).
+        """
+        out: List[Row] = []
+        for row, count in sorted(self._counts.items(), key=lambda kv: repr(kv[0])):
+            if count < 0:
+                raise ValueError(
+                    f"expand_rows on bag with negative multiplicity: {row!r} x {count}"
+                )
+            out.extend([row] * count)
+        return out
+
+    def distinct_count(self) -> int:
+        """Number of distinct rows present (with any nonzero multiplicity)."""
+        return len(self._counts)
+
+    def total_count(self) -> int:
+        """Sum of absolute multiplicities (number of signed occurrences)."""
+        return sum(abs(c) for c in self._counts.values())
+
+    def net_count(self) -> int:
+        """Sum of signed multiplicities."""
+        return sum(self._counts.values())
+
+    def is_empty(self) -> bool:
+        return not self._counts
+
+    def is_nonnegative(self) -> bool:
+        """True when no tuple carries a minus sign."""
+        return all(count > 0 for count in self._counts.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    def __len__(self) -> int:
+        return self.total_count()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SignedBag):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._counts.items()))
+
+    def __repr__(self) -> str:
+        if not self._counts:
+            return "SignedBag(empty)"
+        parts = []
+        for row, count in sorted(self._counts.items(), key=lambda kv: repr(kv[0])):
+            sign = "+" if count > 0 else "-"
+            inner = ",".join(repr(v) for v in row)
+            mult = f"x{abs(count)}" if abs(count) != 1 else ""
+            parts.append(f"{sign}[{inner}]{mult}")
+        return f"SignedBag({' '.join(parts)})"

@@ -1,0 +1,134 @@
+"""Interleaving control for the simulation.
+
+The relative timing of source updates, query evaluations, and warehouse
+message processing is exactly what creates or avoids anomalies, and is the
+axis along which the paper defines its best and worst cases:
+
+- *best case for ECA* — "the updates are sufficiently spaced so that each
+  query is processed before the next update occurs at the source"
+  (:class:`BestCaseSchedule`);
+- *worst case for ECA* — "all updates occur before the first query arrives
+  at the source" (:class:`WorstCaseSchedule`).
+
+Schedules choose among the three primitive actions offered by the driver:
+``"update"``, ``"answer"``, ``"warehouse"`` (see
+:mod:`repro.simulation.driver`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import SimulationError
+
+UPDATE = "update"
+ANSWER = "answer"
+WAREHOUSE = "warehouse"
+
+ACTIONS = (UPDATE, ANSWER, WAREHOUSE)
+
+
+class Schedule:
+    """Strategy interface: pick the next action among the available ones."""
+
+    def choose(self, available: Sequence[str]) -> str:
+        raise NotImplementedError
+
+
+class PrioritySchedule(Schedule):
+    """Always run the highest-priority available action."""
+
+    #: Subclasses set this to an ordering of ACTIONS, most preferred first.
+    priority: Sequence[str] = ACTIONS
+
+    def choose(self, available: Sequence[str]) -> str:
+        for action in self.priority:
+            if action in available:
+                return action
+        raise SimulationError(f"no available action among {available!r}")
+
+
+class BestCaseSchedule(PrioritySchedule):
+    """Low update frequency: drain all processing before the next update.
+
+    Every query is answered (and its answer applied) before the next
+    source update executes, so ECA never needs compensating queries and
+    behaves exactly like the original incremental algorithm (Section 5.6,
+    property 3).
+    """
+
+    priority = (WAREHOUSE, ANSWER, UPDATE)
+
+
+class WorstCaseSchedule(PrioritySchedule):
+    """High update frequency: all updates execute before any query answer.
+
+    The warehouse still processes its incoming messages promptly (sending
+    compensated queries), but the source defers query evaluation until the
+    workload is exhausted — every query then sees the final base state and
+    every preceding update must be compensated.
+    """
+
+    priority = (UPDATE, WAREHOUSE, ANSWER)
+
+
+class EagerSourceSchedule(PrioritySchedule):
+    """The source answers pending queries before executing more updates.
+
+    Unlike :class:`BestCaseSchedule` the warehouse lags behind: answers
+    and notifications pile up in its inbox.  Useful as an additional
+    interleaving family for property tests.
+    """
+
+    priority = (ANSWER, UPDATE, WAREHOUSE)
+
+
+class RandomSchedule(Schedule):
+    """Choose uniformly among available actions (seeded, reproducible)."""
+
+    def __init__(self, seed: int = 0, weights: Optional[dict] = None) -> None:
+        self._rng = random.Random(seed)
+        self._weights = dict(weights) if weights else {}
+
+    def choose(self, available: Sequence[str]) -> str:
+        if not available:
+            raise SimulationError("no available action")
+        if self._weights:
+            weights = [self._weights.get(a, 1.0) for a in available]
+            return self._rng.choices(list(available), weights=weights, k=1)[0]
+        return self._rng.choice(list(available))
+
+
+class ScriptedSchedule(Schedule):
+    """Follow an explicit action list — used to replay the paper's examples.
+
+    Raises :class:`SimulationError` when the scripted action is not
+    currently available (a mis-transcribed event order) or when the script
+    runs out while work remains.
+    """
+
+    def __init__(self, actions: Sequence[str]) -> None:
+        unknown = [a for a in actions if a not in ACTIONS]
+        if unknown:
+            raise SimulationError(f"unknown scripted actions: {unknown!r}")
+        self._actions: List[str] = list(actions)
+        self._cursor = 0
+
+    def choose(self, available: Sequence[str]) -> str:
+        if self._cursor >= len(self._actions):
+            raise SimulationError(
+                f"script exhausted after {self._cursor} actions but work "
+                f"remains; available: {available!r}"
+            )
+        action = self._actions[self._cursor]
+        self._cursor += 1
+        if action not in available:
+            raise SimulationError(
+                f"scripted action {action!r} (step {self._cursor}) is not "
+                f"available; available: {available!r}"
+            )
+        return action
+
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._actions)

@@ -1,0 +1,97 @@
+"""Execution traces: the raw material for correctness checking.
+
+A :class:`Trace` records the sequence of events, the source state after
+every ``S_up`` (the paper's ``ss_0 .. ss_p``), and the warehouse view state
+after every warehouse event (``ws_0 .. ws_q``).  The consistency checker
+replays ``V[ss_i]`` over these snapshots to classify a run against the
+correctness hierarchy of Section 3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.relational.bag import SignedBag
+
+# Event kinds, named after the paper's event types.  C_ref/W_ref extend
+# the model with warehouse-client refresh requests (deferred timing).
+S_UP = "S_up"
+S_QU = "S_qu"
+W_UP = "W_up"
+W_ANS = "W_ans"
+C_REF = "C_ref"
+W_REF = "W_ref"
+
+
+class EventRecord:
+    """One event, in global occurrence order."""
+
+    __slots__ = ("seq", "kind", "detail")
+
+    def __init__(self, seq: int, kind: str, detail: str) -> None:
+        self.seq = seq
+        self.kind = kind
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"#{self.seq} {self.kind}: {self.detail}"
+
+
+class Trace:
+    """Recorded history of one simulation run."""
+
+    def __init__(self) -> None:
+        self.events: List[EventRecord] = []
+        #: ``source_states[i]`` is ``ss_i`` — the base relations after the
+        #: i-th update (``ss_0`` is the initial state).
+        self.source_states: List[Dict[str, SignedBag]] = []
+        #: ``view_states[j]`` is the materialized view after the j-th
+        #: warehouse event (``view_states[0]`` is the initial view).
+        self.view_states: List[SignedBag] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def record_event(self, kind: str, detail: str) -> None:
+        self.events.append(EventRecord(self._seq, kind, detail))
+        self._seq += 1
+
+    def record_source_state(self, state: Dict[str, SignedBag]) -> None:
+        self.source_states.append(state)
+
+    def record_view_state(self, view: SignedBag) -> None:
+        self.view_states.append(view)
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def final_source_state(self) -> Dict[str, SignedBag]:
+        return self.source_states[-1]
+
+    @property
+    def final_view_state(self) -> SignedBag:
+        return self.view_states[-1]
+
+    def events_of_kind(self, kind: str) -> List[EventRecord]:
+        return [e for e in self.events if e.kind == kind]
+
+    def update_count(self) -> int:
+        return len(self.events_of_kind(S_UP))
+
+    def describe(self, max_events: Optional[int] = None) -> str:
+        """Human-readable event listing (for examples and debugging)."""
+        events = self.events if max_events is None else self.events[:max_events]
+        lines = [repr(e) for e in events]
+        if max_events is not None and len(self.events) > max_events:
+            lines.append(f"... ({len(self.events) - max_events} more events)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(events={len(self.events)}, source_states="
+            f"{len(self.source_states)}, view_states={len(self.view_states)})"
+        )

@@ -1,0 +1,186 @@
+"""SQLite-backed source.
+
+Base relations live in SQLite tables (duplicates allowed — SQLite's rowid
+provides bag semantics for free).  Term queries are rendered to SQL:
+unbound operands become table references, bound signed tuples become
+one-row constant sub-selects, and the selection condition is rendered to a
+``WHERE`` clause.  ``SELECT`` without ``DISTINCT`` preserves duplicates, as
+the paper requires.
+
+The source never sees view definitions — only the queries the warehouse
+ships — which is exactly the "legacy system" contract of Section 1.2.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExpressionError, UpdateError
+from repro.relational.bag import SignedBag
+from repro.relational.expressions import Query, Term
+from repro.relational.schema import RelationSchema
+from repro.source.base import Source
+from repro.source.updates import Update
+
+
+def _quote(identifier: str) -> str:
+    """Quote a SQL identifier."""
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+class SQLiteSource(Source):
+    """A source whose base relations are SQLite tables.
+
+    Parameters
+    ----------
+    schemas:
+        Relation schemas; one table per relation is created on connect.
+    path:
+        SQLite database path; defaults to a private in-memory database.
+    """
+
+    def __init__(
+        self,
+        schemas: Sequence[RelationSchema],
+        initial: Optional[Dict[str, Sequence[Sequence[object]]]] = None,
+        path: str = ":memory:",
+    ) -> None:
+        super().__init__(schemas)
+        self._conn = sqlite3.connect(path)
+        self._conn.execute("PRAGMA synchronous=OFF")
+        for schema in schemas:
+            columns = ", ".join(_quote(a) for a in schema.attributes)
+            self._conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {_quote(schema.name)} ({columns})"
+            )
+        self._conn.commit()
+        if initial:
+            for relation, rows in initial.items():
+                self.load(relation, rows)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "SQLiteSource":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def apply_update(self, update: Update) -> None:
+        schema = self._check_update(update)
+        table = _quote(schema.name)
+        if update.is_insert:
+            placeholders = ", ".join("?" for _ in update.values)
+            self._conn.execute(
+                f"INSERT INTO {table} VALUES ({placeholders})", update.values
+            )
+            self._conn.commit()
+            return
+        where = " AND ".join(f"{_quote(a)} = ?" for a in schema.attributes)
+        cursor = self._conn.execute(
+            f"DELETE FROM {table} WHERE rowid = "
+            f"(SELECT rowid FROM {table} WHERE {where} LIMIT 1)",
+            update.values,
+        )
+        self._conn.commit()
+        if cursor.rowcount != 1:
+            raise UpdateError(
+                f"cannot delete {update.values!r} from {update.relation!r}: not present"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Query evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, query: Query) -> SignedBag:
+        result = SignedBag()
+        for term in query.terms:
+            result.add_bag(self._evaluate_term(term))
+        return result
+
+    def _evaluate_term(self, term: Term) -> SignedBag:
+        sql, params, multiplier = self._render_term(term)
+        bag = SignedBag()
+        for row in self._conn.execute(sql, params):
+            bag.add(tuple(row), multiplier)
+        return bag
+
+    def _render_term(self, term: Term) -> Tuple[str, List[object], int]:
+        """Render one term to ``(sql, params, per-row multiplicity)``.
+
+        The per-row multiplicity folds together the term coefficient and
+        the signs of all bound tuples, since those are constant across the
+        result set.
+        """
+        from_parts: List[str] = []
+        from_params: List[object] = []
+        alias_of: Dict[int, str] = {}
+        multiplier = term.coefficient
+        for index, operand in enumerate(term.operands):
+            alias = f"t{index}"
+            alias_of[index] = alias
+            if operand.is_bound:
+                schema = operand.schema
+                selects = ", ".join(
+                    f"? AS {_quote(a)}" for a in schema.attributes
+                )
+                from_parts.append(f"(SELECT {selects}) AS {alias}")
+                from_params.extend(operand.tuple.values)
+                multiplier *= operand.tuple.sign
+            else:
+                # Unknown table -> SchemaError; aliases read their base.
+                self.schema_for(operand.source_relation)
+                from_parts.append(f"{_quote(operand.source_relation)} AS {alias}")
+
+        def column_of(name: str) -> str:
+            position = term.product.resolve(name)
+            offset = 0
+            for index, operand in enumerate(term.operands):
+                arity = operand.schema.arity
+                if position < offset + arity:
+                    attribute = operand.schema.attributes[position - offset]
+                    return f"{alias_of[index]}.{_quote(attribute)}"
+                offset += arity
+            raise ExpressionError(f"cannot map attribute {name!r} to a column")
+
+        select_list = ", ".join(column_of(name) for name in term.projection)
+        where_params: List[object] = []
+        where_sql = term.condition.to_sql(column_of, where_params)
+        sql = (
+            f"SELECT {select_list} FROM {', '.join(from_parts)} WHERE {where_sql}"
+        )
+        return sql, from_params + where_params, multiplier
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, SignedBag]:
+        out: Dict[str, SignedBag] = {}
+        for schema in self.schemas:
+            bag = SignedBag()
+            for row in self._conn.execute(f"SELECT * FROM {_quote(schema.name)}"):
+                bag.add(tuple(row), 1)
+            out[schema.name] = bag
+        return out
+
+    def cardinality(self, relation: str) -> int:
+        self.schema_for(relation)
+        (count,) = self._conn.execute(
+            f"SELECT COUNT(*) FROM {_quote(relation)}"
+        ).fetchone()
+        return int(count)
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{s.name}:{self.cardinality(s.name)}" for s in self.schemas)
+        return f"SQLiteSource({sizes})"

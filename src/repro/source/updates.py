@@ -1,0 +1,96 @@
+"""Base-relation updates.
+
+The paper handles two kinds of updates: insertions and deletions
+(modifications are treated as a deletion followed by an insertion,
+Section 4.1).  An update's *signed tuple* carries ``+`` for an insert and
+``-`` for a delete, which is what gets substituted into view and query
+expressions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import UpdateError
+from repro.relational.tuples import MINUS, PLUS, SignedTuple
+
+INSERT = "insert"
+DELETE = "delete"
+
+_KINDS = (INSERT, DELETE)
+
+
+class Update:
+    """One single-tuple update to a base relation.
+
+    Attributes
+    ----------
+    kind:
+        ``"insert"`` or ``"delete"``.
+    relation:
+        Name of the updated base relation.
+    values:
+        The inserted or deleted tuple.
+    """
+
+    __slots__ = ("kind", "relation", "values")
+
+    def __init__(self, kind: str, relation: str, values: Sequence[object]) -> None:
+        if kind not in _KINDS:
+            raise UpdateError(f"update kind must be one of {_KINDS}, got {kind!r}")
+        self.kind = kind
+        self.relation = relation
+        self.values: Tuple[object, ...] = tuple(values)
+
+    @property
+    def is_insert(self) -> bool:
+        return self.kind == INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        return self.kind == DELETE
+
+    @property
+    def sign(self) -> int:
+        """``+1`` for an insert, ``-1`` for a delete."""
+        return PLUS if self.is_insert else MINUS
+
+    def signed_tuple(self) -> SignedTuple:
+        """The update's tuple with its sign — the ``tuple(U)`` of Section 4.2."""
+        return SignedTuple(self.values, self.sign)
+
+    def inverse(self) -> "Update":
+        """The update that undoes this one."""
+        kind = DELETE if self.is_insert else INSERT
+        return Update(kind, self.relation, self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Update):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.relation == other.relation
+            and self.values == other.values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.relation, self.values))
+
+    def __repr__(self) -> str:
+        inner = ",".join(repr(v) for v in self.values)
+        return f"{self.kind}({self.relation}, [{inner}])"
+
+
+def insert(relation: str, values: Sequence[object]) -> Update:
+    """Shorthand for ``Update(INSERT, relation, values)``."""
+    return Update(INSERT, relation, values)
+
+
+def delete(relation: str, values: Sequence[object]) -> Update:
+    """Shorthand for ``Update(DELETE, relation, values)``."""
+    return Update(DELETE, relation, values)
+
+
+def modify(relation: str, old: Sequence[object], new: Sequence[object]) -> List[Update]:
+    """A modification as the paper prescribes: delete ``old``, insert ``new``."""
+    return [delete(relation, old), insert(relation, new)]

@@ -1,0 +1,13 @@
+"""Warehouse-side storage: the materialized view.
+
+The warehouse stores, for each view, a duplicate-retaining materialized
+relation (:class:`MaterializedView`).  Algorithms mutate it only through
+``apply_delta`` (the paper's ``MV <- MV + A``), ``replace`` (RV installs a
+freshly recomputed state), and ``key_delete`` (the ECA-Key local deletion
+of Section 5.4).
+"""
+
+from repro.warehouse.catalog import WarehouseCatalog
+from repro.warehouse.state import MaterializedView
+
+__all__ = ["MaterializedView", "WarehouseCatalog"]

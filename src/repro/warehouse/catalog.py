@@ -1,0 +1,161 @@
+"""A multi-view warehouse: one update stream, many maintained views.
+
+Section 7: "in a warehouse consisting of multiple views where each view
+is over data from a single source, ECA is simply applied to each view
+separately."  :class:`WarehouseCatalog` is that sentence as a component:
+it implements the same event protocol as a single algorithm, fans every
+notification out to the per-view algorithms (each of which may be a
+different member of the family — ECA here, ECA-Key there, a deferred view
+in the corner), multiplexes their query ids onto one id space, and routes
+answers back.
+
+For trace-based checking, the catalog is itself a "view" whose rows are
+tagged with their view name: ``catalog.view_state()`` returns
+``(view_name, *row)`` tuples, and :meth:`evaluate_oracle` computes the
+same tagged union from a raw source state — so ``check_trace(catalog,
+trace)`` and ``staleness_profile(catalog, trace)`` work unchanged.
+
+**What joint checking reveals** (and the tests pin down): each view is
+individually strongly consistent, but the *combined* warehouse state is
+in general only **convergent** — views advance through source states at
+different rates (a local key-delete lands instantly while a neighbor's
+query is still in flight), so the tagged union can mix ``V1[ss_2]`` with
+``V2[ss_0]``, a state no single source moment produced.  This is the
+*mutual consistency* problem the authors formalized in their Strobe
+follow-up; Section 7's "ECA is simply applied to each view separately"
+buys per-view consistency only.  Use :meth:`per_view_trace` to check each
+view on its own timeline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping, Tuple
+
+from repro.errors import ProtocolError
+from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
+from repro.relational.bag import SignedBag
+
+if TYPE_CHECKING:  # avoid a package-level import cycle with repro.core
+    from repro.core.protocol import WarehouseAlgorithm
+
+
+class WarehouseCatalog:
+    """Several views maintained side by side behind one protocol."""
+
+    name = "catalog"
+
+    def __init__(self, algorithms: "Mapping[str, WarehouseAlgorithm]") -> None:
+        if not algorithms:
+            raise ProtocolError("a warehouse catalog needs at least one view")
+        self.algorithms: "Dict[str, WarehouseAlgorithm]" = dict(algorithms)
+        self._next_query_id = 1
+        #: global query id -> (view name, that view's local query id)
+        self._routes: Dict[int, Tuple[str, int]] = {}
+        #: Per-view state history, one snapshot per warehouse event (the
+        #: initial state first) — feeds :meth:`per_view_trace`.
+        self._history: Dict[str, List[SignedBag]] = {
+            name: [algorithm.view_state()]
+            for name, algorithm in self.algorithms.items()
+        }
+
+    def _record(self) -> None:
+        for name, algorithm in self.algorithms.items():
+            self._history[name].append(algorithm.view_state())
+
+    # ------------------------------------------------------------------ #
+    # Protocol events
+    # ------------------------------------------------------------------ #
+
+    def on_update(self, notification: UpdateNotification) -> List[QueryRequest]:
+        out: List[QueryRequest] = []
+        for view_name, algorithm in self.algorithms.items():
+            for request in algorithm.on_update(notification):
+                out.append(self._remap(view_name, request))
+        self._record()
+        return out
+
+    def on_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
+        try:
+            view_name, local_id = self._routes.pop(answer.query_id)
+        except KeyError:
+            raise ProtocolError(
+                f"catalog received answer for unknown query {answer.query_id}"
+            ) from None
+        algorithm = self.algorithms[view_name]
+        out: List[QueryRequest] = []
+        for request in algorithm.on_answer(QueryAnswer(local_id, answer.answer)):
+            out.append(self._remap(view_name, request))
+        self._record()
+        return out
+
+    def on_refresh(self) -> List[QueryRequest]:
+        out: List[QueryRequest] = []
+        for view_name, algorithm in self.algorithms.items():
+            for request in algorithm.on_refresh():
+                out.append(self._remap(view_name, request))
+        self._record()
+        return out
+
+    def _remap(self, view_name: str, request: QueryRequest) -> QueryRequest:
+        global_id = self._next_query_id
+        self._next_query_id += 1
+        self._routes[global_id] = (view_name, request.query_id)
+        return QueryRequest(global_id, request.query)
+
+    # ------------------------------------------------------------------ #
+    # State — the catalog poses as one big tagged view
+    # ------------------------------------------------------------------ #
+
+    def view_state(self) -> SignedBag:
+        combined = SignedBag()
+        for view_name, algorithm in self.algorithms.items():
+            for row, count in algorithm.view_state().items():
+                combined.add((view_name,) + row, count)
+        return combined
+
+    def evaluate_oracle(self, state: Mapping[str, SignedBag]) -> SignedBag:
+        """Tagged union of every view evaluated over a raw source state."""
+        from repro.relational.engine import evaluate_view
+
+        combined = SignedBag()
+        for view_name, algorithm in self.algorithms.items():
+            for row, count in evaluate_view(algorithm.view, state).items():
+                combined.add((view_name,) + row, count)
+        return combined
+
+    def state_of(self, view_name: str) -> SignedBag:
+        return self.algorithms[view_name].view_state()
+
+    def per_view_trace(self, view_name: str, trace) -> "object":
+        """A trace whose view states are one member view's own history.
+
+        ``check_trace(catalog.algorithms[name].view,
+        catalog.per_view_trace(name, trace))`` classifies that view on its
+        own timeline — the per-view guarantee Section 7 promises.
+        """
+        from repro.simulation.trace import Trace
+
+        solo = Trace()
+        solo.events = list(trace.events)
+        solo.source_states = list(trace.source_states)
+        solo.view_states = list(self._history[view_name])
+        return solo
+
+    @property
+    def uqs(self) -> Dict[int, object]:
+        """Pending global query ids (driver quiescence check)."""
+        return {
+            global_id: None
+            for global_id, (view_name, local_id) in self._routes.items()
+        }
+
+    def is_quiescent(self) -> bool:
+        return not self._routes and all(
+            algorithm.is_quiescent() for algorithm in self.algorithms.values()
+        )
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}:{algo.name}" for name, algo in self.algorithms.items()
+        )
+        return f"WarehouseCatalog({parts})"

@@ -1,0 +1,66 @@
+"""Shared fixtures: the paper's recurring schemas, views, and sources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+
+
+@pytest.fixture
+def r1_schema() -> RelationSchema:
+    return RelationSchema("r1", ("W", "X"))
+
+
+@pytest.fixture
+def r2_schema() -> RelationSchema:
+    return RelationSchema("r2", ("X", "Y"))
+
+
+@pytest.fixture
+def r3_schema() -> RelationSchema:
+    return RelationSchema("r3", ("Y", "Z"))
+
+
+@pytest.fixture
+def two_rel_schemas(r1_schema, r2_schema):
+    return [r1_schema, r2_schema]
+
+
+@pytest.fixture
+def three_rel_schemas(r1_schema, r2_schema, r3_schema):
+    return [r1_schema, r2_schema, r3_schema]
+
+
+@pytest.fixture
+def keyed_schemas():
+    """The Example 5 schemas: W keys r1, Y keys r2."""
+    return [
+        RelationSchema("r1", ("W", "X"), key=("W",)),
+        RelationSchema("r2", ("X", "Y"), key=("Y",)),
+    ]
+
+
+@pytest.fixture
+def view_w(two_rel_schemas) -> View:
+    """``V = pi_W(r1 |x| r2)`` — the view of Examples 1 and 2."""
+    return View.natural_join("V", two_rel_schemas, ["W"])
+
+
+@pytest.fixture
+def view_wy(two_rel_schemas) -> View:
+    """``V = pi_{W,Y}(r1 |x| r2)`` — the view of Example 3."""
+    return View.natural_join("V", two_rel_schemas, ["W", "Y"])
+
+
+@pytest.fixture
+def keyed_view(keyed_schemas) -> View:
+    """The Example 5 view: projects both keys."""
+    return View.natural_join("V", keyed_schemas, ["W", "Y"])
+
+
+@pytest.fixture
+def view_w3(three_rel_schemas) -> View:
+    """``V = pi_W(r1 |x| r2 |x| r3)`` — the view of Example 4."""
+    return View.natural_join("V", three_rel_schemas, ["W"])

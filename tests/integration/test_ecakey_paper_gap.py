@@ -1,0 +1,105 @@
+"""Regression artifact: the Appendix C gap in ECA-Key, demonstrated.
+
+The paper's correctness sketch (Appendix C, Case II(a)) claims a late
+insert answer cannot resurrect a deleted tuple.  The claim fails when the
+delete removes the very tuple whose insert query is still in flight — the
+query carries the deleted key as a bound constant.  These tests pin both
+sides: the verbatim-paper variant (``inflight_filter=False``) violates
+convergence on that race, and the corrected default never does.
+"""
+
+import pytest
+
+from repro.consistency import check_trace
+from repro.core.eca_key import ECAKey
+from repro.relational.engine import evaluate_view
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.simulation.driver import Simulation
+from repro.simulation.schedules import RandomSchedule, ScriptedSchedule
+from repro.source.memory import MemorySource
+from repro.source.updates import delete, insert
+from repro.workloads.random_gen import random_workload
+
+SCHEMAS = [
+    RelationSchema("r1", ("W", "X"), key=("W",)),
+    RelationSchema("r2", ("X", "Y"), key=("Y",)),
+]
+INITIAL = {"r1": [(1, 2)], "r2": []}
+
+
+def build(inflight_filter):
+    view = View.natural_join("V", SCHEMAS, ["W", "Y"])
+    source = MemorySource(SCHEMAS, INITIAL)
+    warehouse = ECAKey(
+        view, evaluate_view(view, source.snapshot()), inflight_filter=inflight_filter
+    )
+    return view, source, warehouse
+
+
+# The minimal race: insert a tuple, delete it while its query is in
+# flight, answer afterwards.
+RACE_WORKLOAD = [insert("r2", (2, 4)), delete("r2", (2, 4))]
+RACE_ACTIONS = [
+    "update",      # U1 executed
+    "warehouse",   # U1 processed -> Q1 sent
+    "update",      # U2 executed (before Q1 evaluated)
+    "warehouse",   # U2 processed -> key-delete on COLLECT
+    "answer",      # Q1 evaluated AFTER the delete; bound tuple leaks key
+    "warehouse",   # A1 merged
+]
+
+
+def test_paper_verbatim_variant_fails_on_the_race():
+    view, source, warehouse = build(inflight_filter=False)
+    trace = Simulation(source, warehouse, list(RACE_WORKLOAD)).run(
+        ScriptedSchedule(RACE_ACTIONS)
+    )
+    report = check_trace(view, trace)
+    assert not report.convergent
+    # The resurrected tuple is exactly the one key-delete removed.
+    assert warehouse.view_state().multiplicity((1, 4)) == 1
+
+
+def test_corrected_variant_survives_the_race():
+    view, source, warehouse = build(inflight_filter=True)
+    trace = Simulation(source, warehouse, list(RACE_WORKLOAD)).run(
+        ScriptedSchedule(RACE_ACTIONS)
+    )
+    report = check_trace(view, trace)
+    assert report.strongly_consistent, report.detail
+    assert warehouse.view_state().is_empty()
+
+
+def test_corrected_variant_always_at_least_as_good():
+    """Over randomized runs the corrected variant never does worse than
+    the verbatim one (and strictly better somewhere)."""
+    initial = {"r1": [(1, 2), (2, 3)], "r2": [(2, 5), (3, 6)]}
+    order = [
+        "incorrect",
+        "convergent",
+        "weakly consistent",
+        "consistent",
+        "strongly consistent",
+        "complete",
+    ]
+    strictly_better = 0
+    for seed in range(30):
+        workload = random_workload(
+            SCHEMAS, 10, seed=seed, initial=initial, respect_keys=True
+        )
+        levels = {}
+        for flag in (False, True):
+            view = View.natural_join("V", SCHEMAS, ["W", "Y"])
+            source = MemorySource(SCHEMAS, initial)
+            warehouse = ECAKey(
+                view, evaluate_view(view, source.snapshot()), inflight_filter=flag
+            )
+            trace = Simulation(source, warehouse, list(workload)).run(
+                RandomSchedule(seed * 7 + 1)
+            )
+            levels[flag] = order.index(check_trace(view, trace).level())
+        assert levels[True] >= order.index("strongly consistent")
+        if levels[True] > levels[False]:
+            strictly_better += 1
+    assert strictly_better > 0

@@ -1,0 +1,108 @@
+"""Integration: multiple views over one source, maintained independently.
+
+Section 7: "in a warehouse consisting of multiple views where each view is
+over data from a single source, ECA is simply applied to each view
+separately."  We run several warehouses (one algorithm instance per view)
+against the same source stream and check each converges independently.
+"""
+
+from typing import List
+
+from repro.consistency import check_trace
+from repro.core.eca import ECA
+from repro.core.protocol import WarehouseAlgorithm
+from repro.relational.conditions import Attr, Comparison, Const
+from repro.relational.engine import evaluate_view
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.simulation.driver import Simulation
+from repro.simulation.schedules import RandomSchedule, WorstCaseSchedule
+from repro.source.memory import MemorySource
+from repro.workloads.random_gen import random_workload
+
+SCHEMAS = [
+    RelationSchema("orders", ("oid", "cust")),
+    RelationSchema("lines", ("oid", "amount")),
+]
+INITIAL = {
+    "orders": [(1, 10), (2, 20)],
+    "lines": [(1, 100), (1, 150), (2, 50)],
+}
+
+
+def test_shared_attribute_projection_stays_qualified():
+    # 'oid' lives in both relations, so the output column keeps its
+    # qualified name to stay unambiguous.
+    view = View.natural_join(
+        "big",
+        SCHEMAS,
+        ["orders.oid", "amount"],
+        Comparison(Attr("amount"), ">", Const(80)),
+    )
+    assert view.output_columns() == ("orders.oid", "amount")
+
+
+def test_multiple_views_maintained_independently():
+    joined = View.natural_join("joined", SCHEMAS, ["cust", "amount"])
+    big = View.natural_join(
+        "big",
+        SCHEMAS,
+        ["orders.oid", "amount"],
+        Comparison(Attr("amount"), ">", Const(80)),
+    )
+    for seed in range(5):
+        workload = random_workload(
+            SCHEMAS, 12, seed=seed, initial=INITIAL, domain=5
+        )
+        for view in (joined, big):
+            source = MemorySource(SCHEMAS, INITIAL)
+            warehouse = ECA(view, evaluate_view(view, source.snapshot()))
+            trace = Simulation(source, warehouse, workload).run(
+                RandomSchedule(seed)
+            )
+            report = check_trace(view, trace)
+            assert report.strongly_consistent, (view.name, seed, report.detail)
+
+
+def test_same_stream_fans_out_to_both_views():
+    """One source stream, two warehouse algorithm instances: simulate by
+    replaying the identical workload into two simulations and checking
+    both final views against the same final source state."""
+    joined = View.natural_join("joined", SCHEMAS, ["cust", "amount"])
+    big = View.natural_join(
+        "big",
+        SCHEMAS,
+        ["orders.oid", "amount"],
+        Comparison(Attr("amount"), ">", Const(80)),
+    )
+    workload = random_workload(SCHEMAS, 15, seed=9, initial=INITIAL, domain=5)
+    finals = {}
+    final_sources = {}
+    for view in (joined, big):
+        source = MemorySource(SCHEMAS, INITIAL)
+        warehouse = ECA(view, evaluate_view(view, source.snapshot()))
+        trace = Simulation(source, warehouse, workload).run(WorstCaseSchedule())
+        finals[view.name] = warehouse.view_state()
+        final_sources[view.name] = trace.final_source_state
+    assert final_sources["joined"] == final_sources["big"]
+    state = final_sources["joined"]
+    assert finals["joined"] == evaluate_view(joined, state)
+    assert finals["big"] == evaluate_view(big, state)
+
+
+def test_update_touching_no_view_relation_is_ignored_by_that_view():
+    """A warehouse maintaining a view over other relations ignores the
+    notification entirely (no query, no state change)."""
+    other = RelationSchema("audit", ("who", "what"))
+    schemas = SCHEMAS + [other]
+    view = View.natural_join("joined", SCHEMAS, ["cust", "amount"])
+    source = MemorySource(schemas, INITIAL)
+    warehouse = ECA(view, evaluate_view(view, source.snapshot()))
+    from repro.source.updates import insert
+
+    before = warehouse.view_state()
+    trace = Simulation(
+        source, warehouse, [insert("audit", (1, 2))]
+    ).run(WorstCaseSchedule())
+    assert warehouse.view_state() == before
+    assert len(trace.events_of_kind("S_qu")) == 0

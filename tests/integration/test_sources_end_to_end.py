@@ -1,0 +1,87 @@
+"""Integration: SQLite and in-memory sources are interchangeable.
+
+The two substrates must produce identical traces, costs, and final views
+for identical workloads — the warehouse cannot tell them apart.
+"""
+
+import pytest
+
+from repro.consistency import check_trace
+from repro.core.registry import create_algorithm
+from repro.costmodel.counters import CostRecorder
+from repro.relational.engine import evaluate_view
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.simulation.driver import Simulation
+from repro.simulation.schedules import RandomSchedule, WorstCaseSchedule
+from repro.source.memory import MemorySource
+from repro.source.sqlite import SQLiteSource
+from repro.workloads.random_gen import random_workload
+
+SCHEMAS = [
+    RelationSchema("r1", ("W", "X")),
+    RelationSchema("r2", ("X", "Y")),
+    RelationSchema("r3", ("Y", "Z")),
+]
+INITIAL = {
+    "r1": [(1, 2), (4, 2), (7, 0)],
+    "r2": [(2, 5), (0, 5)],
+    "r3": [(5, 3), (5, 9)],
+}
+
+
+def chain_view():
+    return View.natural_join("V", SCHEMAS, ["W", "Z"])
+
+
+def run(source_cls, algorithm, workload, schedule_seed):
+    view = chain_view()
+    source = source_cls(SCHEMAS, INITIAL)
+    warehouse = create_algorithm(
+        algorithm, view, evaluate_view(view, source.snapshot())
+    )
+    recorder = CostRecorder()
+    trace = Simulation(source, warehouse, workload, recorder).run(
+        RandomSchedule(schedule_seed)
+    )
+    final = warehouse.view_state()
+    if hasattr(source, "close"):
+        source.close()
+    return trace, final, recorder
+
+
+@pytest.mark.parametrize("algorithm", ["eca", "lca", "basic"])
+def test_memory_and_sqlite_agree(algorithm):
+    for seed in range(4):
+        workload = random_workload(SCHEMAS, 8, seed=seed, initial=INITIAL)
+        mem_trace, mem_final, mem_costs = run(MemorySource, algorithm, workload, seed)
+        sql_trace, sql_final, sql_costs = run(SQLiteSource, algorithm, workload, seed)
+        assert mem_final == sql_final
+        assert mem_costs.summary() == sql_costs.summary()
+        assert mem_trace.view_states == sql_trace.view_states
+
+
+def test_three_relation_eca_on_sqlite_is_strongly_consistent():
+    view = chain_view()
+    for seed in range(4):
+        workload = random_workload(SCHEMAS, 10, seed=seed, initial=INITIAL)
+        source = SQLiteSource(SCHEMAS, INITIAL)
+        warehouse = create_algorithm(
+            "eca", view, evaluate_view(view, source.snapshot())
+        )
+        trace = Simulation(source, warehouse, workload).run(WorstCaseSchedule())
+        source.close()
+        report = check_trace(view, trace)
+        assert report.strongly_consistent, report.detail
+
+
+def test_sqlite_on_disk_database(tmp_path):
+    """A file-backed SQLite source behaves like the in-memory one."""
+    path = str(tmp_path / "source.db")
+    view = chain_view()
+    workload = random_workload(SCHEMAS, 6, seed=2, initial=INITIAL)
+    source = SQLiteSource(SCHEMAS, INITIAL, path=path)
+    warehouse = create_algorithm("eca", view, evaluate_view(view, source.snapshot()))
+    trace = Simulation(source, warehouse, workload).run(WorstCaseSchedule())
+    source.close()
+    assert check_trace(view, trace).strongly_consistent

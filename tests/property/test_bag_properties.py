@@ -1,0 +1,100 @@
+"""Property tests: the signed-relation algebra of Section 4.1.
+
+The ECA correctness proof (Appendix B) silently relies on ``+`` and ``-``
+being commutative and associative and on cross products distributing over
+them; these properties must hold for *all* bags, not just the examples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.bag import SignedBag
+from repro.relational.expressions import RelationOperand, Term
+from repro.relational.schema import RelationSchema
+
+rows = st.tuples(st.integers(0, 3), st.integers(0, 3))
+counts = st.integers(-3, 3).filter(lambda c: c != 0)
+bags = st.dictionaries(rows, counts, max_size=6).map(SignedBag)
+
+
+@given(bags, bags)
+def test_plus_commutative(a, b):
+    assert a + b == b + a
+
+
+@given(bags, bags, bags)
+def test_plus_associative(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(bags)
+def test_empty_is_identity(a):
+    assert a + SignedBag() == a
+    assert SignedBag() + a == a
+
+
+@given(bags)
+def test_minus_self_is_empty(a):
+    assert (a - a).is_empty()
+
+
+@given(bags, bags)
+def test_minus_is_plus_negation(a, b):
+    assert a - b == a + (-b)
+
+
+@given(bags)
+def test_double_negation(a):
+    assert -(-a) == a
+
+
+@given(bags)
+def test_pos_neg_partition(a):
+    pos, neg = a.pos(), a.neg()
+    assert pos.is_nonnegative()
+    assert neg.is_nonnegative()
+    assert a == pos - neg
+
+
+@given(bags, bags)
+def test_counts_add_pointwise(a, b):
+    total = a + b
+    for row in set(list(a.rows()) + list(b.rows())):
+        assert total.multiplicity(row) == a.multiplicity(row) + b.multiplicity(row)
+
+
+@given(bags)
+def test_copy_equals_original(a):
+    assert a.copy() == a
+
+
+@given(bags)
+def test_total_count_is_sum_of_absolutes(a):
+    assert a.total_count() == sum(abs(c) for _, c in a.items())
+
+
+@given(bags, bags)
+def test_hash_consistent_with_equality(a, b):
+    if a == b:
+        assert hash(a) == hash(b)
+
+
+# --------------------------------------------------------------------- #
+# Distributivity of the cross product over + (used by Lemma B.2's proof)
+# --------------------------------------------------------------------- #
+
+_R1 = RelationSchema("r1", ("A",))
+_R2 = RelationSchema("r2", ("B",))
+
+small_rows = st.tuples(st.integers(0, 2))
+small_bags = st.dictionaries(small_rows, counts, max_size=4).map(SignedBag)
+
+
+@settings(max_examples=50)
+@given(small_bags, small_bags, small_bags)
+def test_product_distributes_over_plus(a, b, c):
+    """pi(r1 x r2) over (b + c) equals the sum of the two products."""
+    term = Term([RelationOperand(_R1), RelationOperand(_R2)], ("A", "B"))
+    combined = term.evaluate({"r1": a, "r2": b + c})
+    separate = term.evaluate({"r1": a, "r2": b}) + term.evaluate({"r1": a, "r2": c})
+    assert combined == separate

@@ -1,0 +1,86 @@
+"""Property tests: batched/deferred maintenance under arbitrary schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency import check_trace
+from repro.core.batch import BatchECA, DeferredECA
+from repro.relational.engine import evaluate_view
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.simulation.driver import REFRESH, Simulation
+from repro.simulation.schedules import RandomSchedule
+from repro.source.memory import MemorySource
+from repro.workloads.random_gen import random_workload
+
+SCHEMAS = [RelationSchema("r1", ("W", "X")), RelationSchema("r2", ("X", "Y"))]
+INITIAL = {"r1": [(0, 1), (1, 2)], "r2": [(1, 0), (2, 1)]}
+
+
+def build(factory):
+    view = View.natural_join("V", SCHEMAS, ["W", "Y"])
+    source = MemorySource(SCHEMAS, INITIAL)
+    warehouse = factory(view, evaluate_view(view, source.snapshot()))
+    return view, source, warehouse
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(0, 10_000),
+    st.integers(0, 10_000),
+    st.integers(1, 6),
+)
+def test_batch_eca_strongly_consistent(workload_seed, schedule_seed, batch_size):
+    view, source, warehouse = build(
+        lambda v, iv: BatchECA(v, iv, batch_size=batch_size)
+    )
+    k = batch_size * 3  # divisible -> the run converges without a refresh
+    workload = random_workload(SCHEMAS, k, seed=workload_seed, initial=INITIAL)
+    trace = Simulation(source, warehouse, workload).run(RandomSchedule(schedule_seed))
+    report = check_trace(view, trace)
+    assert report.strongly_consistent, report.detail
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(0, 10_000),
+    st.integers(0, 10_000),
+    st.lists(st.integers(1, 4), min_size=1, max_size=5),
+)
+def test_deferred_eca_strongly_consistent(workload_seed, schedule_seed, gaps):
+    """Refresh positions are arbitrary; the run always ends with one."""
+    view, source, warehouse = build(DeferredECA)
+    updates = random_workload(
+        SCHEMAS, sum(gaps), seed=workload_seed, initial=INITIAL
+    )
+    workload = []
+    cursor = 0
+    for gap in gaps:
+        workload.extend(updates[cursor : cursor + gap])
+        workload.append(REFRESH)
+        cursor += gap
+    trace = Simulation(source, warehouse, workload).run(RandomSchedule(schedule_seed))
+    report = check_trace(view, trace)
+    assert report.strongly_consistent, report.detail
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 6))
+def test_batch_eca_agrees_with_plain_eca(workload_seed, batch_size):
+    """Same workload, same schedule: identical final view.
+
+    The batch run ends with a REFRESH so any partial tail flushes.
+    """
+    from repro.core.eca import ECA
+    from repro.simulation.schedules import WorstCaseSchedule
+
+    workload = random_workload(SCHEMAS, 12, seed=workload_seed, initial=INITIAL)
+
+    _, source, plain = build(lambda v, iv: ECA(v, iv))
+    Simulation(source, plain, list(workload)).run(WorstCaseSchedule())
+
+    _, source, batched = build(lambda v, iv: BatchECA(v, iv, batch_size=batch_size))
+    Simulation(source, batched, list(workload) + [REFRESH]).run(WorstCaseSchedule())
+
+    assert plain.view_state() == batched.view_state()
+    assert batched.is_quiescent()

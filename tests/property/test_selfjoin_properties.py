@@ -1,0 +1,122 @@
+"""Property tests: inclusion-exclusion substitution for self-joins.
+
+The generalized Lemma B.2 — ``Q[ss_{j-1}] = Q[ss_j] - Q<U_j>[ss_j]`` with
+``Q<U>`` expanded over subsets of the updated relation's occurrences —
+must hold for all states, all updates, both signs, and any number of
+occurrences; it is what makes every compensation algorithm carry over to
+self-join views unchanged.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.relational.bag import SignedBag
+from repro.relational.conditions import Attr, Comparison
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.source.updates import delete, insert
+
+EMP = RelationSchema("emp", ("name", "dept"))
+
+rows2 = st.tuples(st.integers(0, 3), st.integers(0, 2))
+relations = st.lists(rows2, max_size=5)
+
+
+def pair_view() -> View:
+    e1, e2 = EMP.aliased("e1"), EMP.aliased("e2")
+    return View(
+        "pairs",
+        [e1, e2],
+        ["e1.name", "e2.name"],
+        Comparison(Attr("e1.dept"), "=", Attr("e2.dept")),
+    )
+
+
+def triple_view() -> View:
+    e1, e2, e3 = EMP.aliased("e1"), EMP.aliased("e2"), EMP.aliased("e3")
+    return View(
+        "triples",
+        [e1, e2, e3],
+        ["e1.name", "e2.name", "e3.name"],
+        Comparison(Attr("e1.dept"), "=", Attr("e2.dept"))
+        & Comparison(Attr("e2.dept"), "=", Attr("e3.dept")),
+    )
+
+
+def updates():
+    return st.builds(
+        lambda row, is_insert: (insert if is_insert else delete)("emp", row),
+        rows2,
+        st.booleans(),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(relations, updates())
+def test_lemma_b2_two_occurrences(rows, update):
+    view = pair_view()
+    before = {"emp": SignedBag.from_rows(rows)}
+    if update.is_delete:
+        assume(before["emp"].multiplicity(update.values) > 0)
+    after = {"emp": before["emp"].copy()}
+    after["emp"].add(update.values, update.sign)
+    delta = view.substitute("emp", update.signed_tuple()).evaluate(after)
+    assert view.evaluate(before) + delta == view.evaluate(after)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(rows2, max_size=4), updates())
+def test_lemma_b2_three_occurrences(rows, update):
+    view = triple_view()
+    before = {"emp": SignedBag.from_rows(rows)}
+    if update.is_delete:
+        assume(before["emp"].multiplicity(update.values) > 0)
+    after = {"emp": before["emp"].copy()}
+    after["emp"].add(update.values, update.sign)
+    delta = view.substitute("emp", update.signed_tuple()).evaluate(after)
+    assert view.evaluate(before) + delta == view.evaluate(after)
+
+
+@settings(max_examples=50, deadline=None)
+@given(relations, updates(), updates())
+def test_lemma_b2_composes_for_self_joins(rows, u1, u2):
+    """Two consecutive updates: chained substitution still telescopes."""
+    view = pair_view()
+    s0 = {"emp": SignedBag.from_rows(rows)}
+    if u1.is_delete:
+        assume(s0["emp"].multiplicity(u1.values) > 0)
+    s1 = {"emp": s0["emp"].copy()}
+    s1["emp"].add(u1.values, u1.sign)
+    if u2.is_delete:
+        assume(s1["emp"].multiplicity(u2.values) > 0)
+    s2 = {"emp": s1["emp"].copy()}
+    s2["emp"].add(u2.values, u2.sign)
+    q = view.as_query()
+    q1 = q.substitute("emp", u1.signed_tuple())
+    q2 = q.substitute("emp", u2.signed_tuple())
+    q12 = q1.substitute("emp", u2.signed_tuple())
+    expanded = q.evaluate(s2) - q2.evaluate(s2) - q1.evaluate(s2) + q12.evaluate(s2)
+    assert q.evaluate(s0) == expanded
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations, updates())
+def test_expansion_term_count(rows, update):
+    """m free occurrences -> 2^m - 1 expansion terms."""
+    view = pair_view()
+    query = view.substitute("emp", update.signed_tuple())
+    assert query.term_count() == 3  # 2^2 - 1
+
+    triple = triple_view().substitute("emp", update.signed_tuple())
+    assert triple.term_count() == 7  # 2^3 - 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations, updates())
+def test_engine_agrees_on_selfjoin_expansion(rows, update):
+    from repro.relational.engine import evaluate_query
+
+    view = pair_view()
+    state = {"emp": SignedBag.from_rows(rows)}
+    query = view.substitute("emp", update.signed_tuple())
+    assert evaluate_query(query, state) == query.evaluate(state)

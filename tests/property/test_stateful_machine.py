@@ -1,0 +1,164 @@
+"""Stateful property test: hypothesis drives the simulation step by step.
+
+A rule-based state machine picks arbitrary valid actions — execute a
+source update (random valid insert/delete), let the source answer, let
+the warehouse process — in any order hypothesis can dream up, then at
+teardown drains all remaining work and checks the trace against the
+algorithm's claimed correctness level.  This subsumes the fixed schedule
+families with genuinely adversarial interleavings (hypothesis shrinks any
+failure to a minimal action sequence).
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.consistency import check_trace
+from repro.core.batch import BatchECA
+from repro.core.eca import ECA
+from repro.core.eca_key import ECAKey
+from repro.core.lazy import LCA
+from repro.relational.engine import evaluate_view
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.simulation.driver import Simulation
+from repro.simulation.schedules import ANSWER, UPDATE, WAREHOUSE
+from repro.source.memory import MemorySource
+from repro.source.updates import delete, insert
+
+SCHEMAS = [
+    RelationSchema("r1", ("W", "X"), key=("W",)),
+    RelationSchema("r2", ("X", "Y"), key=("Y",)),
+]
+INITIAL = {"r1": [(0, 1), (1, 2)], "r2": [(1, 0), (2, 1)]}
+MAX_UPDATES = 8
+
+
+class _MachineBase(RuleBasedStateMachine):
+    """Drives one Simulation; subclasses pick the algorithm."""
+
+    requires_complete = False
+
+    def make_algorithm(self, view, initial_view):
+        raise NotImplementedError
+
+    @initialize(seed=st.integers(0, 2**20))
+    def setup(self, seed):
+        self.rng = random.Random(seed)
+        self.view = View.natural_join("V", SCHEMAS, ["W", "Y"])
+        self.source = MemorySource(SCHEMAS, INITIAL)
+        initial_view = evaluate_view(self.view, self.source.snapshot())
+        self.algorithm = self.make_algorithm(self.view, initial_view)
+        # The workload is generated lazily: the simulation starts with an
+        # empty queue and we push one update right before executing it.
+        self.sim = Simulation(self.source, self.algorithm, [])
+        self.updates_issued = 0
+        # Shadow multiset for generating valid deletes; tracks key use.
+        self.live = {name: list(rows) for name, rows in INITIAL.items()}
+
+    def _random_update(self):
+        schema = self.rng.choice(SCHEMAS)
+        rows = self.live[schema.name]
+        if rows and self.rng.random() < 0.4:
+            row = self.rng.choice(rows)
+            rows.remove(row)
+            return delete(schema.name, row)
+        used_keys = {schema.key_of(r) for r in rows}
+        for _ in range(50):
+            row = tuple(self.rng.randrange(6) for _ in schema.attributes)
+            if schema.key_of(row) not in used_keys:
+                rows.append(row)
+                return insert(schema.name, row)
+        return None
+
+    @rule()
+    def source_update(self):
+        # Always available, so the machine can never wedge; the overall
+        # update count is bounded by stateful_step_count.
+        if self.updates_issued >= MAX_UPDATES:
+            return
+        update = self._random_update()
+        if update is None:
+            return
+        self.sim._updates.append(update)
+        self.sim.step(UPDATE)
+        self.updates_issued += 1
+
+    @precondition(lambda self: ANSWER in self.sim.available_actions())
+    @rule()
+    def source_answer(self):
+        self.sim.step(ANSWER)
+
+    @precondition(lambda self: WAREHOUSE in self.sim.available_actions())
+    @rule()
+    def warehouse_process(self):
+        self.sim.step(WAREHOUSE)
+
+    @invariant()
+    def view_never_negative(self):
+        if not hasattr(self, "sim"):
+            return
+        assert self.algorithm.view_state().is_nonnegative()
+
+    def teardown(self):
+        if not hasattr(self, "sim"):
+            return
+        # Drain: process everything outstanding, then flush if batching.
+        while True:
+            actions = [a for a in self.sim.available_actions() if a != UPDATE]
+            if not actions:
+                if hasattr(self.algorithm, "flush") and (
+                    self.algorithm.buffered_updates() or False
+                ):
+                    for request in self.algorithm.flush():
+                        self.sim.to_source.send(request)
+                    continue
+                break
+            self.sim.step(actions[0])
+        report = check_trace(self.view, self.sim.trace)
+        assert report.strongly_consistent, report.detail
+        if self.requires_complete:
+            assert report.complete, report.detail
+        assert self.algorithm.is_quiescent()
+
+
+class ECAMachine(_MachineBase):
+    def make_algorithm(self, view, initial_view):
+        return ECA(view, initial_view)
+
+
+class ECAKeyMachine(_MachineBase):
+    def make_algorithm(self, view, initial_view):
+        return ECAKey(view, initial_view)
+
+
+class LCAMachine(_MachineBase):
+    requires_complete = True
+
+    def make_algorithm(self, view, initial_view):
+        return LCA(view, initial_view)
+
+
+class BatchMachine(_MachineBase):
+    def make_algorithm(self, view, initial_view):
+        return BatchECA(view, initial_view, batch_size=3)
+
+
+_SETTINGS = settings(max_examples=20, stateful_step_count=30, deadline=None)
+
+TestECAStateful = ECAMachine.TestCase
+TestECAStateful.settings = _SETTINGS
+TestECAKeyStateful = ECAKeyMachine.TestCase
+TestECAKeyStateful.settings = _SETTINGS
+TestLCAStateful = LCAMachine.TestCase
+TestLCAStateful.settings = _SETTINGS
+TestBatchStateful = BatchMachine.TestCase
+TestBatchStateful.settings = _SETTINGS

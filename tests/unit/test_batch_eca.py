@@ -1,0 +1,126 @@
+"""Unit tests for BatchECA and DeferredECA."""
+
+import pytest
+
+from repro.core.batch import BatchECA, DeferredECA
+from repro.messaging.messages import QueryAnswer, UpdateNotification
+from repro.relational.bag import SignedBag
+from repro.source.updates import insert
+
+
+def notify(update, serial=1):
+    return UpdateNotification(update, serial)
+
+
+class TestBatching:
+    def test_buffers_until_batch_size(self, view_w):
+        algo = BatchECA(view_w, batch_size=3)
+        assert algo.on_update(notify(insert("r1", (1, 2)), 1)) == []
+        assert algo.on_update(notify(insert("r1", (2, 2)), 2)) == []
+        assert algo.buffered_updates() == 2
+        requests = algo.on_update(notify(insert("r2", (2, 3)), 3))
+        assert len(requests) == 1
+        assert algo.buffered_updates() == 0
+
+    def test_one_message_per_batch(self, view_w):
+        algo = BatchECA(view_w, batch_size=2)
+        sent = []
+        for i in range(6):
+            sent.extend(algo.on_update(notify(insert("r1", (i, 0)), i + 1)))
+        # 6 updates, batch_size 2 -> 3 query messages (ECA would send 6).
+        assert len(sent) == 3
+
+    def test_batch_size_one_sends_per_update(self, view_w):
+        algo = BatchECA(view_w, batch_size=1)
+        assert len(algo.on_update(notify(insert("r1", (1, 2))))) == 1
+
+    def test_invalid_batch_size(self, view_w):
+        with pytest.raises(ValueError):
+            BatchECA(view_w, batch_size=0)
+
+    def test_irrelevant_updates_not_buffered(self, view_w):
+        algo = BatchECA(view_w, batch_size=2)
+        assert algo.on_update(notify(insert("zzz", (1,)))) == []
+        assert algo.buffered_updates() == 0
+
+    def test_manual_flush(self, view_w):
+        algo = BatchECA(view_w, batch_size=10)
+        algo.on_update(notify(insert("r1", (1, 2))))
+        requests = algo.flush()
+        assert len(requests) == 1
+        assert algo.buffered_updates() == 0
+
+    def test_flush_empty_buffer_is_noop(self, view_w):
+        assert BatchECA(view_w).flush() == []
+
+    def test_batch_query_backdates_within_batch(self, view_w):
+        algo = BatchECA(view_w, batch_size=2)
+        algo.on_update(notify(insert("r2", (2, 3)), 1))
+        requests = algo.on_update(notify(insert("r1", (4, 2)), 2))
+        # sum_j D(V<U_j>, rest): V<U1> - V<U1,U2> + V<U2>; the fully
+        # bound V<U1,U2> term evaluates locally, leaving 2 remote terms
+        # and +/- bookkeeping in COLLECT.
+        assert requests[0].query.term_count() == 2
+        assert algo.collect == SignedBag({(4,): -1})
+
+    def test_install_waits_for_flush_of_contamination(self, view_w):
+        algo = BatchECA(view_w, batch_size=2)
+        # Batch 1 (non-joining tuples) flushes; its query is answered only
+        # after one update of batch 2 arrived -> the answer is
+        # contaminated and the view must not install until batch 2's
+        # flush compensates it.
+        algo.on_update(notify(insert("r1", (1, 9)), 1))
+        first = algo.on_update(notify(insert("r2", (5, 5)), 2))[0]
+        algo.on_update(notify(insert("r2", (2, 3)), 3))  # batch 2 begins
+        algo.on_answer(QueryAnswer(first.query_id, SignedBag()))
+        assert algo.view_state().is_empty()  # blocked: contamination
+        second = algo.on_update(notify(insert("r1", (4, 2)), 4))[0]
+        # Source answer for batch 2's flush: pi(r1 |x| [2,3]) = [4] and
+        # pi([4,2] |x| r2) = [4]; the doubly-bound -pi([4,2]|x|[2,3])
+        # term was evaluated locally as -[4].
+        algo.on_answer(
+            QueryAnswer(second.query_id, SignedBag.from_rows([(4,), (4,)]))
+        )
+        assert algo.view_state() == SignedBag.from_rows([(4,)])
+
+    def test_quiescence(self, view_w):
+        algo = BatchECA(view_w, batch_size=2)
+        assert algo.is_quiescent()
+        algo.on_update(notify(insert("r1", (1, 2))))
+        assert not algo.is_quiescent()  # buffered update
+        request = algo.flush()[0]
+        assert not algo.is_quiescent()  # pending query
+        algo.on_answer(QueryAnswer(request.query_id, SignedBag()))
+        assert algo.is_quiescent()
+
+
+class TestDeferred:
+    def test_never_flushes_on_updates(self, view_w):
+        algo = DeferredECA(view_w)
+        for i in range(20):
+            assert algo.on_update(notify(insert("r1", (i, 0)), i + 1)) == []
+        assert algo.buffered_updates() == 20
+
+    def test_refresh_flushes(self, view_w):
+        algo = DeferredECA(view_w)
+        algo.on_update(notify(insert("r1", (1, 2)), 1))
+        requests = algo.on_refresh()
+        assert len(requests) == 1
+        assert algo.buffered_updates() == 0
+
+    def test_refresh_with_empty_buffer(self, view_w):
+        assert DeferredECA(view_w).on_refresh() == []
+
+    def test_registry_entries(self, view_w):
+        from repro.core.registry import create_algorithm
+
+        assert create_algorithm("batch-eca", view_w, batch_size=3).batch_size == 3
+        assert create_algorithm("deferred-eca", view_w).batch_size is None
+
+
+class TestImmediateAlgorithmsIgnoreRefresh(object):
+    def test_default_on_refresh_is_noop(self, view_w):
+        from repro.core.eca import ECA
+
+        algo = ECA(view_w)
+        assert algo.on_refresh() == []

@@ -1,0 +1,120 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_param_arguments_flow_into_params(self):
+        args = build_parser().parse_args(["tables", "-C", "50", "-J", "8"])
+        assert args.cardinality == 50
+        assert args.join_factor == 8
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--figure", "9.9"])
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "M_ECA" in out
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "--figure", "6.4"]) == 0
+        out = capsys.readouterr().out
+        assert "figure-6.4" in out
+        assert "figure-6.2" not in out
+
+    def test_figures_all(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure-6.2", "figure-6.3", "figure-6.4", "figure-6.5"):
+            assert name in out
+
+    def test_figures_with_parameters(self, capsys):
+        assert main(["figures", "--figure", "6.5", "-C", "40"]) == 0
+        out = capsys.readouterr().out
+        # I = ceil(40/20) = 2; I^3 = 8 for RVBest.
+        assert " 8" in out
+
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        assert "example-2" in capsys.readouterr().out
+
+    def test_scenario_bare_defaults_to_list(self, capsys):
+        assert main(["scenario"]) == 0
+        assert "example-1" in capsys.readouterr().out
+
+    def test_scenario_replay(self, capsys):
+        # Example 2's anomaly yields a final state matching no source
+        # state at all; Example 3's is a pure convergence failure (the
+        # stale view is consistent with ss_0, just never catches up).
+        assert main(["scenario", "example-2"]) == 0
+        out = capsys.readouterr().out
+        assert "correctness:  incorrect" in out
+
+        assert main(["scenario", "example-3"]) == 0
+        out = capsys.readouterr().out
+        assert "correctness:  consistent" in out
+        assert "correct view: []" in out
+        assert "final view:   [(1, 3)]" in out
+
+    def test_scenario_with_algorithm_override(self, capsys):
+        assert main(["scenario", "example-2", "--algorithm", "eca"]) == 0
+        out = capsys.readouterr().out
+        assert "strongly consistent" in out
+
+    def test_scenario_unknown_name(self, capsys):
+        assert main(["scenario", "example-99"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_crossovers(self, capsys):
+        assert main(["crossovers"]) == 0
+        out = capsys.readouterr().out
+        assert "k = 100" in out
+        assert "k = 30" in out
+
+    def test_measure_bytes_small(self, capsys):
+        assert main(["measure", "--metric", "bytes", "--k", "3", "-C", "20"]) == 0
+        assert "Measured B" in capsys.readouterr().out
+
+    def test_measure_io(self, capsys):
+        assert main(["measure", "--metric", "io2", "--k", "2", "-C", "20"]) == 0
+        assert "Scenario 2" in capsys.readouterr().out
+
+    def test_report_quick_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        assert main(["report", "--quick", "-o", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "Table 1" in text
+        assert "figure-6.5" in text
+        assert "worked examples" in text
+        assert "correctness audit" in text
+        # Every worked example must match the paper in a fresh run.
+        assert "False" not in text.split("worked examples")[1].split("E9")[0]
+
+    def test_report_quick_to_stdout(self, capsys):
+        assert main(["report", "--quick"]) == 0
+        assert "Reproduction report" in capsys.readouterr().out
+
+    def test_staleness(self, capsys):
+        assert main(["staleness", "--updates", "6", "--periods", "1", "6",
+                     "--batches", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ECA (immediate)" in out
+        assert "RV s=6" in out
+        assert "Batch b=3" in out
+
+    def test_audit_small(self, capsys):
+        assert main(["audit", "--workloads", "2", "--updates", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "eca" in out
+        assert "incorrect" not in out.split("basic")[0]  # header intact

@@ -1,0 +1,146 @@
+"""Unit tests for the shared compensation algebra."""
+
+import pytest
+
+from repro.core.compensation import (
+    backdate,
+    batch_delta_query,
+    pending_compensation,
+    staged_compensation,
+)
+from repro.relational.bag import SignedBag
+from repro.relational.expressions import Query
+from repro.source.updates import delete, insert
+
+
+@pytest.fixture
+def state():
+    return {
+        "r1": SignedBag.from_rows([(1, 2), (4, 2)]),
+        "r2": SignedBag.from_rows([(2, 3)]),
+    }
+
+
+class TestBackdate:
+    def test_empty_updates_is_identity(self, view_w):
+        q = view_w.as_query()
+        assert backdate(q, []) == q
+
+    def test_single_update_is_lemma_b2_form(self, view_w, state):
+        u = insert("r2", (2, 9))
+        q = view_w.as_query()
+        result = backdate(q, [u])
+        # D(Q, [U]) = Q - Q<U>
+        expected = q - q.substitute(u.relation, u.signed_tuple())
+        assert result.evaluate(state) == expected.evaluate(state)
+
+    def test_backdate_recovers_pre_update_value(self, view_w, state):
+        u = insert("r1", (7, 2))
+        q = view_w.as_query()
+        before = q.evaluate(state)
+        after = dict(state)
+        after["r1"] = state["r1"] + SignedBag.singleton((7, 2))
+        assert backdate(q, [u]).evaluate(after) == before
+
+    def test_backdate_two_updates(self, view_w, state):
+        u1, u2 = insert("r1", (7, 2)), delete("r2", (2, 3))
+        q = view_w.as_query()
+        before = q.evaluate(state)
+        s1 = dict(state)
+        s1["r1"] = state["r1"] + SignedBag.singleton((7, 2))
+        s2 = dict(s1)
+        s2["r2"] = s1["r2"] - SignedBag.singleton((2, 3))
+        assert backdate(q, [u1, u2]).evaluate(s2) == before
+
+    def test_empty_query_stays_empty(self):
+        assert backdate(Query(), [insert("r1", (1, 2))]).is_empty()
+
+
+class TestBatchDeltaQuery:
+    def test_telescopes_to_full_delta(self, view_w, state):
+        batch = [insert("r1", (7, 2)), insert("r2", (2, 8)), delete("r1", (1, 2))]
+        post = {
+            "r1": state["r1"]
+            + SignedBag.singleton((7, 2))
+            - SignedBag.singleton((1, 2)),
+            "r2": state["r2"] + SignedBag.singleton((2, 8)),
+        }
+        delta = batch_delta_query(view_w, batch).evaluate(post)
+        assert view_w.evaluate(state) + delta == view_w.evaluate(post)
+
+    def test_irrelevant_updates_skipped(self, view_w, state):
+        batch = [insert("zzz", (0,)), insert("r1", (7, 2))]
+        post = {
+            "r1": state["r1"] + SignedBag.singleton((7, 2)),
+            "r2": state["r2"],
+        }
+        delta = batch_delta_query(view_w, batch).evaluate(post)
+        assert view_w.evaluate(state) + delta == view_w.evaluate(post)
+
+    def test_empty_batch_is_empty_query(self, view_w):
+        assert batch_delta_query(view_w, []).is_empty()
+
+    def test_same_relation_twice_in_batch(self, view_w, state):
+        batch = [insert("r1", (7, 2)), insert("r1", (8, 2))]
+        post = {
+            "r1": state["r1"]
+            + SignedBag.from_rows([(7, 2), (8, 2)]),
+            "r2": state["r2"],
+        }
+        delta = batch_delta_query(view_w, batch).evaluate(post)
+        assert view_w.evaluate(state) + delta == view_w.evaluate(post)
+
+
+class TestPendingCompensation:
+    def test_corrects_contaminated_answer(self, view_w, state):
+        """A pending query evaluated post-batch, plus its compensation
+        evaluated post-batch, equals the intended pre-batch answer."""
+        pending = view_w.substitute("r2", insert("r2", (2, 3)).signed_tuple())
+        batch = [insert("r1", (7, 2)), delete("r1", (4, 2))]
+        post = {
+            "r1": state["r1"]
+            + SignedBag.singleton((7, 2))
+            - SignedBag.singleton((4, 2)),
+            "r2": state["r2"],
+        }
+        correction = pending_compensation(pending, batch)
+        assert (
+            pending.evaluate(post) + correction.evaluate(post)
+            == pending.evaluate(state)
+        )
+
+    def test_untouched_query_needs_no_compensation(self, view_w):
+        pending = view_w.as_query()
+        assert pending_compensation(pending, [insert("zzz", (1,))]).is_empty()
+
+
+class TestStagedCompensation:
+    def test_full_stage_equals_pending_compensation(self, view_w, state):
+        pending = view_w.substitute("r2", insert("r2", (2, 3)).signed_tuple())
+        batch = [insert("r1", (7, 2)), delete("r1", (4, 2))]
+        staged = staged_compensation(pending, batch, len(batch))
+        full = pending_compensation(pending, batch)
+        assert staged.evaluate(state) == full.evaluate(state)
+
+    def test_partial_stage_corrects_prefix_only(self, view_w, state):
+        """Query saw only batch[0]; its correction, evaluated post-batch,
+        must bring the prefix-state answer back to the pre-batch one."""
+        pending = view_w.substitute("r2", insert("r2", (2, 3)).signed_tuple())
+        u1, u2 = insert("r1", (7, 2)), insert("r1", (9, 2))
+        mid = {
+            "r1": state["r1"] + SignedBag.singleton((7, 2)),
+            "r2": state["r2"],
+        }
+        post = {
+            "r1": mid["r1"] + SignedBag.singleton((9, 2)),
+            "r2": state["r2"],
+        }
+        correction = staged_compensation(pending, [u1, u2], 1)
+        assert (
+            pending.evaluate(mid) + correction.evaluate(post)
+            == pending.evaluate(state)
+        )
+
+    def test_zero_seen_is_empty(self, view_w):
+        pending = view_w.as_query()
+        assert staged_compensation(pending, [insert("r1", (1, 2))], 0).is_empty()

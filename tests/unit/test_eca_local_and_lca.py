@@ -1,0 +1,149 @@
+"""Unit tests for ECA-Local and the Lazy Compensating Algorithm."""
+
+import pytest
+
+from repro.core.eca_local import ECALocal
+from repro.core.lazy import LCA
+from repro.messaging.messages import QueryAnswer, UpdateNotification
+from repro.relational.bag import SignedBag
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.source.updates import delete, insert
+
+
+def notify(update, serial=1):
+    return UpdateNotification(update, serial)
+
+
+@pytest.fixture
+def half_keyed_view():
+    """Only r1 declares a key — ECA-Key is inapplicable, ECA-Local isn't."""
+    schemas = [
+        RelationSchema("r1", ("W", "X"), key=("W",)),
+        RelationSchema("r2", ("X", "Y")),
+    ]
+    return View.natural_join("V", schemas, ["W", "Y"])
+
+
+class TestECALocal:
+    def test_keyed_delete_with_empty_uqs_is_local(self, half_keyed_view):
+        algo = ECALocal(half_keyed_view, SignedBag.from_rows([(1, 3)]))
+        requests = algo.on_update(notify(delete("r1", (1, 2))))
+        assert requests == []
+        assert algo.view_state().is_empty()
+        assert algo.local_updates_handled == 1
+
+    def test_unkeyed_delete_goes_to_source(self, half_keyed_view):
+        algo = ECALocal(half_keyed_view, SignedBag.from_rows([(1, 3)]))
+        requests = algo.on_update(notify(delete("r2", (2, 3))))
+        assert len(requests) == 1
+        assert algo.local_updates_handled == 0
+
+    def test_insert_is_never_local(self, half_keyed_view):
+        algo = ECALocal(half_keyed_view)
+        requests = algo.on_update(notify(insert("r1", (1, 2))))
+        assert len(requests) == 1
+
+    def test_keyed_delete_with_pending_query_uses_compensation(
+        self, half_keyed_view
+    ):
+        algo = ECALocal(half_keyed_view, SignedBag.from_rows([(1, 3)]))
+        algo.on_update(notify(insert("r2", (2, 5)), 1))
+        requests = algo.on_update(notify(delete("r1", (1, 2)), 2))
+        assert len(requests) == 1
+        # Compensated like plain ECA: V<U2> - Q1<U2>.  The compensation
+        # term -pi(-[1,2] |x| [2,5]) is fully bound and evaluated locally
+        # (contributing +[1,5] to COLLECT); only V<U2> goes to the source.
+        assert requests[0].query.term_count() == 1
+        assert algo.collect == SignedBag.from_rows([(1, 5)])
+        assert algo.local_updates_handled == 0
+
+    def test_is_local_candidate(self, half_keyed_view):
+        algo = ECALocal(half_keyed_view)
+        assert algo.is_local_candidate(delete("r1", (1, 2)))
+        assert not algo.is_local_candidate(delete("r2", (2, 3)))
+        assert not algo.is_local_candidate(insert("r1", (1, 2)))
+
+    def test_view_without_any_keys_degenerates_to_eca(self, view_wy):
+        algo = ECALocal(view_wy, SignedBag.from_rows([(1, 3)]))
+        requests = algo.on_update(notify(delete("r1", (1, 2))))
+        assert len(requests) == 1
+
+
+class TestLCASerialProcessing:
+    def test_single_update_delta_applied_on_answer(self, view_w):
+        algo = LCA(view_w)
+        request = algo.on_update(notify(insert("r2", (2, 3))))[0]
+        assert algo.view_state().is_empty()
+        algo.on_answer(QueryAnswer(request.query_id, SignedBag.from_rows([(1,)])))
+        assert algo.view_state() == SignedBag.from_rows([(1,)])
+        assert algo.is_quiescent()
+
+    def test_second_update_queued_and_compensates_inflight(self, view_w):
+        algo = LCA(view_w)
+        first = algo.on_update(notify(insert("r2", (2, 3)), 1))
+        assert len(first) == 1
+        # U2 arrives while Q1 is in flight: the compensation -Q1<U2> is
+        # fully bound, so no new message is sent; U2 itself is queued.
+        second = algo.on_update(notify(insert("r1", (4, 2)), 2))
+        assert second == []
+        assert not algo.is_quiescent()
+
+    def test_view_steps_through_every_state(self, view_w):
+        # Example 2's race, processed by LCA: the view must pass through
+        # V[ss1] = ([1]) before reaching V[ss2] = ([1],[4]).
+        algo = LCA(view_w)
+        q1 = algo.on_update(notify(insert("r2", (2, 3)), 1))[0]
+        algo.on_update(notify(insert("r1", (4, 2)), 2))
+        # Source evaluates Q1 after both updates: A1 = ([1],[4]).
+        follow_ups = algo.on_answer(
+            QueryAnswer(q1.query_id, SignedBag.from_rows([(1,), (4,)]))
+        )
+        # Delta for U1 = A1 - [4] (local compensation) = ([1]).
+        assert algo.view_state() == SignedBag.from_rows([(1,)])
+        # U2's query goes out next.
+        assert len(follow_ups) == 1
+        algo.on_answer(
+            QueryAnswer(follow_ups[0].query_id, SignedBag.from_rows([(4,)]))
+        )
+        assert algo.view_state() == SignedBag.from_rows([(1,), (4,)])
+        assert algo.is_quiescent()
+
+    def test_backdating_compensates_already_seen_updates(self, view_w3):
+        """U1, U2, U3 all execute at the source before the warehouse
+        finishes U1: the query later sent for U2 must be backdated against
+        the already-seen U3 (Lemma B.2 expansion), or U2's delta would be
+        computed against the wrong state.  Verified end to end: the view
+        must step through V[ss_1] = ([4]) and V[ss_2] = ([4]) before
+        reaching V[ss_3] = ([1],[4])."""
+        from repro.consistency import check_trace
+        from repro.simulation.driver import Simulation
+        from repro.simulation.schedules import WorstCaseSchedule
+        from repro.source.memory import MemorySource
+
+        source = MemorySource(
+            [s for s in view_w3.relations], {"r1": [(1, 2)], "r2": [], "r3": []}
+        )
+        algo = LCA(view_w3)
+        workload = [
+            insert("r1", (4, 2)),
+            insert("r3", (5, 3)),
+            insert("r2", (2, 5)),
+        ]
+        trace = Simulation(source, algo, workload).run(WorstCaseSchedule())
+        report = check_trace(view_w3, trace)
+        assert report.complete
+        assert algo.view_state() == SignedBag.from_rows([(1,), (4,)])
+
+    def test_irrelevant_update_ignored(self, view_w):
+        algo = LCA(view_w)
+        assert algo.on_update(notify(insert("zzz", (1,)))) == []
+        assert algo.is_quiescent()
+
+    def test_fully_local_update_chain_completes(self, view_w):
+        # Deletions whose compensations are all fully bound still finish.
+        algo = LCA(view_w, SignedBag.from_rows([(1,)]))
+        q1 = algo.on_update(notify(delete("r1", (1, 2)), 1))[0]
+        algo.on_answer(QueryAnswer(q1.query_id, SignedBag({(1,): -1})))
+        assert algo.view_state().is_empty()
+        assert algo.is_quiescent()

@@ -1,0 +1,154 @@
+"""Unit tests for the hash-join evaluation engine."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.relational.bag import SignedBag
+from repro.relational.conditions import Attr, Comparison, Const, Not, Or
+from repro.relational.engine import evaluate_query, evaluate_term, evaluate_view
+from repro.relational.expressions import Query, RelationOperand, Term
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import MINUS, SignedTuple
+from repro.relational.views import View
+
+
+@pytest.fixture
+def schemas():
+    return [
+        RelationSchema("r1", ("W", "X")),
+        RelationSchema("r2", ("X", "Y")),
+        RelationSchema("r3", ("Y", "Z")),
+    ]
+
+
+@pytest.fixture
+def state():
+    return {
+        "r1": SignedBag.from_rows([(1, 2), (4, 2), (7, 9)]),
+        "r2": SignedBag.from_rows([(2, 5), (2, 6), (9, 5)]),
+        "r3": SignedBag.from_rows([(5, 0), (6, 8)]),
+    }
+
+
+def chain_view(schemas, projection=("W", "Z")):
+    return View.natural_join("V", schemas, projection)
+
+
+class TestEquivalenceWithReference:
+    def test_chain_join_matches_reference(self, schemas, state):
+        view = chain_view(schemas)
+        term = view.as_query().terms[0]
+        assert evaluate_term(term, state) == term.evaluate(state)
+
+    def test_bound_operand(self, schemas, state):
+        view = chain_view(schemas)
+        query = view.substitute("r2", SignedTuple((2, 5)))
+        assert evaluate_query(query, state) == query.evaluate(state)
+
+    def test_negative_bound_tuple(self, schemas, state):
+        view = chain_view(schemas)
+        query = view.substitute("r1", SignedTuple((1, 2), MINUS))
+        assert evaluate_query(query, state) == query.evaluate(state)
+
+    def test_duplicates_and_multiplicities(self, schemas):
+        state = {
+            "r1": SignedBag({(1, 2): 3}),
+            "r2": SignedBag({(2, 5): 2}),
+            "r3": SignedBag({(5, 0): 1}),
+        }
+        view = chain_view(schemas)
+        term = view.as_query().terms[0]
+        result = evaluate_term(term, state)
+        assert result.multiplicity((1, 0)) == 6
+        assert result == term.evaluate(state)
+
+    def test_negative_multiplicities_multiply(self, schemas):
+        state = {
+            "r1": SignedBag({(1, 2): -1}),
+            "r2": SignedBag({(2, 5): 2}),
+            "r3": SignedBag({(5, 0): 1}),
+        }
+        term = chain_view(schemas).as_query().terms[0]
+        result = evaluate_term(term, state)
+        assert result.multiplicity((1, 0)) == -2
+        assert result == term.evaluate(state)
+
+
+class TestConditionHandling:
+    def test_non_equality_residual_applied(self, schemas, state):
+        view = View.natural_join(
+            "V", schemas, ["W", "Z"], Comparison(Attr("W"), ">", Attr("Z"))
+        )
+        term = view.as_query().terms[0]
+        assert evaluate_term(term, state) == term.evaluate(state)
+
+    def test_disjunctive_condition_not_decomposed(self, schemas, state):
+        condition = Or(
+            Comparison(Attr("r1.X"), "=", Attr("r2.X")),
+            Comparison(Attr("W"), "=", Const(7)),
+        )
+        term = Term(
+            [RelationOperand(s) for s in schemas[:2]], ("W",), condition
+        )
+        small = {"r1": state["r1"], "r2": state["r2"]}
+        assert evaluate_term(term, small) == term.evaluate(small)
+
+    def test_negated_equality_is_filter_not_join(self, schemas, state):
+        condition = Not(Comparison(Attr("r1.X"), "=", Attr("r2.X")))
+        term = Term([RelationOperand(s) for s in schemas[:2]], ("W",), condition)
+        small = {"r1": state["r1"], "r2": state["r2"]}
+        assert evaluate_term(term, small) == term.evaluate(small)
+
+    def test_single_operand_constant_filter(self, schemas, state):
+        term = Term(
+            [RelationOperand(schemas[0])],
+            ("W",),
+            Comparison(Attr("W"), ">", Const(3)),
+        )
+        result = evaluate_term(term, state)
+        assert result == SignedBag.from_rows([(4,), (7,)])
+
+    def test_same_relation_attribute_equality(self, schemas):
+        # W = X within r1 is a filter, not a join edge.
+        term = Term(
+            [RelationOperand(schemas[0])],
+            ("W",),
+            Comparison(Attr("W"), "=", Attr("X")),
+        )
+        state = {"r1": SignedBag.from_rows([(2, 2), (1, 3)])}
+        assert evaluate_term(term, state) == SignedBag.from_rows([(2,)])
+
+    def test_cartesian_when_no_join_edge(self, schemas):
+        term = Term([RelationOperand(schemas[0]), RelationOperand(schemas[2])], ("W", "Z"))
+        state = {
+            "r1": SignedBag.from_rows([(1, 2)]),
+            "r3": SignedBag.from_rows([(5, 0), (6, 8)]),
+        }
+        result = evaluate_term(term, state)
+        assert result == SignedBag.from_rows([(1, 0), (1, 8)])
+
+
+class TestErrors:
+    def test_missing_relation(self, schemas):
+        term = chain_view(schemas).as_query().terms[0]
+        with pytest.raises(ExpressionError):
+            evaluate_term(term, {})
+
+
+class TestQueryAndView:
+    def test_query_sums_terms(self, schemas, state):
+        view = chain_view(schemas)
+        q = view.as_query() - view.as_query()
+        assert evaluate_query(q, state).is_empty()
+
+    def test_evaluate_view_equals_reference(self, schemas, state):
+        view = chain_view(schemas)
+        assert evaluate_view(view, state) == view.evaluate(state)
+
+    def test_empty_join_short_circuits(self, schemas):
+        state = {
+            "r1": SignedBag(),
+            "r2": SignedBag.from_rows([(2, 5)]),
+            "r3": SignedBag.from_rows([(5, 0)]),
+        }
+        assert evaluate_view(chain_view(schemas), state).is_empty()

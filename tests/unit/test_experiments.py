@@ -1,0 +1,144 @@
+"""Unit tests for the experiment harness (figures, tables, reports)."""
+
+import pytest
+
+from repro.costmodel.parameters import PaperParameters
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    figure_6_2,
+    figure_6_3,
+    figure_6_4,
+    figure_6_5,
+)
+from repro.experiments.report import render_series, render_table
+from repro.experiments.tables import messages_table, parameter_table
+
+
+class TestFigure62:
+    def test_default_sweep(self):
+        series = figure_6_2()
+        assert series["C"] == [float(c) for c in range(1, 21)]
+        assert set(series) == {"C", "BRVBest", "BRVWorst", "BECABest", "BECAWorst"}
+
+    def test_eca_curves_flat_in_c(self):
+        series = figure_6_2()
+        assert len(set(series["BECABest"])) == 1
+        assert len(set(series["BECAWorst"])) == 1
+
+    def test_rv_curves_linear_in_c(self):
+        series = figure_6_2()
+        # BRVBest = S sigma J^2 * C: slope 32 per unit C.
+        diffs = {
+            series["BRVBest"][i + 1] - series["BRVBest"][i]
+            for i in range(len(series["C"]) - 1)
+        }
+        assert diffs == {32.0}
+
+    def test_eca_wins_beyond_about_five_tuples(self):
+        series = figure_6_2()
+        for c, rv, eca in zip(series["C"], series["BRVBest"], series["BECAWorst"]):
+            if c >= 5:
+                assert eca <= rv
+
+
+class TestFigure63:
+    def test_rv_best_constant(self):
+        series = figure_6_3()
+        assert len(set(series["BRVBest"])) == 1
+
+    def test_eca_best_linear_eca_worst_quadratic(self):
+        series = figure_6_3(k_values=range(1, 61))
+        best = series["BECABest"]
+        worst = series["BECAWorst"]
+        first_diffs_best = {round(best[i + 1] - best[i], 6) for i in range(59)}
+        assert len(first_diffs_best) == 1  # linear
+        second_diffs = {
+            round((worst[i + 2] - worst[i + 1]) - (worst[i + 1] - worst[i]), 6)
+            for i in range(58)
+        }
+        assert len(second_diffs) == 1 and 0 not in second_diffs  # quadratic
+
+    def test_crossovers_visible_in_series(self):
+        series = figure_6_3()
+        k = series["k"]
+        # ECAWorst crosses RVBest by k=30, ECABest by k=100.
+        assert series["BECAWorst"][k.index(29.0)] < series["BRVBest"][0]
+        assert series["BECAWorst"][k.index(30.0)] >= series["BRVBest"][0]
+        assert series["BECABest"][k.index(99.0)] < series["BRVBest"][0]
+        assert series["BECABest"][k.index(100.0)] >= series["BRVBest"][0]
+
+
+class TestIOFigures:
+    def test_figure_6_4_crossover_at_k3(self):
+        series = figure_6_4()
+        k = series["k"]
+        assert series["IOECABest"][k.index(2.0)] < series["IORVBest"][0]
+        assert series["IOECABest"][k.index(3.0)] >= series["IORVBest"][0]
+
+    def test_figure_6_5_rv_best_is_125(self):
+        series = figure_6_5()
+        assert set(series["IORVBest"]) == {125.0}
+
+    def test_figure_6_5_worst_crossover_in_paper_window(self):
+        series = figure_6_5()
+        k = series["k"]
+        crossed = [
+            kk
+            for kk, eca in zip(k, series["IOECAWorst"])
+            if eca >= series["IORVBest"][0]
+        ]
+        assert 5 < crossed[0] < 8
+
+    def test_custom_params_flow_through(self):
+        params = PaperParameters(cardinality=200)
+        series = figure_6_5(params, k_values=[1])
+        assert series["IORVBest"][0] == params.I**3
+
+    def test_all_figures_registry(self):
+        assert set(ALL_FIGURES) == {
+            "figure-6.2",
+            "figure-6.3",
+            "figure-6.4",
+            "figure-6.5",
+        }
+        for fn in ALL_FIGURES.values():
+            assert fn()  # runs with defaults
+
+
+class TestTables:
+    def test_parameter_table_matches_table1(self):
+        rows = {row["name"]: row["value"] for row in parameter_table()}
+        assert rows["C"] == 100
+        assert rows["S"] == 4
+        assert rows["sigma"] == 0.5
+        assert rows["J"] == 4
+        assert rows["K"] == 20
+        assert rows["I"] == 5
+        assert rows["I'"] == 3
+
+    def test_messages_table_extremes(self):
+        rows = messages_table(k_values=(10,), periods=(1,))
+        by_s = {(row["k"], row["s"]): row for row in rows}
+        assert by_s[(10, 1)]["M_RV"] == 20
+        assert by_s[(10, 10)]["M_RV"] == 2
+        assert all(row["M_ECA"] == 20 for row in rows)
+
+    def test_messages_table_skips_s_greater_than_k(self):
+        rows = messages_table(k_values=(2,), periods=(5,))
+        assert all(row["s"] <= row["k"] for row in rows)
+
+
+class TestRendering:
+    def test_render_series_alignment(self):
+        text = render_series("T", {"k": [1.0, 2.0], "A": [10.0, 20.5]}, x_key="k")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[2]
+        assert "20.50" in text
+
+    def test_render_table(self):
+        text = render_table("T", [{"a": 1, "b": "x"}, {"a": 22, "b": "y"}])
+        assert "a" in text and "22" in text
+
+    def test_render_table_empty(self):
+        assert "empty" in render_table("T", [])

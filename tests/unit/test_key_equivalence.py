@@ -1,0 +1,138 @@
+"""Unit tests for key detection through join-equality equivalence.
+
+A natural join forces ``r1.X = r2.X`` for every view tuple, so a
+projection of either column makes the other's key 'present' for ECA-Key
+purposes.  These tests pin the equivalence-class analysis in
+``View.key_output_positions``.
+"""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.bag import SignedBag
+from repro.relational.conditions import Attr, Comparison, Or
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+
+
+@pytest.fixture
+def schemas():
+    return [
+        RelationSchema("a", ("K", "X"), key=("K",)),
+        RelationSchema("b", ("K2", "X"), key=("K2",)),
+    ]
+
+
+class TestEquivalenceThroughJoin:
+    def test_twin_column_satisfies_key(self):
+        customers = RelationSchema("customers", ("cust_id", "region"), key=("cust_id",))
+        orders = RelationSchema(
+            "orders", ("order_id", "cust_id", "amount"), key=("order_id",)
+        )
+        view = View.natural_join(
+            "sales", [customers, orders], ["order_id", "orders.cust_id", "region"]
+        )
+        # customers.cust_id is not projected, but orders.cust_id is and
+        # the join makes them equal.
+        assert view.key_output_positions("customers") == (1,)
+        assert view.contains_all_keys()
+
+    def test_direct_projection_preferred(self):
+        customers = RelationSchema("customers", ("cust_id", "region"), key=("cust_id",))
+        orders = RelationSchema(
+            "orders", ("order_id", "cust_id", "amount"), key=("order_id",)
+        )
+        view = View.natural_join(
+            "sales",
+            [customers, orders],
+            ["customers.cust_id", "orders.cust_id", "order_id"],
+        )
+        assert view.key_output_positions("customers") == (0,)
+
+    def test_transitive_equality_chain(self):
+        a = RelationSchema("a", ("K", "P"), key=("K",))
+        b = RelationSchema("b", ("P", "Q"))
+        c = RelationSchema("c", ("Q", "R"))
+        # K = nothing directly, but a.P = b.P and b.Q = c.Q chains exist;
+        # the key K itself is only available via direct projection.
+        view = View.natural_join("V", [a, b, c], ["K", "R"])
+        assert view.key_output_positions("a") == (0,)
+
+    def test_equality_under_or_does_not_count(self, schemas):
+        a, b = schemas
+        condition = Or(
+            Comparison(Attr("a.K"), "=", Attr("b.K2")),
+            Comparison(Attr("a.X"), "=", Attr("b.X")),
+        )
+        view = View("V", [a, b], ["b.K2", "a.X"], condition)
+        # a.K = b.K2 only holds on one Or branch: not an equivalence.
+        with pytest.raises(SchemaError):
+            view.key_output_positions("a")
+
+    def test_missing_key_still_rejected(self, schemas):
+        a, b = schemas
+        view = View.natural_join("V", [a, b], ["a.K"])  # b's key absent
+        assert not view.contains_all_keys()
+        with pytest.raises(SchemaError):
+            view.key_output_positions("b")
+
+
+class TestECAKeyWithTwinProjection:
+    def test_key_delete_via_twin_column(self):
+        """key-delete driven by a twin-projected key removes the right rows."""
+        from repro.warehouse.state import key_delete
+
+        customers = RelationSchema("customers", ("cust_id", "region"), key=("cust_id",))
+        orders = RelationSchema(
+            "orders", ("order_id", "cust_id", "amount"), key=("order_id",)
+        )
+        view = View.natural_join(
+            "sales", [customers, orders], ["order_id", "orders.cust_id", "region"]
+        )
+        contents = SignedBag.from_rows(
+            [(100, 1, "west"), (101, 1, "west"), (102, 2, "east")]
+        )
+        removed = key_delete(contents, view, "customers", (1, "west"))
+        assert removed == 2
+        assert sorted(contents.expand_rows()) == [(102, 2, "east")]
+
+    def test_eca_key_accepts_twin_view(self):
+        from repro.core.eca_key import ECAKey
+
+        customers = RelationSchema("customers", ("cust_id", "region"), key=("cust_id",))
+        orders = RelationSchema(
+            "orders", ("order_id", "cust_id", "amount"), key=("order_id",)
+        )
+        view = View.natural_join(
+            "sales", [customers, orders], ["order_id", "orders.cust_id", "region"]
+        )
+        ECAKey(view)  # must not raise
+
+    def test_eca_key_end_to_end_with_twin_view(self):
+        """Random runs on the twin-projected view stay strongly consistent."""
+        from repro.consistency import check_trace
+        from repro.core.eca_key import ECAKey
+        from repro.relational.engine import evaluate_view
+        from repro.simulation.driver import Simulation
+        from repro.simulation.schedules import RandomSchedule
+        from repro.source.memory import MemorySource
+        from repro.workloads.random_gen import random_workload
+
+        customers = RelationSchema("customers", ("cust_id", "region"), key=("cust_id",))
+        orders = RelationSchema(
+            "orders", ("order_id", "cust_id", "amount"), key=("order_id",)
+        )
+        view = View.natural_join(
+            "sales", [customers, orders], ["order_id", "orders.cust_id", "region"]
+        )
+        initial = {"customers": [(1, 0), (2, 1)], "orders": [(9, 1, 5)]}
+        for seed in range(10):
+            workload = random_workload(
+                [customers, orders], 10, seed=seed, initial=initial,
+                respect_keys=True, domain=8,
+            )
+            source = MemorySource([customers, orders], initial)
+            warehouse = ECAKey(view, evaluate_view(view, source.snapshot()))
+            trace = Simulation(source, warehouse, workload).run(RandomSchedule(seed))
+            report = check_trace(view, trace)
+            assert report.strongly_consistent, (seed, report.detail)

@@ -1,0 +1,80 @@
+"""Unit tests for channels and message types."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.messaging.channel import FifoChannel
+from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
+from repro.relational.bag import SignedBag
+from repro.relational.expressions import empty_query
+from repro.source.updates import insert
+
+
+class TestFifoChannel:
+    def test_fifo_order(self):
+        channel = FifoChannel("test")
+        for i in range(3):
+            channel.send(UpdateNotification(insert("r", (i,)), i + 1))
+        serials = [channel.receive().serial for _ in range(3)]
+        assert serials == [1, 2, 3]
+
+    def test_receive_empty_raises(self):
+        with pytest.raises(ProtocolError):
+            FifoChannel("test").receive()
+
+    def test_peek_does_not_consume(self):
+        channel = FifoChannel("test")
+        message = UpdateNotification(insert("r", (1,)), 1)
+        channel.send(message)
+        assert channel.peek() is message
+        assert channel.pending() == 1
+        assert channel.receive() is message
+
+    def test_peek_empty_returns_none(self):
+        assert FifoChannel("test").peek() is None
+
+    def test_counters(self):
+        channel = FifoChannel("test")
+        channel.send(UpdateNotification(insert("r", (1,)), 1))
+        channel.send(UpdateNotification(insert("r", (2,)), 2))
+        channel.receive()
+        assert channel.sent_count == 2
+        assert channel.delivered_count == 1
+        assert len(channel) == 1
+        assert not channel.is_empty()
+
+    def test_drain(self):
+        channel = FifoChannel("test")
+        for i in range(4):
+            channel.send(UpdateNotification(insert("r", (i,)), i))
+        assert len(list(channel.drain())) == 4
+        assert channel.is_empty()
+
+    def test_snapshot_is_non_destructive(self):
+        channel = FifoChannel("test")
+        channel.send(UpdateNotification(insert("r", (1,)), 1))
+        assert len(channel.snapshot()) == 1
+        assert channel.pending() == 1
+
+    def test_repr(self):
+        assert "pending=0" in repr(FifoChannel("x"))
+
+
+class TestMessages:
+    def test_update_notification(self):
+        u = insert("r1", (1, 2))
+        msg = UpdateNotification(u, 7)
+        assert msg.update is u
+        assert msg.serial == 7
+        assert "#7" in repr(msg)
+
+    def test_query_request(self):
+        msg = QueryRequest(3, empty_query())
+        assert msg.query_id == 3
+        assert "Q3" in repr(msg)
+
+    def test_query_answer(self):
+        msg = QueryAnswer(3, SignedBag.from_rows([(1,)]))
+        assert msg.query_id == 3
+        assert msg.answer.multiplicity((1,)) == 1
+        assert "Q3" in repr(msg)

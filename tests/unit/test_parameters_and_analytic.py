@@ -1,0 +1,187 @@
+"""Unit tests for Table 1 parameters and the Appendix D closed forms."""
+
+import pytest
+
+from repro.costmodel import analytic
+from repro.costmodel.parameters import DEFAULTS, PaperParameters
+
+
+class TestParameters:
+    def test_table1_defaults(self):
+        p = PaperParameters()
+        assert (p.C, p.S, p.sigma, p.J, p.K) == (100, 4, 0.5, 4, 20)
+
+    def test_derived_quantities(self):
+        p = PaperParameters()
+        assert p.I == 5          # ceil(100/20)
+        assert p.I_prime == 3    # ceil(100/40)
+
+    def test_derived_quantities_round_up(self):
+        p = PaperParameters(cardinality=101)
+        assert p.I == 6
+        assert p.I_prime == 3
+
+    def test_replace(self):
+        p = PaperParameters().replace(cardinality=50)
+        assert p.C == 50
+        assert p.J == 4
+        assert DEFAULTS.C == 100  # original untouched
+
+    def test_replace_unknown_field_raises(self):
+        with pytest.raises(TypeError):
+            PaperParameters().replace(bogus=1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cardinality": 0},
+            {"tuple_bytes": 0},
+            {"selectivity": 1.5},
+            {"selectivity": -0.1},
+            {"join_factor": 0},
+            {"block_factor": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PaperParameters(**kwargs)
+
+    def test_as_dict_and_equality(self):
+        assert PaperParameters() == PaperParameters()
+        assert PaperParameters().as_dict()["I"] == 5
+        assert PaperParameters() != PaperParameters(cardinality=5)
+
+
+class TestMessages:
+    def test_rv_extremes(self):
+        # 2 messages when recomputing once, 2k when recomputing always.
+        assert analytic.messages_rv(10, 10) == 2
+        assert analytic.messages_rv(10, 1) == 20
+
+    def test_rv_partial_period_rounds_up(self):
+        assert analytic.messages_rv(10, 3) == 8  # ceil(10/3)=4 recomputes
+
+    def test_eca_always_2k(self):
+        assert analytic.messages_eca(10) == 20
+        assert analytic.messages_eca(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analytic.messages_rv(-1, 1)
+        with pytest.raises(ValueError):
+            analytic.messages_rv(1, 0)
+        with pytest.raises(ValueError):
+            analytic.messages_eca(-1)
+
+
+class TestBytesFormulas:
+    """Spot-check against Table 1 defaults: S=4, sigma=.5, C=100, J=4."""
+
+    def test_rv_best(self):
+        assert analytic.bytes_rv_best(DEFAULTS) == 4 * 0.5 * 100 * 16  # 3200
+
+    def test_rv_worst(self):
+        assert analytic.bytes_rv_worst(DEFAULTS, 3) == 3 * 3200
+
+    def test_eca_best(self):
+        assert analytic.bytes_eca_best(DEFAULTS, 3) == 3 * 4 * 0.5 * 16  # 96
+
+    def test_eca_worst_distinct3(self):
+        # 3 S sigma J (J+1) = 3*4*0.5*4*5 = 120
+        assert analytic.bytes_eca_worst_distinct3(DEFAULTS) == 120
+
+    def test_eca_worst_k_form(self):
+        # k S sigma J^2 + k(k-1) S sigma J / 3, k=3: 96 + 16 = 112
+        assert analytic.bytes_eca_worst(DEFAULTS, 3) == pytest.approx(112)
+
+    def test_eca_worst_reduces_to_best_at_k1(self):
+        assert analytic.bytes_eca_worst(DEFAULTS, 1) == analytic.bytes_eca_best(
+            DEFAULTS, 1
+        )
+
+    def test_figure_6_3_crossovers(self):
+        # The paper's headline claims: crossover at k=100 (best) and ~30
+        # (worst) against recomputing once.
+        k_best = analytic.crossover_k(
+            lambda p, k: analytic.bytes_eca_best(p, k),
+            lambda p, k: analytic.bytes_rv_best(p),
+            DEFAULTS,
+        )
+        k_worst = analytic.crossover_k(
+            lambda p, k: analytic.bytes_eca_worst(p, k),
+            lambda p, k: analytic.bytes_rv_best(p),
+            DEFAULTS,
+        )
+        assert k_best == 100
+        assert k_worst == 30
+
+    def test_rv_worst_always_dominates_eca_worst(self):
+        for k in (1, 10, 50, 120):
+            assert analytic.bytes_rv_worst(DEFAULTS, k) > analytic.bytes_eca_worst(
+                DEFAULTS, k
+            )
+
+
+class TestIOScenario1:
+    def test_three_update_forms(self):
+        # J=4 < I=5: best 3*4+3=15, worst 3*4+6=18.
+        assert analytic.io1_eca_best_3(DEFAULTS) == 15
+        assert analytic.io1_eca_worst_3(DEFAULTS) == 18
+
+    def test_min_behavior_when_j_exceeds_i(self):
+        p = DEFAULTS.replace(join_factor=50)  # J=50 > I=5
+        assert analytic.io1_eca_best_3(p) == 3 * 5 + 3
+
+    def test_rv_forms(self):
+        assert analytic.io1_rv_best(DEFAULTS) == 15
+        assert analytic.io1_rv_worst(DEFAULTS, 4) == 60
+
+    def test_k_forms(self):
+        assert analytic.io1_eca_best(DEFAULTS, 3) == 15
+        assert analytic.io1_eca_worst(DEFAULTS, 3) == 15 + 2
+
+    def test_figure_6_4_crossover_at_3(self):
+        k = analytic.crossover_k(
+            lambda p, kk: analytic.io1_eca_best(p, kk),
+            lambda p, kk: analytic.io1_rv_best(p),
+            DEFAULTS,
+        )
+        assert k == 3
+
+
+class TestIOScenario2:
+    def test_rv_best_is_i_cubed(self):
+        assert analytic.io2_rv_best(DEFAULTS) == 125
+
+    def test_rv_worst(self):
+        assert analytic.io2_rv_worst(DEFAULTS, 2) == 250
+
+    def test_eca_forms(self):
+        assert analytic.io2_eca_best_3(DEFAULTS) == 45   # 3*5*3
+        assert analytic.io2_eca_worst_3(DEFAULTS) == 60  # 3*5*4
+        assert analytic.io2_eca_best(DEFAULTS, 3) == 45
+        assert analytic.io2_eca_worst(DEFAULTS, 3) == 45 + 10
+
+    def test_figure_6_5_crossovers(self):
+        # The worst case crosses RVBest in the paper's 5 < k < 8 window;
+        # the best case crosses at k = ceil(125/15) = 9 (~8.3 continuous).
+        k_worst = analytic.crossover_k(
+            lambda p, kk: analytic.io2_eca_worst(p, kk),
+            lambda p, kk: analytic.io2_rv_best(p),
+            DEFAULTS,
+        )
+        k_best = analytic.crossover_k(
+            lambda p, kk: analytic.io2_eca_best(p, kk),
+            lambda p, kk: analytic.io2_rv_best(p),
+            DEFAULTS,
+        )
+        assert 5 < k_worst < 8
+        assert k_best == 9
+
+
+class TestCrossoverHelper:
+    def test_no_crossover_raises(self):
+        with pytest.raises(ValueError):
+            analytic.crossover_k(
+                lambda p, k: 0.0, lambda p, k: 1.0, DEFAULTS, k_max=10
+            )

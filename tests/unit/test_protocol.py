@@ -1,0 +1,61 @@
+"""Unit tests for the WarehouseAlgorithm base protocol."""
+
+import pytest
+
+from repro.core.protocol import WarehouseAlgorithm
+from repro.errors import ProtocolError
+from repro.messaging.messages import QueryAnswer, UpdateNotification
+from repro.relational.bag import SignedBag
+from repro.source.updates import insert
+
+
+class Probe(WarehouseAlgorithm):
+    """Minimal concrete algorithm for protocol-level testing."""
+
+    name = "probe"
+
+    def on_update(self, notification):
+        return [self._make_request(self.view.as_query())]
+
+    def on_answer(self, answer):
+        self._retire(answer)
+        return []
+
+
+class TestProtocol:
+    def test_query_ids_are_sequential(self, view_w):
+        probe = Probe(view_w)
+        first = probe.on_update(UpdateNotification(insert("r1", (1, 2)), 1))[0]
+        second = probe.on_update(UpdateNotification(insert("r1", (2, 2)), 2))[0]
+        assert (first.query_id, second.query_id) == (1, 2)
+
+    def test_uqs_tracks_pending(self, view_w):
+        probe = Probe(view_w)
+        request = probe.on_update(UpdateNotification(insert("r1", (1, 2)), 1))[0]
+        assert not probe.is_quiescent()
+        assert probe.uqs_queries() == [request.query]
+        probe.on_answer(QueryAnswer(request.query_id, SignedBag()))
+        assert probe.is_quiescent()
+
+    def test_uqs_queries_in_send_order(self, view_w):
+        probe = Probe(view_w)
+        probe.on_update(UpdateNotification(insert("r1", (1, 2)), 1))
+        probe.on_update(UpdateNotification(insert("r1", (2, 2)), 2))
+        assert len(probe.uqs_queries()) == 2
+
+    def test_answer_for_unknown_query_raises(self, view_w):
+        probe = Probe(view_w)
+        with pytest.raises(ProtocolError):
+            probe.on_answer(QueryAnswer(99, SignedBag()))
+
+    def test_relevant_checks_view_relations(self, view_w):
+        probe = Probe(view_w)
+        assert probe.relevant(UpdateNotification(insert("r1", (1, 2)), 1))
+        assert not probe.relevant(UpdateNotification(insert("other", (1,)), 1))
+
+    def test_view_state_reflects_initial(self, view_w):
+        probe = Probe(view_w, SignedBag.from_rows([(1,)]))
+        assert probe.view_state() == SignedBag.from_rows([(1,)])
+
+    def test_repr_names_view(self, view_w):
+        assert "V" in repr(Probe(view_w))

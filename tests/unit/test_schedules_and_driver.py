@@ -1,0 +1,151 @@
+"""Unit tests for schedules, the simulation driver, and traces."""
+
+import pytest
+
+from repro.core.eca import ECA
+from repro.errors import SimulationError
+from repro.relational.bag import SignedBag
+from repro.simulation.driver import Simulation
+from repro.simulation.schedules import (
+    ANSWER,
+    BestCaseSchedule,
+    EagerSourceSchedule,
+    RandomSchedule,
+    ScriptedSchedule,
+    UPDATE,
+    WAREHOUSE,
+    WorstCaseSchedule,
+)
+from repro.simulation.trace import S_QU, S_UP, W_ANS, W_UP
+from repro.source.memory import MemorySource
+from repro.source.updates import insert
+
+
+class TestSchedules:
+    def test_best_case_priority(self):
+        schedule = BestCaseSchedule()
+        assert schedule.choose([UPDATE, ANSWER, WAREHOUSE]) == WAREHOUSE
+        assert schedule.choose([UPDATE, ANSWER]) == ANSWER
+        assert schedule.choose([UPDATE]) == UPDATE
+
+    def test_worst_case_priority(self):
+        schedule = WorstCaseSchedule()
+        assert schedule.choose([UPDATE, ANSWER, WAREHOUSE]) == UPDATE
+        assert schedule.choose([ANSWER, WAREHOUSE]) == WAREHOUSE
+
+    def test_eager_source_priority(self):
+        schedule = EagerSourceSchedule()
+        assert schedule.choose([UPDATE, ANSWER, WAREHOUSE]) == ANSWER
+
+    def test_priority_with_nothing_available_raises(self):
+        with pytest.raises(SimulationError):
+            BestCaseSchedule().choose([])
+
+    def test_random_schedule_is_reproducible(self):
+        a = [RandomSchedule(7).choose([UPDATE, ANSWER, WAREHOUSE]) for _ in range(10)]
+        b = [RandomSchedule(7).choose([UPDATE, ANSWER, WAREHOUSE]) for _ in range(10)]
+        assert a == b
+
+    def test_random_schedule_weights(self):
+        schedule = RandomSchedule(0, weights={UPDATE: 0.0, ANSWER: 0.0, WAREHOUSE: 1.0})
+        picks = {schedule.choose([UPDATE, ANSWER, WAREHOUSE]) for _ in range(20)}
+        assert picks == {WAREHOUSE}
+
+    def test_scripted_follows_actions(self):
+        schedule = ScriptedSchedule([UPDATE, WAREHOUSE])
+        assert schedule.choose([UPDATE]) == UPDATE
+        assert schedule.choose([WAREHOUSE, ANSWER]) == WAREHOUSE
+        assert schedule.exhausted()
+
+    def test_scripted_unavailable_action_raises(self):
+        schedule = ScriptedSchedule([ANSWER])
+        with pytest.raises(SimulationError):
+            schedule.choose([UPDATE])
+
+    def test_scripted_exhaustion_raises(self):
+        schedule = ScriptedSchedule([])
+        with pytest.raises(SimulationError):
+            schedule.choose([UPDATE])
+
+    def test_scripted_rejects_unknown_actions(self):
+        with pytest.raises(SimulationError):
+            ScriptedSchedule(["fly"])
+
+
+@pytest.fixture
+def small_sim(view_w, two_rel_schemas):
+    source = MemorySource(two_rel_schemas, {"r1": [(1, 2)]})
+    algo = ECA(view_w)
+    return Simulation(source, algo, [insert("r2", (2, 3))])
+
+
+class TestDriver:
+    def test_initial_states_recorded(self, small_sim):
+        assert len(small_sim.trace.source_states) == 1
+        assert len(small_sim.trace.view_states) == 1
+
+    def test_available_actions_initially(self, small_sim):
+        assert small_sim.available_actions() == [UPDATE]
+        assert not small_sim.is_done()
+
+    def test_full_run_event_sequence(self, small_sim):
+        trace = small_sim.run(BestCaseSchedule())
+        kinds = [e.kind for e in trace.events]
+        assert kinds == [S_UP, W_UP, S_QU, W_ANS]
+        assert small_sim.is_done()
+        assert small_sim.algorithm.is_quiescent()
+
+    def test_final_view_correct(self, small_sim):
+        small_sim.run(BestCaseSchedule())
+        assert small_sim.algorithm.view_state() == SignedBag.from_rows([(1,)])
+
+    def test_unknown_action_raises(self, small_sim):
+        with pytest.raises(SimulationError):
+            small_sim.step("fly")
+
+    def test_update_action_with_empty_workload_raises(self, small_sim):
+        small_sim.run(BestCaseSchedule())
+        with pytest.raises(SimulationError):
+            small_sim.step(UPDATE)
+
+    def test_max_steps_guard(self, view_w, two_rel_schemas):
+        source = MemorySource(two_rel_schemas)
+        sim = Simulation(source, ECA(view_w), [insert("r1", (i, 0)) for i in range(5)])
+        with pytest.raises(SimulationError):
+            sim.run(BestCaseSchedule(), max_steps=2)
+
+    def test_source_state_snapshot_per_update(self, view_w, two_rel_schemas):
+        source = MemorySource(two_rel_schemas)
+        workload = [insert("r1", (i, 0)) for i in range(3)]
+        sim = Simulation(source, ECA(view_w), workload)
+        trace = sim.run(WorstCaseSchedule())
+        # ss_0 .. ss_3
+        assert len(trace.source_states) == 4
+        assert trace.source_states[0]["r1"].is_empty()
+        assert trace.source_states[3]["r1"].total_count() == 3
+
+    def test_view_state_recorded_per_warehouse_event(self, small_sim):
+        trace = small_sim.run(BestCaseSchedule())
+        # initial + W_up + W_ans
+        assert len(trace.view_states) == 3
+
+
+class TestTrace:
+    def test_events_of_kind(self, small_sim):
+        trace = small_sim.run(BestCaseSchedule())
+        assert len(trace.events_of_kind(S_UP)) == 1
+        assert trace.update_count() == 1
+
+    def test_final_state_accessors(self, small_sim):
+        trace = small_sim.run(BestCaseSchedule())
+        assert trace.final_view_state == SignedBag.from_rows([(1,)])
+        assert trace.final_source_state["r2"].multiplicity((2, 3)) == 1
+
+    def test_describe_limits_output(self, small_sim):
+        trace = small_sim.run(BestCaseSchedule())
+        text = trace.describe(max_events=2)
+        assert "more events" in text
+        assert trace.describe().count("\n") == 3
+
+    def test_repr(self, small_sim):
+        assert "events=0" in repr(small_sim.trace)

@@ -1,0 +1,184 @@
+"""Unit tests for the source substrates (in-memory and SQLite).
+
+Both implementations are exercised through the same parametrized suite —
+they must be observably identical — plus a few SQLite-specific tests for
+SQL rendering details.
+"""
+
+import pytest
+
+from repro.errors import SchemaError, UpdateError
+from repro.relational.bag import SignedBag
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import MINUS, SignedTuple
+from repro.relational.views import View
+from repro.source.memory import MemorySource
+from repro.source.sqlite import SQLiteSource
+from repro.source.updates import delete, insert
+
+
+@pytest.fixture
+def schemas():
+    return [RelationSchema("r1", ("W", "X")), RelationSchema("r2", ("X", "Y"))]
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def source(request, schemas):
+    if request.param == "memory":
+        src = MemorySource(schemas)
+        yield src
+    else:
+        src = SQLiteSource(schemas)
+        yield src
+        src.close()
+
+
+@pytest.fixture
+def view(schemas):
+    return View.natural_join("V", schemas, ["W"])
+
+
+class TestUpdates:
+    def test_insert_then_cardinality(self, source):
+        source.apply_update(insert("r1", (1, 2)))
+        source.apply_update(insert("r1", (1, 2)))
+        assert source.cardinality("r1") == 2
+        assert source.cardinality("r2") == 0
+
+    def test_delete_removes_single_occurrence(self, source):
+        source.apply_update(insert("r1", (1, 2)))
+        source.apply_update(insert("r1", (1, 2)))
+        source.apply_update(delete("r1", (1, 2)))
+        assert source.cardinality("r1") == 1
+
+    def test_delete_missing_tuple_raises(self, source):
+        with pytest.raises(UpdateError):
+            source.apply_update(delete("r1", (9, 9)))
+
+    def test_unknown_relation_raises(self, source):
+        with pytest.raises(SchemaError):
+            source.apply_update(insert("zzz", (1,)))
+
+    def test_arity_mismatch_raises(self, source):
+        with pytest.raises(SchemaError):
+            source.apply_update(insert("r1", (1,)))
+
+    def test_load_bulk(self, source):
+        source.load("r2", [(2, 3), (2, 4)])
+        assert source.cardinality("r2") == 2
+
+    def test_total_cardinality(self, source):
+        source.load("r1", [(1, 2)])
+        source.load("r2", [(2, 3)])
+        assert source.total_cardinality() == 2
+
+
+class TestSnapshot:
+    def test_snapshot_contents(self, source):
+        source.load("r1", [(1, 2), (1, 2)])
+        snap = source.snapshot()
+        assert snap["r1"].multiplicity((1, 2)) == 2
+        assert snap["r2"].is_empty()
+
+    def test_snapshot_is_detached(self, source):
+        source.load("r1", [(1, 2)])
+        snap = source.snapshot()
+        source.apply_update(insert("r1", (9, 9)))
+        assert snap["r1"].multiplicity((9, 9)) == 0
+
+
+class TestEvaluation:
+    def test_view_query(self, source, view):
+        source.load("r1", [(1, 2), (4, 2)])
+        source.load("r2", [(2, 3)])
+        assert source.evaluate(view.as_query()) == SignedBag.from_rows([(1,), (4,)])
+
+    def test_bound_tuple_query(self, source, view):
+        source.load("r1", [(1, 2)])
+        query = view.substitute("r2", SignedTuple((2, 3)))
+        assert source.evaluate(query) == SignedBag.from_rows([(1,)])
+
+    def test_negative_bound_tuple_sign_flows(self, source, view):
+        source.load("r2", [(2, 3)])
+        query = view.substitute("r1", SignedTuple((1, 2), MINUS))
+        assert source.evaluate(query) == SignedBag.singleton((1,), MINUS)
+
+    def test_multi_term_signed_query(self, source, view):
+        # Q = V<U> - V<U> must cancel to the empty relation.
+        source.load("r1", [(1, 2)])
+        q = view.substitute("r2", SignedTuple((2, 3)))
+        assert source.evaluate(q - q).is_empty()
+
+    def test_duplicates_preserved_in_answers(self, source, view):
+        source.load("r1", [(1, 2)])
+        source.load("r2", [(2, 3), (2, 4)])
+        answer = source.evaluate(view.as_query())
+        assert answer.multiplicity((1,)) == 2
+
+    def test_empty_query(self, source):
+        from repro.relational.expressions import empty_query
+
+        assert source.evaluate(empty_query()).is_empty()
+
+
+class TestCatalog:
+    def test_duplicate_relation_names_rejected(self, schemas):
+        with pytest.raises(SchemaError):
+            MemorySource(schemas + [RelationSchema("r1", ("A",))])
+
+    def test_schema_for(self, source):
+        assert source.schema_for("r1").attributes == ("W", "X")
+        with pytest.raises(SchemaError):
+            source.schema_for("nope")
+
+    def test_initial_data_constructor(self, schemas):
+        src = MemorySource(schemas, {"r1": [(1, 2)]})
+        assert src.cardinality("r1") == 1
+        sq = SQLiteSource(schemas, {"r1": [(1, 2)]})
+        assert sq.cardinality("r1") == 1
+        sq.close()
+
+    def test_repr(self, source):
+        assert "r1" in repr(source)
+
+
+class TestMemorySpecific:
+    def test_relation_accessor_copies(self, schemas):
+        src = MemorySource(schemas, {"r1": [(1, 2)]})
+        bag = src.relation("r1")
+        bag.add((9, 9), 1)
+        assert src.cardinality("r1") == 1
+
+    def test_relation_unknown_raises(self, schemas):
+        with pytest.raises(SchemaError):
+            MemorySource(schemas).relation("zzz")
+
+
+class TestSQLiteSpecific:
+    def test_context_manager_closes(self, schemas):
+        with SQLiteSource(schemas) as src:
+            src.load("r1", [(1, 2)])
+            assert src.cardinality("r1") == 1
+
+    def test_string_values_roundtrip(self):
+        schema = RelationSchema("items", ("name", "qty"))
+        with SQLiteSource([schema]) as src:
+            src.load("items", [("widget", 3), ("gadget", 1)])
+            snap = src.snapshot()
+            assert snap["items"].multiplicity(("widget", 3)) == 1
+
+    def test_quoted_identifiers(self):
+        # Attribute names that collide with SQL keywords must be quoted.
+        schema = RelationSchema("t", ("select_", "from_"))
+        with SQLiteSource([schema]) as src:
+            src.load("t", [(1, 2)])
+            assert src.cardinality("t") == 1
+
+    def test_fully_bound_term_evaluates(self, schemas, view):
+        # The source can evaluate a fully bound term (constant subqueries
+        # only), even though the warehouse normally never ships one.
+        q = view.substitute("r1", SignedTuple((1, 2))).substitute(
+            "r2", SignedTuple((2, 3))
+        )
+        with SQLiteSource(schemas) as src:
+            assert src.evaluate(q) == SignedBag.from_rows([(1,)])

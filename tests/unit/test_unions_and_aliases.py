@@ -1,0 +1,131 @@
+"""Unit tests for union views and schema aliases at the module level."""
+
+import pytest
+
+from repro.errors import ExpressionError, SchemaError
+from repro.relational.bag import SignedBag
+from repro.relational.conditions import Attr, Comparison
+from repro.relational.engine import evaluate_query
+from repro.relational.schema import RelationSchema
+from repro.relational.unions import UnionView
+from repro.relational.views import View
+from repro.source.memory import MemorySource
+from repro.source.updates import insert
+
+
+class TestAliasedSchemas:
+    def test_aliased_copy_fields(self):
+        emp = RelationSchema("emp", ("name", "dept"), key=("name",))
+        alias = emp.aliased("e2")
+        assert alias.base == "emp"
+        assert alias.name == "e2"
+        assert alias.key == ("name",)
+        assert alias.is_alias
+        assert "AS e2" in repr(alias)
+
+    def test_alias_of_alias_keeps_original_base(self):
+        emp = RelationSchema("emp", ("name",))
+        twice = emp.aliased("a").aliased("b")
+        assert twice.base == "emp"
+        assert twice.name == "b"
+
+    def test_alias_changes_equality(self):
+        emp = RelationSchema("emp", ("name",))
+        assert emp.aliased("a") != emp
+        assert emp.aliased("a") == emp.aliased("a")
+
+    def test_invalid_alias_rejected(self):
+        emp = RelationSchema("emp", ("name",))
+        with pytest.raises(SchemaError):
+            emp.aliased("not a name")
+
+    def test_term_source_relation_names(self):
+        emp = RelationSchema("emp", ("name", "dept"))
+        view = View(
+            "pairs",
+            [emp.aliased("a"), emp.aliased("b")],
+            ["a.name", "b.name"],
+            Comparison(Attr("a.dept"), "=", Attr("b.dept")),
+        )
+        term = view.as_query().terms[0]
+        assert term.relation_names == ("a", "b")
+        assert term.source_relation_names == ("emp", "emp")
+
+    def test_memory_source_serves_aliases(self):
+        emp = RelationSchema("emp", ("name", "dept"))
+        view = View(
+            "pairs",
+            [emp.aliased("a"), emp.aliased("b")],
+            ["a.name", "b.name"],
+            Comparison(Attr("a.dept"), "=", Attr("b.dept")),
+        )
+        source = MemorySource([emp], {"emp": [(1, 10), (2, 10)]})
+        answer = source.evaluate(view.as_query())
+        assert answer.multiplicity((1, 2)) == 1
+        assert answer.multiplicity((2, 1)) == 1
+        assert answer.multiplicity((1, 1)) == 1
+
+
+class TestUnionViewUnits:
+    @pytest.fixture
+    def branches(self):
+        a = RelationSchema("a", ("item", "qty"))
+        b = RelationSchema("b", ("item", "qty"))
+        view_a = View("va", [a], ["item", "qty"])
+        view_b = View("vb", [b], ["item", "qty"])
+        return a, b, view_a, view_b
+
+    def test_as_query_concatenates_terms(self, branches):
+        _, _, view_a, view_b = branches
+        union = UnionView("u", [view_a, view_b])
+        assert union.as_query().term_count() == 2
+        assert [t.coefficient for t in union.as_query().terms] == [1, 1]
+
+    def test_difference_negates_second_branch(self, branches):
+        _, _, view_a, view_b = branches
+        diff = UnionView("d", [(1, view_a), (-1, view_b)])
+        assert [t.coefficient for t in diff.as_query().terms] == [1, -1]
+
+    def test_output_columns_from_first_branch(self, branches):
+        _, _, view_a, view_b = branches
+        union = UnionView("u", [view_a, view_b])
+        assert union.output_columns() == ("item", "qty")
+        assert union.arity == 2
+
+    def test_engine_evaluates_union(self, branches):
+        _, _, view_a, view_b = branches
+        union = UnionView("u", [view_a, view_b])
+        state = {
+            "a": SignedBag.from_rows([(1, 5)]),
+            "b": SignedBag.from_rows([(1, 5), (2, 1)]),
+        }
+        direct = union.evaluate(state)
+        assert direct.multiplicity((1, 5)) == 2
+        assert direct == evaluate_query(union.as_query(), state)
+
+    def test_substitute_routes_to_owning_branch(self, branches):
+        _, _, view_a, view_b = branches
+        union = UnionView("u", [view_a, view_b])
+        query = union.substitute("b", insert("b", (3, 3)).signed_tuple())
+        assert query.term_count() == 1
+        assert query.terms[0].is_fully_bound()
+
+    def test_union_of_self_join_branch(self):
+        emp = RelationSchema("emp", ("name", "dept"))
+        pairs = View(
+            "pairs",
+            [emp.aliased("a"), emp.aliased("b")],
+            ["a.name", "b.name"],
+            Comparison(Attr("a.dept"), "=", Attr("b.dept")),
+        )
+        solo = RelationSchema("solo", ("x", "y"))
+        singles = View("singles", [solo], ["x", "y"])
+        union = UnionView("mix", [pairs, singles])
+        # An update to emp expands the self-join branch by
+        # inclusion-exclusion (3 terms) and skips the other branch.
+        query = union.substitute("emp", insert("emp", (9, 1)).signed_tuple())
+        assert query.term_count() == 3
+
+    def test_repr_single_branch(self, branches):
+        _, _, view_a, _ = branches
+        assert "va" in repr(UnionView("u", [view_a]))

@@ -1,0 +1,49 @@
+"""Unit tests for base-relation updates."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.relational.tuples import MINUS, PLUS
+from repro.source.updates import DELETE, INSERT, Update, delete, insert, modify
+
+
+class TestUpdate:
+    def test_insert_properties(self):
+        u = insert("r1", (1, 2))
+        assert u.kind == INSERT
+        assert u.is_insert and not u.is_delete
+        assert u.relation == "r1"
+        assert u.values == (1, 2)
+        assert u.sign == PLUS
+
+    def test_delete_properties(self):
+        u = delete("r2", (2, 3))
+        assert u.kind == DELETE
+        assert u.is_delete and not u.is_insert
+        assert u.sign == MINUS
+
+    def test_signed_tuple(self):
+        assert repr(insert("r", (1,)).signed_tuple()) == "+[1]"
+        assert repr(delete("r", (1,)).signed_tuple()) == "-[1]"
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(UpdateError):
+            Update("upsert", "r", (1,))
+
+    def test_inverse(self):
+        u = insert("r", (1, 2))
+        assert u.inverse() == delete("r", (1, 2))
+        assert u.inverse().inverse() == u
+
+    def test_equality_and_hash(self):
+        assert insert("r", (1,)) == insert("r", [1])
+        assert insert("r", (1,)) != delete("r", (1,))
+        assert hash(insert("r", (1,))) == hash(insert("r", (1,)))
+
+    def test_repr(self):
+        assert repr(insert("r1", (4, 2))) == "insert(r1, [4,2])"
+        assert repr(delete("r2", (2, 3))) == "delete(r2, [2,3])"
+
+    def test_modify_is_delete_then_insert(self):
+        ops = modify("r", (1, 2), (1, 3))
+        assert ops == [delete("r", (1, 2)), insert("r", (1, 3))]
