@@ -54,6 +54,7 @@ from repro.costmodel import (
     Scenario2Estimator,
 )
 from repro.errors import (
+    ChannelEmpty,
     ConsistencyViolation,
     ExpressionError,
     ProtocolError,
@@ -61,6 +62,7 @@ from repro.errors import (
     SchemaError,
     SignError,
     SimulationError,
+    TransportClosed,
     UpdateError,
     ViewStateError,
 )
@@ -83,6 +85,13 @@ from repro.relational import (
     UnionView,
     View,
     attr,
+)
+from repro.runtime import (
+    FaultPlan,
+    FaultyTransport,
+    InMemoryTransport,
+    RuntimeResult,
+    run_concurrent,
 )
 from repro.simulation import (
     REFRESH,
@@ -114,6 +123,7 @@ __all__ = [
     "BasicAlgorithm",
     "BatchECA",
     "BestCaseSchedule",
+    "ChannelEmpty",
     "DeferredECA",
     "Comparison",
     "Condition",
@@ -125,6 +135,9 @@ __all__ = [
     "ECAKey",
     "ECALocal",
     "ExpressionError",
+    "FaultPlan",
+    "FaultyTransport",
+    "InMemoryTransport",
     "IndexCatalog",
     "LCA",
     "MINUS",
@@ -141,6 +154,7 @@ __all__ = [
     "RecomputeView",
     "RelationSchema",
     "ReproError",
+    "RuntimeResult",
     "SQLiteSource",
     "Scenario1Estimator",
     "Scenario2Estimator",
@@ -157,6 +171,7 @@ __all__ = [
     "StoredCopies",
     "Term",
     "Trace",
+    "TransportClosed",
     "TrueCondition",
     "UnionView",
     "Update",
@@ -171,6 +186,7 @@ __all__ = [
     "create_algorithm",
     "delete",
     "insert",
+    "run_concurrent",
     "run_simulation",
     "staleness_profile",
 ]

@@ -14,6 +14,9 @@ Commands
     Run the correctness-hierarchy audit over randomized workloads.
 ``crossovers``
     Print the headline crossover points the figures claim.
+``runtime``
+    Run the concurrent asyncio runtime: N sources x M clients, optional
+    fault-injecting transport, consistency verdict and metrics.
 """
 
 from __future__ import annotations
@@ -244,6 +247,92 @@ def cmd_staleness(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_runtime(args: argparse.Namespace) -> int:
+    from repro.consistency import check_trace
+    from repro.core.registry import create_algorithm
+    from repro.experiments.report import render_table
+    from repro.relational.engine import evaluate_view
+    from repro.relational.schema import RelationSchema
+    from repro.relational.views import View
+    from repro.runtime import FaultPlan, run_concurrent
+    from repro.source.memory import MemorySource
+    from repro.warehouse.catalog import WarehouseCatalog
+    from repro.workloads.random_gen import random_workload
+
+    # Topology: N autonomous sources, each owning a two-relation join view
+    # maintained by the chosen algorithm (Section 7: "ECA is simply
+    # applied to each view separately").
+    sources = {}
+    algorithms = {}
+    workload = []
+    for index in range(args.sources):
+        prefix = f"s{index}"
+        schemas = [
+            RelationSchema(f"{prefix}r1", ("W", "X"), key=("W",)),
+            RelationSchema(f"{prefix}r2", ("X", "Y"), key=("Y",)),
+        ]
+        initial = {
+            f"{prefix}r1": [(1, 2), (2, 3)],
+            f"{prefix}r2": [(2, 5), (3, 6)],
+        }
+        source = MemorySource(schemas, initial)
+        sources[prefix] = source
+        view = View.natural_join(f"V{index}", schemas, ["W", "Y"])
+        algorithms[f"V{index}"] = create_algorithm(
+            args.algorithm, view, evaluate_view(view, source.snapshot())
+        )
+        workload.extend(
+            random_workload(
+                schemas,
+                args.updates,
+                seed=args.seed + index,
+                initial=initial,
+                respect_keys=True,
+            )
+        )
+    if len(algorithms) == 1:
+        warehouse = next(iter(algorithms.values()))
+        checkable = warehouse.view
+    else:
+        warehouse = WarehouseCatalog(algorithms)
+        checkable = warehouse
+
+    faults = None
+    if args.faults:
+        faults = FaultPlan(
+            latency=args.latency,
+            jitter=args.jitter,
+            drop_rate=args.drop_rate,
+        )
+    result = run_concurrent(
+        sources,
+        warehouse,
+        workload,
+        clients=args.clients,
+        client_reads=args.reads,
+        faults=faults,
+        seed=args.seed,
+    )
+    report = check_trace(checkable, result.trace)
+
+    print(render_table("Per-actor metrics", result.metrics_table()))
+    print()
+    stat_rows = [
+        dict(channel=name, **stats.as_dict())
+        for name, stats in sorted(result.channel_stats.items())
+    ]
+    print(render_table("Channel statistics", stat_rows))
+    print()
+    print(f"updates executed:   {result.updates}")
+    print(f"warehouse events:   {len(result.trace.events)}")
+    print(f"consistency:        {report.level()}")
+    print(f"quiesce latency:    {result.quiesce_latency:.2f} (virtual)")
+    print(f"virtual duration:   {result.virtual_duration:.2f}")
+    print(f"wall time:          {result.wall_seconds * 1000:.1f} ms")
+    print(f"throughput:         {result.throughput():.0f} updates/s")
+    return 0
+
+
 def cmd_crossovers(args: argparse.Namespace) -> int:
     from repro.costmodel import analytic
 
@@ -313,6 +402,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batches", type=int, nargs="+", default=[4, 12])
     p.add_argument("--seed", type=int, default=9)
     p.set_defaults(func=cmd_staleness)
+
+    p = sub.add_parser(
+        "runtime", help="concurrent asyncio runtime: N sources x M clients"
+    )
+    from repro.core.registry import ALGORITHMS
+
+    p.add_argument("--sources", type=int, default=2, help="number of sources")
+    p.add_argument("--clients", type=int, default=4, help="view-reading clients")
+    p.add_argument("--updates", type=int, default=12, help="updates per source")
+    p.add_argument("--reads", type=int, default=4, help="reads per client")
+    p.add_argument(
+        "--algorithm",
+        default="eca",
+        choices=sorted(ALGORITHMS),
+        help="per-view algorithm (registry name)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="master determinism seed")
+    p.add_argument(
+        "--faults", action="store_true", help="run over the fault-injecting transport"
+    )
+    p.add_argument("--latency", type=float, default=1.0, help="base latency (virtual)")
+    p.add_argument("--jitter", type=float, default=3.0, help="uniform jitter bound")
+    p.add_argument("--drop-rate", type=float, default=0.2, help="per-attempt drop rate")
+    p.set_defaults(func=cmd_runtime)
 
     p = sub.add_parser("crossovers", help="headline crossover points")
     _add_param_arguments(p)

@@ -52,6 +52,18 @@ class CostRecorder:
         self.answer_tuples += tuples
         self.bytes_transferred += tuples * self.params.S
 
+    def message_size(self, message: object) -> int:
+        """On-the-wire bytes of one message, per Section 6's conventions.
+
+        Only answer payloads are charged (``S`` bytes per tuple); requests
+        and update notifications are size 0, mirroring :attr:`bytes`.
+        Usable as a :class:`~repro.messaging.channel.FifoChannel` sizer, so
+        ``channel.sent_bytes`` reproduces the ``B`` metric on the wire.
+        """
+        if isinstance(message, QueryAnswer):
+            return message.answer.total_count() * self.params.S
+        return 0
+
     def record_evaluation(self, query: Query, source: Source) -> None:
         self.terms_evaluated += query.term_count()
         if self.io_estimator is not None:

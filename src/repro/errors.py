@@ -61,6 +61,23 @@ class ProtocolError(ReproError):
     """
 
 
+class ChannelEmpty(ProtocolError):
+    """A receive was attempted on a channel with no deliverable message.
+
+    Distinct from other :class:`ProtocolError` cases so that callers which
+    poll (the concurrent runtime's transports) can treat "nothing there
+    yet" as a wait condition while still surfacing genuine violations.
+    """
+
+
+class TransportClosed(ReproError):
+    """An actor tried to use a transport after the runtime shut it down.
+
+    The concurrent runtime raises this out of pending receives to unwind
+    source, warehouse, and client actors once a run has quiesced.
+    """
+
+
 class SimulationError(ReproError):
     """A simulation schedule requested an impossible step.
 

@@ -2,35 +2,49 @@
 
 A :class:`FifoChannel` delivers messages in exactly the order they were
 sent.  It also counts messages and (via a pluggable sizer) bytes, feeding
-the cost model's ``M`` and ``B`` metrics.
+the cost model's ``M`` and ``B`` metrics: pass a ``sizer`` callable (for
+example :meth:`repro.costmodel.counters.CostRecorder.message_size`) and
+:attr:`FifoChannel.sent_bytes` accumulates the size of every message sent.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterator, List, Optional
+from typing import Callable, Deque, Iterator, List, Optional
 
-from repro.errors import ProtocolError
+from repro.errors import ChannelEmpty
 from repro.messaging.messages import Message
+
+#: Computes the on-the-wire size of one message, in bytes.
+Sizer = Callable[[Message], int]
 
 
 class FifoChannel:
     """A reliable, ordered, unidirectional message queue."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, sizer: Optional[Sizer] = None) -> None:
         self.name = name
         self._queue: Deque[Message] = deque()
+        self._sizer = sizer
         self.sent_count = 0
         self.delivered_count = 0
+        #: Total sized bytes sent; stays 0 without a sizer.
+        self.sent_bytes = 0
 
     def send(self, message: Message) -> None:
         self._queue.append(message)
         self.sent_count += 1
+        if self._sizer is not None:
+            self.sent_bytes += self._sizer(message)
 
     def receive(self) -> Message:
-        """Deliver the oldest undelivered message."""
+        """Deliver the oldest undelivered message.
+
+        Raises :class:`~repro.errors.ChannelEmpty` (a
+        :class:`~repro.errors.ProtocolError`) when nothing is pending.
+        """
         if not self._queue:
-            raise ProtocolError(f"receive on empty channel {self.name!r}")
+            raise ChannelEmpty(f"receive on empty channel {self.name!r}")
         self.delivered_count += 1
         return self._queue.popleft()
 

@@ -1,0 +1,41 @@
+"""Concurrent warehouse runtime: actors over async transports.
+
+The synchronous drivers (:mod:`repro.simulation`,
+:mod:`repro.multisource`) replay hand-scheduled interleavings; this
+package runs the same components — sources, maintenance algorithms,
+message types — as independent asyncio actors whose interleaving emerges
+from concurrency and (optionally) injected transport faults, while
+remaining fully deterministic under a fixed seed.
+
+See ``docs/RUNTIME.md`` for the actor model, the fault knobs, and how
+concurrent traces map onto the Section 3.1 consistency hierarchy.
+"""
+
+from repro.runtime.actors import (
+    ActorMetrics,
+    ClientActor,
+    SourceActor,
+    WarehouseActor,
+)
+from repro.runtime.harness import RuntimeResult, run_concurrent
+from repro.runtime.transport import (
+    AsyncTransport,
+    ChannelStats,
+    FaultPlan,
+    FaultyTransport,
+    InMemoryTransport,
+)
+
+__all__ = [
+    "ActorMetrics",
+    "AsyncTransport",
+    "ChannelStats",
+    "ClientActor",
+    "FaultPlan",
+    "FaultyTransport",
+    "InMemoryTransport",
+    "RuntimeResult",
+    "SourceActor",
+    "WarehouseActor",
+    "run_concurrent",
+]

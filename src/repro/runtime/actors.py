@@ -1,0 +1,360 @@
+"""The runtime's actors: sources, the warehouse, and reading clients.
+
+Each actor is a coroutine owning one inbox channel (two naming helpers
+below fix the topology).  Actors reuse the existing components unchanged:
+
+- :class:`SourceActor` wraps any :class:`repro.source.base.Source`.  It
+  executes its own workload at its own (seeded) pace and concurrently
+  answers warehouse queries — the decoupling-in-time that creates the
+  paper's anomalies now arises from genuine concurrency instead of a
+  hand-written schedule.
+- :class:`WarehouseActor` wraps any maintenance algorithm: the
+  single-source :class:`~repro.core.protocol.WarehouseAlgorithm` protocol
+  (``on_update(notification)``), including multi-view
+  :class:`~repro.warehouse.catalog.WarehouseCatalog`, and the
+  multi-source protocol (``on_update(source, notification)`` returning
+  routed pairs) of the Strobe family.  Single-protocol query requests are
+  routed to the source owning the relations they read.
+- :class:`ClientActor` issues refresh requests and reads the materialized
+  view, recording what state it observed at what virtual time.
+
+Actors never share mutable state except through the transport and the
+harness's recording hooks; within one event-loop step each message is
+processed atomically (no awaits inside an algorithm call), matching the
+paper's atomic-event assumption.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import random
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ChannelEmpty, ProtocolError, TransportClosed
+from repro.messaging.messages import (
+    Message,
+    QueryAnswer,
+    QueryRequest,
+    RefreshRequest,
+    UpdateNotification,
+)
+from repro.relational.bag import SignedBag
+from repro.relational.expressions import Query
+from repro.runtime.transport import AsyncTransport
+from repro.source.base import Source
+from repro.source.updates import Update
+
+
+def source_inbox(name: str) -> str:
+    """Channel carrying warehouse -> source query requests."""
+    return f"wh->{name}"
+
+
+def warehouse_inbox(name: str) -> str:
+    """Channel carrying source/client -> warehouse traffic."""
+    return f"{name}->wh"
+
+
+class ActorMetrics:
+    """Message/byte counters common to every actor."""
+
+    __slots__ = ("name", "role", "sent", "received", "events")
+
+    def __init__(self, name: str, role: str) -> None:
+        self.name = name
+        self.role = role
+        self.sent = 0
+        self.received = 0
+        #: Role-specific event counts (updates applied, queries answered,
+        #: reads performed, ...).
+        self.events: Dict[str, int] = {}
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        self.events[key] = self.events.get(key, 0) + amount
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "role": self.role,
+            "sent": self.sent,
+            "received": self.received,
+        }
+        out.update(sorted(self.events.items()))
+        return out
+
+    def __repr__(self) -> str:
+        return f"ActorMetrics({self.name}, sent={self.sent}, received={self.received})"
+
+
+class SourceActor:
+    """Runs one source: applies its workload, answers queries, concurrently.
+
+    Parameters
+    ----------
+    name, source, transport:
+        Identity, the wrapped database, and the shared transport.
+    workload:
+        The updates this source will execute, in order.
+    recorder:
+        The harness's trace recorder (assigns global serials and snapshots
+        the combined source state — see ``harness._TraceRecorder``).
+    seed, max_burst:
+        A per-actor RNG decides how many updates to apply before yielding
+        (1..max_burst); different seeds explore different interleavings of
+        update execution against query answering, deterministically.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        source: Source,
+        transport: AsyncTransport,
+        workload: Sequence[Update],
+        recorder: "object",
+        seed: int = 0,
+        max_burst: int = 2,
+    ) -> None:
+        self.name = name
+        self.source = source
+        self.transport = transport
+        self.recorder = recorder
+        self.inbox = source_inbox(name)
+        self.outbox = warehouse_inbox(name)
+        self._workload: Deque[Update] = deque(workload)
+        self._rng = random.Random(seed)
+        self._max_burst = max(1, max_burst)
+        self.metrics = ActorMetrics(name, "source")
+        self.workload_done = len(self._workload) == 0
+
+    async def run(self) -> None:
+        while self._workload:
+            for _ in range(1 + self._rng.randrange(self._max_burst)):
+                if not self._workload:
+                    break
+                await self._apply_next()
+            # Service whatever queries have arrived before the next burst,
+            # so answers interleave with later updates (the anomaly soup).
+            while True:
+                try:
+                    request = self.transport.receive_nowait(self.inbox)
+                except ChannelEmpty:
+                    break
+                await self._answer(request)
+            # Sends never block, so yield explicitly: this is the point
+            # where the warehouse and the other actors actually run.
+            await asyncio.sleep(0)
+        self.workload_done = True
+        # Keep answering until the harness closes the transport.
+        while True:
+            try:
+                request = await self.transport.recv(self.inbox)
+            except TransportClosed:
+                return
+            await self._answer(request)
+
+    async def _apply_next(self) -> None:
+        update = self._workload.popleft()
+        self.source.apply_update(update)
+        serial = self.recorder.record_update(self.name, update)
+        self.metrics.bump("updates_applied")
+        self.metrics.sent += 1
+        await self.transport.send(self.outbox, UpdateNotification(update, serial))
+
+    async def _answer(self, message: Message) -> None:
+        if not isinstance(message, QueryRequest):
+            raise ProtocolError(f"source {self.name} received {message!r}")
+        self.metrics.received += 1
+        answer = self.source.evaluate(message.query)
+        self.recorder.record_query(self.name, message.query_id, answer)
+        self.metrics.bump("queries_answered")
+        self.metrics.sent += 1
+        await self.transport.send(self.outbox, QueryAnswer(message.query_id, answer))
+
+
+def _is_multi_source_protocol(algorithm: object) -> bool:
+    """True for ``on_update(source, notification)`` style algorithms."""
+    parameters = inspect.signature(algorithm.on_update).parameters
+    return len(parameters) >= 2
+
+
+def _query_owner(query: Query, owners: Dict[str, str]) -> str:
+    """The single source owning every base relation the query reads."""
+    found = set()
+    for term in query.terms:
+        for operand in term.operands:
+            if operand.is_bound:
+                continue
+            relation = operand.source_relation
+            try:
+                found.add(owners[relation])
+            except KeyError:
+                raise ProtocolError(
+                    f"no source owns relation {relation!r}"
+                ) from None
+    if len(found) != 1:
+        raise ProtocolError(
+            f"query reads relations of sources {sorted(found)!r}; "
+            f"single-source algorithms need fragment routing — use a "
+            f"multi-source algorithm (e.g. StrobeStyle) for spanning views"
+        )
+    return found.pop()
+
+
+class WarehouseActor:
+    """Runs the maintenance algorithm over all incoming channels.
+
+    ``inboxes`` lists every channel feeding the warehouse (one per source,
+    one per client); message interleaving across them is decided by the
+    transport's delivery times.  Outgoing query requests are routed to the
+    owning source (single-source protocol) or to the destination the
+    algorithm names (multi-source protocol).
+    """
+
+    def __init__(
+        self,
+        algorithm: object,
+        transport: AsyncTransport,
+        inboxes: Sequence[str],
+        owners: Dict[str, str],
+        recorder: "object",
+    ) -> None:
+        self.algorithm = algorithm
+        self.transport = transport
+        self.inboxes = tuple(inboxes)
+        self.owners = dict(owners)
+        self.recorder = recorder
+        self.metrics = ActorMetrics("warehouse", "warehouse")
+        self._multi = _is_multi_source_protocol(algorithm)
+        #: source name an UpdateNotification/QueryAnswer arrived from,
+        #: recovered from the channel name.
+        self._channel_source = {
+            warehouse_inbox(name): name for name in set(owners.values())
+        }
+
+    async def run(self) -> None:
+        while True:
+            try:
+                channel, message = await self.transport.recv_any(self.inboxes)
+            except TransportClosed:
+                return
+            self.metrics.received += 1
+            await self._dispatch(channel, message)
+            # One atomic event per scheduling slice: yield so sources and
+            # clients interleave between warehouse events, as in the paper.
+            await asyncio.sleep(0)
+
+    async def _dispatch(self, channel: str, message: Message) -> None:
+        origin = self._channel_source.get(channel)
+        if isinstance(message, UpdateNotification):
+            routed = self._on_update(origin, message)
+            detail = f"U{message.serial} from {origin}, {len(routed)} query(ies)"
+            kind = "W_up"
+        elif isinstance(message, QueryAnswer):
+            routed = self._on_answer(origin, message)
+            detail = f"A(Q{message.query_id}) from {origin}, {len(routed)} follow-up(s)"
+            kind = "W_ans"
+        elif isinstance(message, RefreshRequest):
+            routed = self._on_refresh()
+            detail = f"refresh #{message.serial} processed"
+            kind = "W_ref"
+        else:
+            raise ProtocolError(f"warehouse received unknown message: {message!r}")
+        for destination, request in routed:
+            self.metrics.sent += 1
+            self.recorder.record_request(request)
+            await self.transport.send(source_inbox(destination), request)
+        self.recorder.record_warehouse_event(kind, detail)
+
+    # ------------------------------------------------------------------ #
+    # Protocol adapters: both return routed (destination, request) pairs
+    # ------------------------------------------------------------------ #
+
+    def _on_update(
+        self, origin: Optional[str], message: UpdateNotification
+    ) -> List[Tuple[str, QueryRequest]]:
+        if origin is None:
+            raise ProtocolError("update notification arrived on a client channel")
+        if self._multi:
+            return list(self.algorithm.on_update(origin, message))
+        return self._route(self.algorithm.on_update(message))
+
+    def _on_answer(
+        self, origin: Optional[str], message: QueryAnswer
+    ) -> List[Tuple[str, QueryRequest]]:
+        if origin is None:
+            raise ProtocolError("query answer arrived on a client channel")
+        if self._multi:
+            return list(self.algorithm.on_answer(origin, message))
+        return self._route(self.algorithm.on_answer(message))
+
+    def _on_refresh(self) -> List[Tuple[str, QueryRequest]]:
+        on_refresh = getattr(self.algorithm, "on_refresh", None)
+        if on_refresh is None:
+            return []  # multi-source algorithms are all-immediate
+        return self._route(on_refresh())
+
+    def _route(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[Tuple[str, QueryRequest]]:
+        return [
+            (_query_owner(request.query, self.owners), request)
+            for request in requests
+        ]
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+
+    def view_state(self) -> SignedBag:
+        return self.algorithm.view_state()
+
+    def is_quiescent(self) -> bool:
+        return self.algorithm.is_quiescent()
+
+
+class ClientActor:
+    """A warehouse client: requests refreshes and reads the view.
+
+    Reads happen at event-loop scheduling points, so every observation is
+    some state the warehouse actually exposed between atomic events —
+    recorded as ``(virtual time, view contents)`` in ``observations`` for
+    staleness analysis by the harness.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        transport: AsyncTransport,
+        warehouse: WarehouseActor,
+        recorder: "object",
+        reads: int = 4,
+        seed: int = 0,
+        max_think: int = 4,
+    ) -> None:
+        self.name = name
+        self.transport = transport
+        self.warehouse = warehouse
+        self.recorder = recorder
+        self.outbox = warehouse_inbox(name)
+        self.reads = reads
+        self._rng = random.Random(seed)
+        self._max_think = max(1, max_think)
+        self.metrics = ActorMetrics(name, "client")
+        self.observations: List[Tuple[float, SignedBag]] = []
+
+    async def run(self) -> None:
+        for serial in range(1, self.reads + 1):
+            try:
+                await self.transport.send(self.outbox, RefreshRequest(serial))
+            except TransportClosed:
+                return
+            self.metrics.sent += 1
+            self.recorder.record_refresh(self.name, serial)
+            # Think, then read whatever the warehouse currently exposes.
+            for _ in range(self._rng.randrange(self._max_think) + 1):
+                await asyncio.sleep(0)
+            self.observations.append(
+                (self.transport.now(), self.warehouse.view_state())
+            )
+            self.metrics.bump("reads")

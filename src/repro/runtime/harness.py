@@ -1,0 +1,363 @@
+"""``run_concurrent``: drive N sources × M clients to quiescence.
+
+The harness wires sources, one warehouse, and view-reading clients onto a
+shared transport, runs them as asyncio tasks, and records a global
+:class:`~repro.simulation.trace.Trace` exactly like the synchronous
+drivers do — one source snapshot per executed update, one view snapshot
+per warehouse event — so :func:`repro.consistency.checker.check_trace`
+classifies concurrent executions against the Section 3.1 hierarchy with
+no changes.
+
+Everything runs on one event loop with no wall-clock waits, so a run is
+deterministic: the same sources, workloads, seed, and fault plan replay
+the identical event trace.  Wall-clock duration is measured only as a
+throughput metric and never feeds back into scheduling.
+
+Termination: the harness waits for every client to finish and every
+source workload to drain, then polls (at scheduling points) until all
+channels are empty and the algorithm is quiescent, and finally closes the
+transport, unwinding the actor tasks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.messaging.messages import QueryRequest
+from repro.relational.bag import SignedBag
+from repro.runtime.actors import (
+    ActorMetrics,
+    ClientActor,
+    SourceActor,
+    WarehouseActor,
+    warehouse_inbox,
+)
+from repro.runtime.transport import (
+    AsyncTransport,
+    ChannelStats,
+    FaultPlan,
+    FaultyTransport,
+    InMemoryTransport,
+)
+from repro.simulation.trace import C_REF, S_QU, S_UP, Trace
+from repro.source.base import Source
+from repro.source.updates import Update
+
+SourcesArg = Union[Source, Mapping[str, Source]]
+WorkloadArg = Union[Sequence[Update], Mapping[str, Sequence[Update]]]
+
+#: Safety valve for the quiescence poll loop.
+_MAX_POLLS = 1_000_000
+
+
+class _TraceRecorder:
+    """The harness's single-writer view of the global history.
+
+    Actors call these hooks between awaits, so each hook runs atomically
+    with the event it records; the trace's event order *is* the execution
+    order.
+    """
+
+    def __init__(self, sources: Mapping[str, Source], transport: AsyncTransport) -> None:
+        self._sources = dict(sources)
+        self._transport = transport
+        self.trace = Trace()
+        self.serial = 0
+        self.last_update_at = 0.0
+        self.requests = 0
+        self._warehouse: Optional[WarehouseActor] = None
+
+    def snapshot(self) -> Dict[str, SignedBag]:
+        combined: Dict[str, SignedBag] = {}
+        for source in self._sources.values():
+            combined.update(source.snapshot())
+        return combined
+
+    def record_initial(self, warehouse: WarehouseActor) -> None:
+        self.trace.record_source_state(self.snapshot())
+        self.trace.record_view_state(warehouse.view_state())
+        self._warehouse = warehouse
+
+    def record_update(self, source_name: str, update: Update) -> int:
+        self.serial += 1
+        self.trace.record_event(S_UP, f"U{self.serial}@{source_name} = {update!r}")
+        self.trace.record_source_state(self.snapshot())
+        self.last_update_at = self._transport.now()
+        return self.serial
+
+    def record_query(self, source_name: str, query_id: int, answer: SignedBag) -> None:
+        self.trace.record_event(
+            S_QU,
+            f"{source_name}: Q{query_id} -> {answer.total_count()} tuple(s)",
+        )
+
+    def record_request(self, request: QueryRequest) -> None:
+        self.requests += 1
+
+    def record_refresh(self, client_name: str, serial: int) -> None:
+        self.trace.record_event(C_REF, f"{client_name} refresh #{serial}")
+
+    def record_warehouse_event(self, kind: str, detail: str) -> None:
+        self.trace.record_event(kind, detail)
+        self.trace.record_view_state(self._warehouse.view_state())
+
+
+class RuntimeResult:
+    """Everything one concurrent run produced."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        metrics: Dict[str, ActorMetrics],
+        channel_stats: Dict[str, ChannelStats],
+        updates: int,
+        quiesce_latency: float,
+        virtual_duration: float,
+        wall_seconds: float,
+        observations: Dict[str, List[Tuple[float, SignedBag]]],
+        final_view: SignedBag,
+    ) -> None:
+        self.trace = trace
+        self.metrics = metrics
+        self.channel_stats = channel_stats
+        self.updates = updates
+        #: Virtual time from the last executed update to quiescence
+        #: (0 on the reliable zero-latency transport).
+        self.quiesce_latency = quiesce_latency
+        #: Total virtual time the run spanned.
+        self.virtual_duration = virtual_duration
+        #: Real time the run took (throughput denominator only).
+        self.wall_seconds = wall_seconds
+        #: Per-client ``(virtual time, view contents)`` read samples.
+        self.observations = observations
+        self.final_view = final_view
+
+    def throughput(self) -> float:
+        """Updates fully processed per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.updates / self.wall_seconds
+
+    def metrics_table(self) -> List[Dict[str, object]]:
+        """Uniform-column rows (renderable with ``render_table``)."""
+        dicts = {name: self.metrics[name].as_dict() for name in self.metrics}
+        columns: List[str] = []
+        for fields in dicts.values():
+            for key in fields:
+                if key not in columns:
+                    columns.append(key)
+        rows = []
+        for name in sorted(dicts):
+            row: Dict[str, object] = {"actor": name}
+            row.update({column: dicts[name].get(column, 0) for column in columns})
+            rows.append(row)
+        return rows
+
+    def __repr__(self) -> str:
+        return (
+            f"RuntimeResult(updates={self.updates}, events="
+            f"{len(self.trace.events)}, quiesce_latency={self.quiesce_latency:g})"
+        )
+
+
+def _normalize_sources(sources: SourcesArg) -> Dict[str, Source]:
+    if isinstance(sources, Source):
+        return {"source": sources}
+    named = dict(sources)
+    if not named:
+        raise SimulationError("run_concurrent needs at least one source")
+    return named
+
+
+def _relation_owners(sources: Mapping[str, Source]) -> Dict[str, str]:
+    owners: Dict[str, str] = {}
+    for name, source in sources.items():
+        for schema in source.schemas:
+            if schema.name in owners:
+                raise SimulationError(f"relation {schema.name!r} owned by two sources")
+            owners[schema.name] = name
+    return owners
+
+
+def _normalize_workloads(
+    workload: WorkloadArg,
+    sources: Mapping[str, Source],
+    owners: Mapping[str, str],
+) -> Dict[str, List[Update]]:
+    """Split a global update stream per owning source (or pass through)."""
+    if isinstance(workload, Mapping):
+        per_source = {name: list(updates) for name, updates in workload.items()}
+        unknown = set(per_source) - set(sources)
+        if unknown:
+            raise SimulationError(f"workload names unknown sources: {sorted(unknown)}")
+    else:
+        per_source = {name: [] for name in sources}
+        for update in workload:
+            owner = owners.get(update.relation)
+            if owner is None:
+                raise SimulationError(f"no source owns relation {update.relation!r}")
+            per_source[owner].append(update)
+    for name in sources:
+        per_source.setdefault(name, [])
+    return per_source
+
+
+def run_concurrent(
+    sources: SourcesArg,
+    algorithm: object,
+    workload: WorkloadArg,
+    *,
+    clients: int = 0,
+    client_reads: int = 4,
+    faults: Optional[FaultPlan] = None,
+    seed: int = 0,
+    max_burst: int = 2,
+    sizer: Optional[object] = None,
+) -> RuntimeResult:
+    """Run sources, warehouse, and clients concurrently to quiescence.
+
+    Parameters
+    ----------
+    sources:
+        One :class:`Source` or a ``name -> Source`` mapping (relation
+        names must be globally unique).
+    algorithm:
+        Any single-source :class:`~repro.core.protocol.WarehouseAlgorithm`
+        (or :class:`~repro.warehouse.catalog.WarehouseCatalog`), or a
+        multi-source algorithm with the routed
+        ``on_update(source, notification)`` protocol.
+    workload:
+        A global update sequence (routed to owning sources) or a
+        ``source name -> updates`` mapping.
+    clients:
+        Number of concurrent view-reading clients.
+    faults:
+        A :class:`FaultPlan` to run over the fault-injecting transport;
+        ``None`` uses the reliable zero-latency transport.
+    seed:
+        Master seed: actor pacing and transport faults derive their
+        private RNGs from it, so one seed pins the whole execution.
+    max_burst:
+        Largest number of updates a source applies before yielding.
+    sizer:
+        Optional message sizer for byte accounting (e.g.
+        ``CostRecorder().message_size``).
+    """
+    named_sources = _normalize_sources(sources)
+    owners = _relation_owners(named_sources)
+    workloads = _normalize_workloads(workload, named_sources, owners)
+    total_updates = sum(len(w) for w in workloads.values())
+
+    inner = InMemoryTransport(sizer=sizer)
+    transport: AsyncTransport = (
+        FaultyTransport(inner, plan=faults, seed=seed + 0x5EED) if faults else inner
+    )
+    recorder = _TraceRecorder(named_sources, transport)
+
+    warehouse = WarehouseActor(
+        algorithm,
+        transport,
+        inboxes=[warehouse_inbox(name) for name in sorted(named_sources)]
+        + [warehouse_inbox(f"client-{i}") for i in range(clients)],
+        owners=owners,
+        recorder=recorder,
+    )
+    recorder.record_initial(warehouse)
+
+    source_actors = [
+        SourceActor(
+            name,
+            named_sources[name],
+            transport,
+            workloads[name],
+            recorder,
+            seed=seed + 1 + index,
+            max_burst=max_burst,
+        )
+        for index, name in enumerate(sorted(named_sources))
+    ]
+    client_actors = [
+        ClientActor(
+            f"client-{i}",
+            transport,
+            warehouse,
+            recorder,
+            reads=client_reads,
+            seed=seed + 101 + i,
+        )
+        for i in range(clients)
+    ]
+
+    started = time.perf_counter()
+    asyncio.run(_drive(transport, warehouse, source_actors, client_actors))
+    wall_seconds = time.perf_counter() - started
+
+    if not warehouse.is_quiescent():
+        raise SimulationError(
+            f"algorithm {getattr(algorithm, 'name', algorithm)!r} failed to "
+            f"quiesce after the workload drained"
+        )
+
+    metrics = {actor.metrics.name: actor.metrics for actor in source_actors}
+    metrics["warehouse"] = warehouse.metrics
+    for client in client_actors:
+        metrics[client.name] = client.metrics
+
+    return RuntimeResult(
+        trace=recorder.trace,
+        metrics=metrics,
+        channel_stats=transport.stats(),
+        updates=total_updates,
+        quiesce_latency=max(0.0, transport.now() - recorder.last_update_at),
+        virtual_duration=transport.now(),
+        wall_seconds=wall_seconds,
+        observations={c.name: c.observations for c in client_actors},
+        final_view=warehouse.view_state(),
+    )
+
+
+async def _drive(
+    transport: AsyncTransport,
+    warehouse: WarehouseActor,
+    source_actors: Sequence[SourceActor],
+    client_actors: Sequence[ClientActor],
+) -> None:
+    tasks = [asyncio.ensure_future(actor.run()) for actor in source_actors]
+    warehouse_task = asyncio.ensure_future(warehouse.run())
+    client_tasks = [asyncio.ensure_future(actor.run()) for actor in client_actors]
+
+    try:
+        # Clients perform a bounded number of reads; wait them out first.
+        if client_tasks:
+            await asyncio.gather(*client_tasks)
+        # Then poll for global quiescence: workloads drained, channels
+        # empty, algorithm holding no deferred work.  Every poll iteration
+        # yields, letting all ready actors take a step.
+        for _ in range(_MAX_POLLS):
+            await asyncio.sleep(0)
+            if warehouse_task.done() or any(task.done() for task in tasks):
+                break  # an actor died early; surface its exception below
+            if (
+                all(actor.workload_done for actor in source_actors)
+                and transport.total_pending() == 0
+                and warehouse.is_quiescent()
+            ):
+                break
+        else:
+            raise SimulationError(
+                f"runtime did not quiesce within {_MAX_POLLS} polls "
+                f"(pending={transport.total_pending()})"
+            )
+    finally:
+        transport.close()
+        outcome = await asyncio.gather(
+            *tasks, warehouse_task, *client_tasks, return_exceptions=True
+        )
+        for result in outcome:
+            if isinstance(result, Exception) and not isinstance(
+                result, asyncio.CancelledError
+            ):
+                raise result

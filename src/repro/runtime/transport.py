@@ -1,0 +1,404 @@
+"""Async transports for the concurrent runtime.
+
+The runtime's actors exchange the ordinary :mod:`repro.messaging`
+messages over named, unidirectional channels owned by a transport.
+Two transports are provided:
+
+- :class:`InMemoryTransport` — reliable and instantaneous.  Every message
+  is deliverable the moment it is sent, per-channel FIFO is exact, and a
+  receiver selecting over several channels sees them merged in global
+  send order.  This reproduces the paper's messaging assumptions
+  (Section 2) in a concurrent setting.
+
+- :class:`FaultyTransport` — a wrapper that injects faults described by a
+  :class:`FaultPlan`: base latency, seeded jitter, and drop-with-retry
+  (each attempt may be lost; the sender retries after a timeout with
+  exponential backoff until the message gets through).  Faults reorder
+  deliveries *across* channels; within a channel FIFO is preserved by
+  default (the paper's assumption — disable ``fifo_per_channel`` to
+  demonstrate what breaks without it).
+
+Time is **virtual**: the transport carries a logical clock that advances
+to each message's delivery time as it is received.  Nothing ever waits on
+the wall clock, so a run is a pure function of the actors' behavior and
+the fault plan's seed — the same seed replays the identical execution,
+which is what makes fault-injection runs debuggable and testable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ChannelEmpty, ProtocolError, TransportClosed
+from repro.messaging.channel import Sizer
+from repro.messaging.messages import Message
+
+
+class ChannelStats:
+    """Per-channel delivery accounting (feeds the runtime metrics)."""
+
+    __slots__ = (
+        "name",
+        "sent",
+        "delivered",
+        "sent_bytes",
+        "dropped",
+        "retries",
+        "max_pending",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.sent = 0
+        self.delivered = 0
+        self.sent_bytes = 0
+        self.dropped = 0
+        self.retries = 0
+        self.max_pending = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "bytes": self.sent_bytes,
+            "dropped": self.dropped,
+            "retries": self.retries,
+            "max_pending": self.max_pending,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ChannelStats({self.name}, sent={self.sent}, "
+            f"delivered={self.delivered}, dropped={self.dropped})"
+        )
+
+
+class FaultPlan:
+    """Knobs for :class:`FaultyTransport` (all delays in virtual time).
+
+    Parameters
+    ----------
+    latency:
+        Base delivery delay added to every message.
+    jitter:
+        Extra uniform-random delay in ``[0, jitter)``; differing draws on
+        different channels are what reorder deliveries across channels.
+    drop_rate:
+        Probability that any single transmission attempt is lost.
+    retry_timeout:
+        Virtual time the sender waits before retransmitting a lost attempt.
+    backoff:
+        Multiplier applied to the timeout on each further retry.
+    max_retries:
+        Deterministic backstop: after this many lost attempts the next
+        transmission succeeds, so every run terminates.
+    fifo_per_channel:
+        When True (default), delivery order within one channel always
+        matches send order even when latencies would say otherwise — the
+        paper's per-channel FIFO assumption.  Disable to let jitter
+        reorder within a channel too (breaks ECA; useful for demos).
+    """
+
+    __slots__ = (
+        "latency",
+        "jitter",
+        "drop_rate",
+        "retry_timeout",
+        "backoff",
+        "max_retries",
+        "fifo_per_channel",
+    )
+
+    def __init__(
+        self,
+        latency: float = 1.0,
+        jitter: float = 0.0,
+        drop_rate: float = 0.0,
+        retry_timeout: float = 4.0,
+        backoff: float = 2.0,
+        max_retries: int = 16,
+        fifo_per_channel: bool = True,
+    ) -> None:
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1), got {drop_rate}")
+        if latency < 0 or jitter < 0 or retry_timeout < 0:
+            raise ValueError("latency, jitter, and retry_timeout must be >= 0")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.latency = latency
+        self.jitter = jitter
+        self.drop_rate = drop_rate
+        self.retry_timeout = retry_timeout
+        self.backoff = backoff
+        self.max_retries = max_retries
+        self.fifo_per_channel = fifo_per_channel
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(latency={self.latency}, jitter={self.jitter}, "
+            f"drop_rate={self.drop_rate}, fifo={self.fifo_per_channel})"
+        )
+
+
+#: One queued delivery: (deliver_at, global send sequence, message).
+_Entry = Tuple[float, int, Message]
+
+
+class AsyncTransport(ABC):
+    """Named unidirectional channels with awaitable receives.
+
+    Channels are created on first use.  Each channel is expected to have a
+    single consumer (the runtime wires one inbox per actor); multiple
+    producers are fine.
+    """
+
+    @abstractmethod
+    async def send(self, channel: str, message: Message) -> None:
+        """Queue ``message`` for delivery on ``channel``."""
+
+    @abstractmethod
+    def receive_nowait(self, channel: str) -> Message:
+        """Deliver the next message, or raise :class:`ChannelEmpty`."""
+
+    @abstractmethod
+    async def recv_any(self, channels: Sequence[str]) -> Tuple[str, Message]:
+        """Wait for the earliest deliverable message on any of ``channels``.
+
+        "Earliest" means smallest (delivery time, send sequence), so a
+        receiver with several inboxes sees exactly the interleaving the
+        transport's latencies induce.  Raises :class:`TransportClosed`
+        once the transport is closed and the channels are drained.
+        """
+
+    async def recv(self, channel: str) -> Message:
+        """Wait for the next message on one channel."""
+        _, message = await self.recv_any((channel,))
+        return message
+
+    @abstractmethod
+    def pending(self, channel: str) -> int:
+        """Messages queued (sent, not yet received) on ``channel``."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current virtual time."""
+
+    @abstractmethod
+    def stats(self) -> Dict[str, ChannelStats]:
+        """Per-channel accounting, keyed by channel name."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Shut down: pending and future receives raise TransportClosed."""
+
+
+class InMemoryTransport(AsyncTransport):
+    """Reliable, zero-latency transport (the paper's network).
+
+    Deterministic: waiters are woken in FIFO order and ties between
+    channels break on the global send sequence number.
+    """
+
+    def __init__(self, sizer: Optional[Sizer] = None) -> None:
+        self._queues: Dict[str, Deque[_Entry]] = {}
+        self._stats: Dict[str, ChannelStats] = {}
+        self._waiters: Deque[Tuple[Tuple[str, ...], "asyncio.Future[None]"]] = deque()
+        self._sizer = sizer
+        self._seq = itertools.count()
+        self._clock = 0.0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+
+    async def send(self, channel: str, message: Message) -> None:
+        self._enqueue(channel, message, self._clock)
+
+    def _enqueue(self, channel: str, message: Message, deliver_at: float) -> None:
+        if self._closed:
+            raise TransportClosed(f"send on closed transport (channel {channel!r})")
+        queue = self._queues.setdefault(channel, deque())
+        stats = self._stats.setdefault(channel, ChannelStats(channel))
+        entry = (deliver_at, next(self._seq), message)
+        # Keep each queue sorted by (deliver_at, seq).  Reliable and
+        # FIFO-clamped sends arrive with non-decreasing times, so this is
+        # an O(1) append; only a non-FIFO fault plan ever inserts earlier.
+        position = len(queue)
+        while position > 0 and queue[position - 1][:2] > entry[:2]:
+            position -= 1
+        queue.insert(position, entry)
+        stats.sent += 1
+        if self._sizer is not None:
+            stats.sent_bytes += self._sizer(message)
+        stats.max_pending = max(stats.max_pending, len(queue))
+        self._wake(channel)
+
+    def _wake(self, channel: str) -> None:
+        for channels, future in self._waiters:
+            if not future.done() and channel in channels:
+                future.set_result(None)
+                return
+
+    # ------------------------------------------------------------------ #
+    # Receiving
+    # ------------------------------------------------------------------ #
+
+    def _head(self, channel: str) -> Optional[_Entry]:
+        queue = self._queues.get(channel)
+        return queue[0] if queue else None
+
+    def receive_nowait(self, channel: str) -> Message:
+        head = self._head(channel)
+        if head is None:
+            raise ChannelEmpty(f"receive on empty channel {channel!r}")
+        return self._pop(channel)
+
+    def _pop(self, channel: str) -> Message:
+        deliver_at, _, message = self._queues[channel].popleft()
+        self._clock = max(self._clock, deliver_at)
+        self._stats[channel].delivered += 1
+        return message
+
+    async def recv_any(self, channels: Sequence[str]) -> Tuple[str, Message]:
+        wanted = tuple(channels)
+        if not wanted:
+            raise ProtocolError("recv_any needs at least one channel")
+        while True:
+            best: Optional[str] = None
+            best_key: Optional[Tuple[float, int]] = None
+            for channel in wanted:
+                head = self._head(channel)
+                if head is None:
+                    continue
+                key = (head[0], head[1])
+                if best_key is None or key < best_key:
+                    best, best_key = channel, key
+            if best is not None:
+                return best, self._pop(best)
+            if self._closed:
+                raise TransportClosed(
+                    f"transport closed with nothing pending on {wanted!r}"
+                )
+            future: "asyncio.Future[None]" = (
+                asyncio.get_running_loop().create_future()
+            )
+            self._waiters.append((wanted, future))
+            try:
+                await future
+            finally:
+                self._waiters.remove((wanted, future))
+
+    # ------------------------------------------------------------------ #
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------ #
+
+    def pending(self, channel: str) -> int:
+        queue = self._queues.get(channel)
+        return len(queue) if queue else 0
+
+    def total_pending(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def now(self) -> float:
+        return self._clock
+
+    def stats(self) -> Dict[str, ChannelStats]:
+        return dict(self._stats)
+
+    def close(self) -> None:
+        self._closed = True
+        for _, future in self._waiters:
+            if not future.done():
+                future.set_exception(
+                    TransportClosed("transport closed while waiting")
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(channels={len(self._queues)}, "
+            f"pending={self.total_pending()}, t={self._clock:g})"
+        )
+
+
+class FaultyTransport(AsyncTransport):
+    """Fault-injecting wrapper around an :class:`InMemoryTransport`.
+
+    All queueing, waiting, and clock machinery is delegated to the inner
+    transport; this wrapper only decides *when* each send is delivered,
+    drawing latency, jitter, and drop/retry outcomes from a private seeded
+    RNG.  Same seed + same send sequence ⇒ same delivery schedule.
+    """
+
+    def __init__(
+        self,
+        inner: Optional[InMemoryTransport] = None,
+        plan: Optional[FaultPlan] = None,
+        seed: int = 0,
+    ) -> None:
+        self.inner = inner if inner is not None else InMemoryTransport()
+        self.plan = plan if plan is not None else FaultPlan()
+        self._rng = random.Random(seed)
+        #: Last scheduled delivery time per channel (the FIFO clamp).
+        self._last_delivery: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Sending: the only place faults exist
+    # ------------------------------------------------------------------ #
+
+    async def send(self, channel: str, message: Message) -> None:
+        plan = self.plan
+        delay = plan.latency
+        if plan.jitter:
+            delay += self._rng.uniform(0.0, plan.jitter)
+        # Each attempt may be dropped; the sender retries after a timeout
+        # that backs off exponentially.  max_retries bounds the loop so
+        # the schedule (and the run) always terminates.
+        drops = 0
+        timeout = plan.retry_timeout
+        while drops < plan.max_retries and self._rng.random() < plan.drop_rate:
+            delay += timeout
+            timeout *= plan.backoff
+            drops += 1
+        deliver_at = self.inner.now() + delay
+        if plan.fifo_per_channel:
+            deliver_at = max(deliver_at, self._last_delivery.get(channel, 0.0))
+        self._last_delivery[channel] = deliver_at
+        self.inner._enqueue(channel, message, deliver_at)
+        if drops:
+            stats = self.inner.stats()[channel]
+            stats.dropped += drops
+            stats.retries += drops
+
+    # ------------------------------------------------------------------ #
+    # Everything else delegates
+    # ------------------------------------------------------------------ #
+
+    def receive_nowait(self, channel: str) -> Message:
+        return self.inner.receive_nowait(channel)
+
+    async def recv_any(self, channels: Sequence[str]) -> Tuple[str, Message]:
+        return await self.inner.recv_any(channels)
+
+    def pending(self, channel: str) -> int:
+        return self.inner.pending(channel)
+
+    def total_pending(self) -> int:
+        return self.inner.total_pending()
+
+    def now(self) -> float:
+        return self.inner.now()
+
+    def stats(self) -> Dict[str, ChannelStats]:
+        return self.inner.stats()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __repr__(self) -> str:
+        return f"FaultyTransport({self.plan!r}, inner={self.inner!r})"

@@ -74,8 +74,11 @@ class Simulation:
         self.algorithm = algorithm
         self.recorder = recorder
         self._updates: Deque[Update] = deque(workload)
-        self.to_warehouse = FifoChannel("source->warehouse")
-        self.to_source = FifoChannel("warehouse->source")
+        # A recorder that can size messages doubles as the channel sizer,
+        # so the B metric is also observable on the wire (sent_bytes).
+        sizer = getattr(recorder, "message_size", None)
+        self.to_warehouse = FifoChannel("source->warehouse", sizer=sizer)
+        self.to_source = FifoChannel("warehouse->source", sizer=sizer)
         self.trace = Trace()
         self._serial = 0
         self._refresh_serial = 0

@@ -1,0 +1,91 @@
+"""Property tests: the concurrent runtime under fault injection.
+
+Hypothesis drives the workload, the actors' pacing, and the fault plan's
+seed.  The claims under test:
+
+- with drops+retries enabled but per-channel FIFO preserved (the paper's
+  Section 2 assumption), ECA still converges to the eval-anytime view and
+  in fact stays strongly consistent on the single-source topology;
+- every fault-injected execution is a pure function of its seed (the
+  determinism the debuggability story rests on);
+- with the reliable transport, concurrency alone (no faults) never
+  degrades ECA below strong consistency.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency import check_trace
+from repro.core.eca import ECA
+from repro.relational.engine import evaluate_view
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.runtime import FaultPlan, run_concurrent
+from repro.source.memory import MemorySource
+from repro.workloads.random_gen import random_workload
+
+SCHEMAS = [
+    RelationSchema("r1", ("W", "X"), key=("W",)),
+    RelationSchema("r2", ("X", "Y"), key=("Y",)),
+]
+INITIAL = {"r1": [(0, 1), (1, 2)], "r2": [(1, 0), (2, 1)]}
+
+seeds = st.integers(0, 10_000)
+drop_rates = st.sampled_from([0.1, 0.3, 0.5])
+
+
+def run(workload_seed, runtime_seed, faults=None, k=8, clients=2):
+    view = View.natural_join("V", SCHEMAS, ["W", "Y"])
+    source = MemorySource(SCHEMAS, INITIAL)
+    warehouse = ECA(view, evaluate_view(view, source.snapshot()))
+    workload = random_workload(
+        SCHEMAS, k, seed=workload_seed, initial=INITIAL, respect_keys=True
+    )
+    result = run_concurrent(
+        source,
+        warehouse,
+        workload,
+        clients=clients,
+        faults=faults,
+        seed=runtime_seed,
+    )
+    return view, result
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds, seeds, drop_rates)
+def test_eca_converges_under_lossy_fifo_transport(
+    workload_seed, runtime_seed, drop_rate
+):
+    faults = FaultPlan(latency=1.0, jitter=4.0, drop_rate=drop_rate)
+    view, result = run(workload_seed, runtime_seed, faults=faults)
+    report = check_trace(view, result.trace)
+    assert report.convergent, report.detail
+    # The eval-anytime oracle: the settled view equals V[final source].
+    assert result.final_view == evaluate_view(
+        view, result.trace.final_source_state
+    )
+    # Single source + FIFO per channel is all ECA needs — faults only
+    # stretch time, so the full guarantee survives too.
+    assert report.strongly_consistent, report.detail
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds, seeds)
+def test_eca_strongly_consistent_without_faults(workload_seed, runtime_seed):
+    view, result = run(workload_seed, runtime_seed)
+    report = check_trace(view, result.trace)
+    assert report.strongly_consistent, report.detail
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds, seeds, drop_rates)
+def test_fault_injection_is_deterministic(workload_seed, runtime_seed, drop_rate):
+    faults = FaultPlan(latency=1.0, jitter=3.0, drop_rate=drop_rate)
+    _, first = run(workload_seed, runtime_seed, faults=faults)
+    _, second = run(workload_seed, runtime_seed, faults=faults)
+    assert [repr(e) for e in first.trace.events] == [
+        repr(e) for e in second.trace.events
+    ]
+    assert first.trace.view_states == second.trace.view_states
+    assert first.quiesce_latency == second.quiesce_latency

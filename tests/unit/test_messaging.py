@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ProtocolError
+from repro.errors import ChannelEmpty, ProtocolError
 from repro.messaging.channel import FifoChannel
 from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
 from repro.relational.bag import SignedBag
@@ -21,6 +21,54 @@ class TestFifoChannel:
     def test_receive_empty_raises(self):
         with pytest.raises(ProtocolError):
             FifoChannel("test").receive()
+
+    def test_receive_empty_raises_dedicated_subclass(self):
+        # ChannelEmpty lets pollers distinguish "nothing yet" from genuine
+        # protocol violations while old ProtocolError handlers keep working.
+        with pytest.raises(ChannelEmpty):
+            FifoChannel("test").receive()
+
+    def test_sizer_counts_bytes(self):
+        def sizer(message):
+            if isinstance(message, QueryAnswer):
+                return message.answer.total_count() * 4
+            return 0
+
+        channel = FifoChannel("test", sizer=sizer)
+        channel.send(UpdateNotification(insert("r", (1,)), 1))
+        channel.send(QueryAnswer(1, SignedBag.from_rows([(1,), (2,), (2,)])))
+        assert channel.sent_bytes == 12
+        assert channel.sent_count == 2
+
+    def test_no_sizer_means_zero_bytes(self):
+        channel = FifoChannel("test")
+        channel.send(QueryAnswer(1, SignedBag.from_rows([(1,)])))
+        assert channel.sent_bytes == 0
+
+    def test_channel_bytes_match_cost_recorder(self):
+        # The driver wires CostRecorder.message_size into its channels, so
+        # the wire-level byte count reproduces the recorder's B metric.
+        from repro.core.eca import ECA
+        from repro.costmodel.counters import CostRecorder
+        from repro.relational.engine import evaluate_view
+        from repro.relational.schema import RelationSchema
+        from repro.relational.views import View
+        from repro.simulation.driver import Simulation
+        from repro.simulation.schedules import WorstCaseSchedule
+        from repro.source.memory import MemorySource
+
+        schemas = [RelationSchema("r1", ("W", "X")), RelationSchema("r2", ("X", "Y"))]
+        initial = {"r1": [(1, 2)], "r2": [(2, 4)]}
+        view = View.natural_join("V", schemas, ["W"])
+        source = MemorySource(schemas, initial)
+        warehouse = ECA(view, evaluate_view(view, source.snapshot()))
+        recorder = CostRecorder()
+        workload = [insert("r2", (2, 3)), insert("r1", (4, 2))]
+        simulation = Simulation(source, warehouse, workload, recorder)
+        simulation.run(WorstCaseSchedule())
+        assert recorder.bytes > 0
+        assert simulation.to_warehouse.sent_bytes == recorder.bytes
+        assert simulation.to_source.sent_bytes == 0  # requests are size 0
 
     def test_peek_does_not_consume(self):
         channel = FifoChannel("test")
