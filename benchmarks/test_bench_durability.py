@@ -1,0 +1,164 @@
+"""Durability benchmarks: what the WAL costs and what recovery takes.
+
+Measures the two prices the durability subsystem asks:
+
+- WAL overhead — the identical concurrent ECA workload with no WAL, a
+  flush-only WAL, and an fsync-per-append WAL (the flush/fsync gap is the
+  real durability premium);
+- recovery latency — wall time for ``recover()`` (snapshot decode + WAL
+  replay) as the replayed suffix grows, i.e. as snapshots get rarer.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` for the
+regenerated tables).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro.core.eca import ECA
+from repro.durability import RECV, WriteAheadLog, encode_value, recover
+from repro.experiments.report import render_table
+from repro.messaging.messages import QueryAnswer, UpdateNotification
+from repro.relational.engine import evaluate_view
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.runtime import run_concurrent
+from repro.source.memory import MemorySource
+from repro.workloads.random_gen import random_workload
+
+from _bench_util import emit
+
+SCHEMAS = [RelationSchema("r1", ("W", "X")), RelationSchema("r2", ("X", "Y"))]
+INITIAL = {"r1": [(1, 2), (2, 3)], "r2": [(2, 5), (3, 6)]}
+K = 24
+
+
+def fresh_eca():
+    view = View.natural_join("V", SCHEMAS, ["W", "Y"])
+    source = MemorySource(SCHEMAS, INITIAL)
+    warehouse = ECA(view, evaluate_view(view, source.snapshot()))
+    return view, source, warehouse
+
+
+def workload(k=K, seed=13):
+    return random_workload(SCHEMAS, k, seed=seed, initial=INITIAL)
+
+
+def run_once(wal_dir=None, wal_fsync=False):
+    _, source, warehouse = fresh_eca()
+    return run_concurrent(
+        source,
+        warehouse,
+        workload(),
+        clients=2,
+        seed=1,
+        wal_dir=wal_dir,
+        wal_fsync=wal_fsync,
+        snapshot_every=8,
+    )
+
+
+def test_bench_wal_overhead(benchmark):
+    """No WAL vs flushed WAL vs fsynced WAL on the same seeded workload."""
+
+    def sweep():
+        rows = []
+        for label, use_wal, fsync in (
+            ("no wal", False, False),
+            ("wal (flush)", True, False),
+            ("wal (fsync)", True, True),
+        ):
+            started = time.perf_counter()
+            if use_wal:
+                with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as d:
+                    result = run_once(wal_dir=d, wal_fsync=fsync)
+            else:
+                result = run_once()
+            elapsed = time.perf_counter() - started
+            rows.append(
+                {
+                    "configuration": label,
+                    "wall ms": round(elapsed * 1000, 1),
+                    "updates/s": round(result.updates / elapsed),
+                    "wal records": (result.wal_stats or {}).get("records", 0),
+                    "final_view": result.final_view,
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    # Durability must not change the answer, only the wall time.
+    views = {repr(sorted(row.pop("final_view").expand_rows())) for row in rows}
+    assert len(views) == 1
+    emit(render_table("WAL overhead (ECA, k=%d)" % K, rows))
+
+
+def test_bench_recovery_latency(benchmark):
+    """recover() wall time as the replayed WAL suffix grows."""
+
+    def prepare(replay_depth):
+        directory = tempfile.mkdtemp(prefix="repro-bench-rec-")
+        view = View.natural_join("V", SCHEMAS, ["W", "Y"])
+        source = MemorySource(SCHEMAS, INITIAL)
+        algorithm = ECA(view, evaluate_view(view, source.snapshot()))
+        wal = WriteAheadLog(directory)  # no cadence: snapshot only at genesis
+        wal.snapshot(algorithm)
+        serial = 0
+        for update in workload(k=replay_depth, seed=7):
+            source.apply_update(update)
+            serial += 1
+            notification = UpdateNotification(update, serial)
+            wal.append(
+                RECV,
+                {
+                    "channel": "source->wh",
+                    "origin": "source",
+                    "message": encode_value(notification),
+                },
+            )
+            for request in algorithm.on_update(notification):
+                answer = QueryAnswer(request.query_id, source.evaluate(request.query))
+                wal.append(
+                    RECV,
+                    {
+                        "channel": "source->wh",
+                        "origin": "source",
+                        "message": encode_value(answer),
+                    },
+                )
+                algorithm.on_answer(answer)
+        wal.close()
+        return directory, algorithm
+
+    depths = (4, 16, 48)
+    prepared = {depth: prepare(depth) for depth in depths}
+
+    def sweep():
+        timings = {}
+        for depth, (directory, _) in prepared.items():
+            started = time.perf_counter()
+            result = recover(directory)
+            timings[depth] = (time.perf_counter() - started, result)
+        return timings
+
+    timings = benchmark(sweep)
+    rows = []
+    for depth in depths:
+        elapsed, result = timings[depth]
+        directory, live = prepared[depth]
+        assert result.algorithm.view_state() == live.view_state()
+        rows.append(
+            {
+                "updates replayed": depth,
+                "wal records": result.replayed,
+                "recover ms": round(elapsed * 1000, 2),
+            }
+        )
+    emit(render_table("Recovery latency vs replay depth", rows))
+
+    import shutil
+
+    for directory, _ in prepared.values():
+        shutil.rmtree(directory, ignore_errors=True)

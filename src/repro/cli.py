@@ -304,15 +304,44 @@ def cmd_runtime(args: argparse.Namespace) -> int:
             jitter=args.jitter,
             drop_rate=args.drop_rate,
         )
-    result = run_concurrent(
-        sources,
-        warehouse,
-        workload,
-        clients=args.clients,
-        client_reads=args.reads,
-        faults=faults,
-        seed=args.seed,
-    )
+
+    crash = None
+    wal_dir = args.wal_dir
+    temp_wal = None
+    if args.crash:
+        from repro.durability.crash import CrashPolicy
+
+        crash = CrashPolicy(
+            mode=args.crash_mode,
+            at=args.crash_at,
+            skip=args.crash_skip,
+            max_crashes=args.max_crashes,
+            drop_sends=args.drop_sends,
+            seed=args.seed,
+        )
+        if wal_dir is None:
+            # Crash recovery needs a WAL; default to a throwaway one.
+            import tempfile
+
+            temp_wal = tempfile.TemporaryDirectory(prefix="repro-wal-")
+            wal_dir = temp_wal.name
+    try:
+        result = run_concurrent(
+            sources,
+            warehouse,
+            workload,
+            clients=args.clients,
+            client_reads=args.reads,
+            faults=faults,
+            seed=args.seed,
+            wal_dir=wal_dir,
+            wal_fsync=args.wal_fsync,
+            snapshot_every=args.snapshot_every,
+            crash=crash,
+        )
+    finally:
+        if temp_wal is not None:
+            temp_wal.cleanup()
     report = check_trace(checkable, result.trace)
 
     print(render_table("Per-actor metrics", result.metrics_table()))
@@ -330,6 +359,22 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     print(f"virtual duration:   {result.virtual_duration:.2f}")
     print(f"wall time:          {result.wall_seconds * 1000:.1f} ms")
     print(f"throughput:         {result.throughput():.0f} updates/s")
+    if result.wal_stats is not None:
+        print(
+            f"WAL:                {result.wal_stats['records']} record(s), "
+            f"{result.wal_stats['snapshots']} snapshot(s), "
+            f"last lsn {result.wal_stats['last_lsn']}"
+        )
+    for crash_info in result.crashes:
+        print(
+            f"crash @ event {crash_info['event_index']} "
+            f"(mode={crash_info['mode']}, drop_sends={crash_info['drop_sends']}): "
+            f"recovered from snapshot lsn {crash_info['snapshot_lsn']} + "
+            f"{crash_info['replayed']} replayed, "
+            f"{crash_info['reissued']} re-issued"
+        )
+    if args.crash and not result.crashes:
+        print("crash policy never fired (no eligible event boundary)")
     return 0
 
 
@@ -425,6 +470,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--latency", type=float, default=1.0, help="base latency (virtual)")
     p.add_argument("--jitter", type=float, default=3.0, help="uniform jitter bound")
     p.add_argument("--drop-rate", type=float, default=0.2, help="per-attempt drop rate")
+    p.add_argument(
+        "--wal-dir", help="persist warehouse events to a write-ahead log here"
+    )
+    p.add_argument(
+        "--wal-fsync", action="store_true", help="fsync every WAL append"
+    )
+    p.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=8,
+        help="compacting-snapshot cadence in WAL records",
+    )
+    p.add_argument(
+        "--crash",
+        action="store_true",
+        help="kill and recover the warehouse mid-run (uses a temp WAL "
+        "unless --wal-dir is given)",
+    )
+    p.add_argument(
+        "--crash-mode",
+        default="mid-uqs",
+        choices=["mid-uqs", "after-answer", "event"],
+        help="when the crash policy fires",
+    )
+    p.add_argument(
+        "--crash-at", type=int, help="event index for --crash-mode=event"
+    )
+    p.add_argument(
+        "--crash-skip",
+        type=int,
+        help="eligible boundaries to skip before crashing (default: from seed)",
+    )
+    p.add_argument(
+        "--max-crashes", type=int, default=1, help="crashes injected per run"
+    )
+    p.add_argument(
+        "--drop-sends",
+        action="store_true",
+        help="crash before the event's outgoing queries reach the transport",
+    )
     p.set_defaults(func=cmd_runtime)
 
     p = sub.add_parser("crossovers", help="headline crossover points")

@@ -170,6 +170,28 @@ class BatchECA(WarehouseAlgorithm):
     def is_quiescent(self) -> bool:
         return not self.uqs and not self._buffer and self.collect.is_empty()
 
+    # ------------------------------------------------------------------ #
+    # Durability hooks
+    # ------------------------------------------------------------------ #
+
+    def pending_state(self):
+        state = super().pending_state()
+        state["collect"] = self.collect.copy()
+        state["buffer"] = list(self._buffer)
+        state["sent"] = dict(self._sent)
+        state["seen"] = dict(self._seen)
+        return state
+
+    def restore_pending_state(self, state) -> None:
+        super().restore_pending_state(state)
+        self.collect = state["collect"].copy()
+        self._buffer = list(state["buffer"])
+        self._sent = dict(state["sent"])
+        self._seen = dict(state["seen"])
+
+    def durable_config(self):
+        return {"batch_size": self.batch_size}
+
 
 class DeferredECA(BatchECA):
     """Deferred maintenance: flush only when the view is read."""
@@ -178,3 +200,7 @@ class DeferredECA(BatchECA):
 
     def __init__(self, view: View, initial: Optional[SignedBag] = None) -> None:
         super().__init__(view, initial, batch_size=None)
+
+    def durable_config(self):
+        # batch_size is pinned by the constructor, not a ctor parameter.
+        return {}

@@ -118,3 +118,19 @@ class ECA(WarehouseAlgorithm):
 
     def is_quiescent(self) -> bool:
         return not self.uqs and self.collect.is_empty()
+
+    # ------------------------------------------------------------------ #
+    # Durability hooks
+    # ------------------------------------------------------------------ #
+
+    def pending_state(self):
+        state = super().pending_state()
+        state["collect"] = self.collect.copy()
+        return state
+
+    def restore_pending_state(self, state) -> None:
+        super().restore_pending_state(state)
+        self.collect = state["collect"].copy()
+
+    def durable_config(self):
+        return {"buffer_answers": self.buffer_answers}

@@ -137,3 +137,26 @@ class ECAKey(WarehouseAlgorithm):
 
     def is_quiescent(self) -> bool:
         return not self.uqs
+
+    # ------------------------------------------------------------------ #
+    # Durability hooks
+    # ------------------------------------------------------------------ #
+
+    def pending_state(self):
+        state = super().pending_state()
+        state["collect"] = self.collect.copy()
+        state["filters"] = {
+            query_id: list(filters) for query_id, filters in self._filters.items()
+        }
+        return state
+
+    def restore_pending_state(self, state) -> None:
+        super().restore_pending_state(state)
+        self.collect = state["collect"].copy()
+        self._filters = {
+            query_id: [(tuple(positions), tuple(key)) for positions, key in filters]
+            for query_id, filters in state["filters"].items()
+        }
+
+    def durable_config(self):
+        return {"inflight_filter": self.inflight_filter}

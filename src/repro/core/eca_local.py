@@ -62,3 +62,20 @@ class ECALocal(ECA):
             self.local_updates_handled += 1
             return []
         return super().on_update(notification)
+
+    # ------------------------------------------------------------------ #
+    # Durability hooks
+    # ------------------------------------------------------------------ #
+
+    def pending_state(self):
+        state = super().pending_state()
+        state["local_updates_handled"] = self.local_updates_handled
+        return state
+
+    def restore_pending_state(self, state) -> None:
+        super().restore_pending_state(state)
+        self.local_updates_handled = state["local_updates_handled"]
+
+    def durable_config(self):
+        # buffer_answers is pinned by the constructor, not a ctor parameter.
+        return {}

@@ -130,3 +130,26 @@ class LCA(WarehouseAlgorithm):
 
     def is_quiescent(self) -> bool:
         return not self.uqs and self._current is None and not self._pending
+
+    # ------------------------------------------------------------------ #
+    # Durability hooks
+    # ------------------------------------------------------------------ #
+
+    def pending_state(self):
+        state = super().pending_state()
+        state["queued"] = [(index, update) for index, update in self._pending]
+        state["seen"] = list(self._seen)
+        state["current"] = self._current
+        # The in-progress delta goes through the canonical pair form so
+        # the persisted payload is independent of dict insertion order.
+        state["delta"] = self._delta.to_pairs()
+        return state
+
+    def restore_pending_state(self, state) -> None:
+        super().restore_pending_state(state)
+        self._pending = deque(
+            (index, update) for index, update in state["queued"]
+        )
+        self._seen = list(state["seen"])
+        self._current = state["current"]
+        self._delta = SignedBag.from_pairs(state["delta"])

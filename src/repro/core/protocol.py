@@ -12,7 +12,7 @@ inside the algorithm; the driver treats query ids as opaque.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ProtocolError
 from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
@@ -90,6 +90,53 @@ class WarehouseAlgorithm:
     def uqs_queries(self) -> List[Query]:
         """Pending queries in send order (ids are monotonically increasing)."""
         return [self.uqs[qid] for qid in sorted(self.uqs)]
+
+    # ------------------------------------------------------------------ #
+    # Durability hooks (used by repro.durability)
+    # ------------------------------------------------------------------ #
+
+    def pending_state(self) -> Dict[str, object]:
+        """Everything beyond the view contents needed to resume this
+        algorithm mid-protocol.
+
+        The returned dict holds only codec-encodable values (ints, bags,
+        queries, updates, and containers of them).  Subclasses that carry
+        extra in-flight state extend the base dict; the pair
+        ``restore_pending_state(pending_state())`` must reproduce an
+        algorithm that behaves identically on every future event.
+        """
+        return {
+            "next_query_id": self._next_query_id,
+            "uqs": dict(self.uqs),
+        }
+
+    def restore_pending_state(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`pending_state` on a freshly built instance."""
+        self._next_query_id = state["next_query_id"]
+        self.uqs = dict(state["uqs"])
+
+    def durable_config(self) -> Dict[str, object]:
+        """Constructor options needed to rebuild this instance by name.
+
+        Forwarded to :func:`repro.core.registry.create_algorithm` during
+        recovery, so keys must match constructor parameter names.
+        """
+        return {}
+
+    def pending_requests(self) -> List[Tuple[Optional[str], QueryRequest]]:
+        """Requests for every in-flight query, for re-issue after a crash.
+
+        Each entry is ``(destination, request)``; a ``None`` destination
+        means "route by owner" (single-source protocol).  The recovered
+        warehouse re-sends these — sources answer against their current
+        state, which is exactly what a late first answer would have seen,
+        so re-asking preserves the algorithms' FIFO-based reasoning.
+        """
+        return [(None, QueryRequest(qid, self.uqs[qid])) for qid in sorted(self.uqs)]
+
+    def pending_query_ids(self) -> List[int]:
+        """Ids of queries awaiting answers (for duplicate-answer dedup)."""
+        return sorted(self.uqs)
 
     # ------------------------------------------------------------------ #
     # State inspection

@@ -61,3 +61,19 @@ class RecomputeView(WarehouseAlgorithm):
         self._retire(answer)
         self.mv.replace(answer.answer)
         return []
+
+    # ------------------------------------------------------------------ #
+    # Durability hooks
+    # ------------------------------------------------------------------ #
+
+    def pending_state(self):
+        state = super().pending_state()
+        state["count"] = self._count
+        return state
+
+    def restore_pending_state(self, state) -> None:
+        super().restore_pending_state(state)
+        self._count = state["count"]
+
+    def durable_config(self):
+        return {"period": self.period}

@@ -81,3 +81,16 @@ class StoredCopies(WarehouseAlgorithm):
     def storage_cost(self) -> int:
         """Total tuples held in base-relation copies (SC's storage price)."""
         return sum(bag.total_count() for bag in self.copies.values())
+
+    # ------------------------------------------------------------------ #
+    # Durability hooks
+    # ------------------------------------------------------------------ #
+
+    def pending_state(self):
+        state = super().pending_state()
+        state["copies"] = {name: bag.copy() for name, bag in self.copies.items()}
+        return state
+
+    def restore_pending_state(self, state) -> None:
+        super().restore_pending_state(state)
+        self.copies = {name: bag.copy() for name, bag in state["copies"].items()}

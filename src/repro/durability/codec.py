@@ -1,0 +1,436 @@
+"""Canonical, versioned JSON codec for warehouse state.
+
+Everything the warehouse must survive a crash with — messages, queries,
+materialized views, each algorithm's pending protocol state — encodes to
+a *tagged* JSON form: every non-primitive value is an object whose ``$``
+key names its type.  Plain JSON lists mean Python lists; tuples, dicts
+with non-string keys, bags, and every domain object get explicit tags, so
+decoding is unambiguous and round-trips are exact (including the strict
+``int`` signs :func:`repro.relational.tuples.check_sign` demands).
+
+Canonical form matters: :func:`canonical_json` sorts object keys and
+strips whitespace, and :meth:`SignedBag.to_pairs` orders bag contents, so
+*equal states produce byte-identical encodings*.  The WAL's CRCs, the
+recovery tests' byte-identity property, and snapshot comparison all lean
+on this.
+
+The envelope produced by :func:`dumps` carries :data:`CODEC_VERSION`;
+:func:`loads` refuses payloads from a different version rather than
+guessing at their layout.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List
+
+from repro.errors import CodecError
+from repro.messaging.messages import (
+    Message,
+    QueryAnswer,
+    QueryRequest,
+    RefreshRequest,
+    UpdateNotification,
+)
+from repro.relational.bag import SignedBag
+from repro.relational.conditions import (
+    And,
+    Attr,
+    Comparison,
+    Condition,
+    Const,
+    Not,
+    Operand,
+    Or,
+    TrueCondition,
+)
+from repro.relational.expressions import BoundOperand, Query, RelationOperand, Term
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import SignedTuple
+from repro.relational.views import View
+from repro.source.updates import Update
+from repro.warehouse.state import MaterializedView
+
+#: Bumped whenever the encoded layout changes incompatibly.
+CODEC_VERSION = 1
+
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def canonical_json(payload: object) -> str:
+    """Serialize already-encoded JSON data to its canonical byte form."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+
+
+# --------------------------------------------------------------------- #
+# Encoding
+# --------------------------------------------------------------------- #
+
+
+def encode_value(value: object) -> object:
+    """Encode any supported value to tagged JSON data."""
+    if isinstance(value, bool) or value is None or isinstance(value, (str, float)):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, tuple):
+        return {"$": "tuple", "items": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {
+            "$": "dict",
+            "items": [[encode_value(k), encode_value(v)] for k, v in value.items()],
+        }
+    if isinstance(value, SignedBag):
+        return {
+            "$": "bag",
+            "pairs": [
+                [encode_value(row), count] for row, count in value.to_pairs()
+            ],
+        }
+    if isinstance(value, SignedTuple):
+        return {
+            "$": "stuple",
+            "values": [encode_value(v) for v in value.values],
+            "sign": value.sign,
+        }
+    if isinstance(value, Update):
+        return {
+            "$": "update",
+            "kind": value.kind,
+            "relation": value.relation,
+            "values": [encode_value(v) for v in value.values],
+        }
+    if isinstance(value, RelationSchema):
+        return {
+            "$": "schema",
+            "name": value.name,
+            "attributes": list(value.attributes),
+            "key": list(value.key) if value.key is not None else None,
+            "base": value.base,
+        }
+    if isinstance(value, RelationOperand):
+        return {"$": "rel", "schema": encode_value(value.schema)}
+    if isinstance(value, BoundOperand):
+        return {
+            "$": "bound",
+            "schema": encode_value(value.schema),
+            "tuple": encode_value(value.tuple),
+        }
+    if isinstance(value, Condition):
+        return _encode_condition(value)
+    if isinstance(value, (Attr, Const)):
+        return _encode_operand(value)
+    if isinstance(value, Term):
+        return {
+            "$": "term",
+            "operands": [encode_value(op) for op in value.operands],
+            "projection": list(value.projection),
+            "condition": _encode_condition(value.condition),
+            "coefficient": value.coefficient,
+        }
+    if isinstance(value, Query):
+        return {"$": "query", "terms": [encode_value(t) for t in value.terms]}
+    if isinstance(value, View):
+        return {
+            "$": "view",
+            "name": value.name,
+            "relations": [encode_value(s) for s in value.relations],
+            "projection": list(value.projection),
+            "condition": _encode_condition(value.condition),
+        }
+    if isinstance(value, MaterializedView):
+        return {
+            "$": "mv",
+            "view": encode_value(value.view),
+            "contents": [
+                [encode_value(row), count] for row, count in value.contents_pairs()
+            ],
+        }
+    if isinstance(value, Message):
+        return _encode_message(value)
+    raise CodecError(f"cannot encode value of type {type(value).__name__}: {value!r}")
+
+
+def _encode_condition(condition: Condition) -> Dict[str, object]:
+    if isinstance(condition, TrueCondition):
+        return {"$": "true"}
+    if isinstance(condition, Comparison):
+        return {
+            "$": "cmp",
+            "left": _encode_operand(condition.left),
+            "op": condition.op,
+            "right": _encode_operand(condition.right),
+        }
+    if isinstance(condition, And):
+        return {"$": "and", "parts": [_encode_condition(p) for p in condition.parts]}
+    if isinstance(condition, Or):
+        return {"$": "or", "parts": [_encode_condition(p) for p in condition.parts]}
+    if isinstance(condition, Not):
+        return {"$": "not", "part": _encode_condition(condition.part)}
+    raise CodecError(f"cannot encode condition {condition!r}")
+
+
+def _encode_operand(operand: Operand) -> Dict[str, object]:
+    if isinstance(operand, Attr):
+        return {"$": "attr", "name": operand.name}
+    if isinstance(operand, Const):
+        return {"$": "const", "value": encode_value(operand.value)}
+    raise CodecError(f"cannot encode comparison operand {operand!r}")
+
+
+def _encode_message(message: Message) -> Dict[str, object]:
+    if isinstance(message, UpdateNotification):
+        return {
+            "$": "msg.update",
+            "update": encode_value(message.update),
+            "serial": message.serial,
+        }
+    if isinstance(message, QueryRequest):
+        return {
+            "$": "msg.query",
+            "id": message.query_id,
+            "query": encode_value(message.query),
+        }
+    if isinstance(message, QueryAnswer):
+        return {
+            "$": "msg.answer",
+            "id": message.query_id,
+            "answer": encode_value(message.answer),
+        }
+    if isinstance(message, RefreshRequest):
+        return {"$": "msg.refresh", "serial": message.serial}
+    raise CodecError(f"cannot encode message {message!r}")
+
+
+# --------------------------------------------------------------------- #
+# Decoding
+# --------------------------------------------------------------------- #
+
+
+def decode_value(data: object) -> object:
+    """Decode tagged JSON data back to live objects."""
+    if isinstance(data, _PRIMITIVES):
+        return data
+    if isinstance(data, list):
+        return [decode_value(v) for v in data]
+    if not isinstance(data, dict):
+        raise CodecError(f"cannot decode JSON value {data!r}")
+    tag = data.get("$")
+    try:
+        decoder = _DECODERS[tag]
+    except KeyError:
+        raise CodecError(f"unknown codec tag {tag!r}") from None
+    try:
+        return decoder(data)
+    except CodecError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise CodecError(f"malformed {tag!r} payload: {exc}") from exc
+
+
+def _decode_pairs(pairs: List[object]) -> SignedBag:
+    return SignedBag.from_pairs(
+        [(decode_value(row), count) for row, count in pairs]
+    )
+
+
+_DECODERS: Dict[str, Callable[[Dict[str, object]], object]] = {
+    "tuple": lambda d: tuple(decode_value(v) for v in d["items"]),
+    "dict": lambda d: {decode_value(k): decode_value(v) for k, v in d["items"]},
+    "bag": lambda d: _decode_pairs(d["pairs"]),
+    "stuple": lambda d: SignedTuple(
+        [decode_value(v) for v in d["values"]], d["sign"]
+    ),
+    "update": lambda d: Update(
+        d["kind"], d["relation"], [decode_value(v) for v in d["values"]]
+    ),
+    "schema": lambda d: RelationSchema(
+        d["name"], d["attributes"], key=d["key"], base=d["base"]
+    ),
+    "rel": lambda d: RelationOperand(decode_value(d["schema"])),
+    "bound": lambda d: BoundOperand(
+        decode_value(d["schema"]), decode_value(d["tuple"])
+    ),
+    "true": lambda d: TrueCondition(),
+    "cmp": lambda d: Comparison(
+        decode_value(d["left"]), d["op"], decode_value(d["right"])
+    ),
+    "and": lambda d: And(*[decode_value(p) for p in d["parts"]]),
+    "or": lambda d: Or(*[decode_value(p) for p in d["parts"]]),
+    "not": lambda d: Not(decode_value(d["part"])),
+    "attr": lambda d: Attr(d["name"]),
+    "const": lambda d: Const(decode_value(d["value"])),
+    "term": lambda d: Term(
+        [decode_value(op) for op in d["operands"]],
+        d["projection"],
+        decode_value(d["condition"]),
+        d["coefficient"],
+    ),
+    "query": lambda d: Query([decode_value(t) for t in d["terms"]]),
+    "view": lambda d: View(
+        d["name"],
+        [decode_value(s) for s in d["relations"]],
+        d["projection"],
+        decode_value(d["condition"]),
+    ),
+    "mv": lambda d: MaterializedView(
+        decode_value(d["view"]), _decode_pairs(d["contents"])
+    ),
+    "msg.update": lambda d: UpdateNotification(
+        decode_value(d["update"]), d["serial"]
+    ),
+    "msg.query": lambda d: QueryRequest(d["id"], decode_value(d["query"])),
+    "msg.answer": lambda d: QueryAnswer(d["id"], decode_value(d["answer"])),
+    "msg.refresh": lambda d: RefreshRequest(d["serial"]),
+}
+
+
+# --------------------------------------------------------------------- #
+# Envelope + round-trip validation
+# --------------------------------------------------------------------- #
+
+
+def dumps(value: object, validate: bool = False) -> str:
+    """Encode to a canonical, versioned JSON string.
+
+    ``validate=True`` decodes the result and re-encodes it, raising
+    :class:`CodecError` unless the bytes match — catching any value that
+    would not survive persistence *before* it is written.
+    """
+    text = canonical_json({"v": CODEC_VERSION, "data": encode_value(value)})
+    if validate and dumps(loads(text)) != text:
+        raise CodecError(f"round-trip validation failed for {value!r}")
+    return text
+
+
+def loads(text: str) -> object:
+    """Decode a string produced by :func:`dumps`."""
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CodecError(f"invalid JSON: {exc}") from exc
+    if not isinstance(envelope, dict) or "v" not in envelope or "data" not in envelope:
+        raise CodecError("payload is not a codec envelope")
+    if envelope["v"] != CODEC_VERSION:
+        raise CodecError(
+            f"codec version mismatch: payload v{envelope['v']}, "
+            f"supported v{CODEC_VERSION}"
+        )
+    return decode_value(envelope["data"])
+
+
+# --------------------------------------------------------------------- #
+# Whole-algorithm snapshots
+# --------------------------------------------------------------------- #
+
+
+def encode_algorithm(algorithm: object) -> Dict[str, object]:
+    """Encode a live warehouse algorithm (any protocol family) to tagged
+    JSON data: the view definition(s), the materialized contents, the
+    constructor options, and the full pending protocol state."""
+    from repro.multisource.strobe import StrobeStyle
+    from repro.multisource.sweep import SweepStyle
+    from repro.warehouse.catalog import WarehouseCatalog
+
+    if isinstance(algorithm, WarehouseCatalog):
+        return {
+            "$": "algo.catalog",
+            "members": [
+                [name, encode_algorithm(member)]
+                for name, member in algorithm.algorithms.items()
+            ],
+            "pending": encode_value(algorithm.pending_state()),
+        }
+    if isinstance(algorithm, (StrobeStyle, SweepStyle)):
+        return {
+            "$": "algo.multi",
+            "name": algorithm.name,
+            "view": encode_value(algorithm.view),
+            "owners": encode_value(algorithm.owners),
+            "mv": encode_value(algorithm.mv.as_bag()),
+            "pending": encode_value(algorithm.pending_state()),
+        }
+    return {
+        "$": "algo",
+        "name": algorithm.name,
+        "view": encode_value(algorithm.view),
+        "mv": encode_value(algorithm.mv.as_bag()),
+        "config": encode_value(algorithm.durable_config()),
+        "pending": encode_value(algorithm.pending_state()),
+    }
+
+
+def decode_algorithm(data: Dict[str, object]) -> object:
+    """Rebuild a live algorithm from :func:`encode_algorithm` output."""
+    from repro.core.registry import create_algorithm
+    from repro.multisource.strobe import StrobeStyle
+    from repro.multisource.sweep import SweepStyle
+    from repro.warehouse.catalog import WarehouseCatalog
+
+    tag = data.get("$")
+    if tag == "algo.catalog":
+        members = {
+            name: decode_algorithm(payload) for name, payload in data["members"]
+        }
+        catalog = WarehouseCatalog(members)
+        catalog.restore_pending_state(decode_value(data["pending"]))
+        return catalog
+    if tag == "algo.multi":
+        classes = {StrobeStyle.name: StrobeStyle, SweepStyle.name: SweepStyle}
+        try:
+            cls = classes[data["name"]]
+        except KeyError:
+            raise CodecError(
+                f"unknown multi-source algorithm {data['name']!r}"
+            ) from None
+        algorithm = cls(
+            decode_value(data["view"]),
+            decode_value(data["owners"]),
+            decode_value(data["mv"]),
+        )
+        algorithm.restore_pending_state(decode_value(data["pending"]))
+        return algorithm
+    if tag == "algo":
+        config = decode_value(data["config"])
+        try:
+            algorithm = create_algorithm(
+                data["name"],
+                decode_value(data["view"]),
+                decode_value(data["mv"]),
+                **config,
+            )
+        except KeyError as exc:
+            raise CodecError(f"cannot rebuild algorithm: {exc}") from None
+        algorithm.restore_pending_state(decode_value(data["pending"]))
+        return algorithm
+    raise CodecError(f"unknown algorithm payload tag {tag!r}")
+
+
+def dumps_algorithm(algorithm: object, validate: bool = True) -> str:
+    """Canonical string form of a live algorithm, round-trip validated.
+
+    Validation here is structural *and* behavioral: the decoded twin must
+    re-encode to the same bytes, which covers view contents, pending
+    queries, and every algorithm-specific buffer.
+    """
+    text = canonical_json({"v": CODEC_VERSION, "data": encode_algorithm(algorithm)})
+    if validate:
+        twin = loads_algorithm(text)
+        if dumps_algorithm(twin, validate=False) != text:
+            raise CodecError(
+                f"algorithm round-trip validation failed for {algorithm!r}"
+            )
+    return text
+
+
+def loads_algorithm(text: str) -> object:
+    """Decode a string produced by :func:`dumps_algorithm`."""
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CodecError(f"invalid JSON: {exc}") from exc
+    if not isinstance(envelope, dict) or envelope.get("v") != CODEC_VERSION:
+        raise CodecError("payload is not a supported algorithm envelope")
+    return decode_algorithm(envelope["data"])

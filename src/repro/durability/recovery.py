@@ -1,0 +1,135 @@
+"""Crash recovery: snapshot + WAL replay → a live warehouse algorithm.
+
+Algorithms are deterministic state machines over their received messages
+(Section 3's atomic-event model), so recovery is state-machine
+replication:
+
+1. decode the newest valid snapshot (the pre-crash algorithm, frozen as
+   of some LSN);
+2. replay every ``"recv"`` record with a later LSN, in order, feeding
+   each logged message back through the same ``on_update`` /
+   ``on_answer`` / ``on_refresh`` entry points — and *discarding* the
+   requests those calls return, because the pre-crash warehouse already
+   sent them (or crashed before sending, in which case step 3 covers it);
+3. collect :meth:`pending_requests` — one request per query still in the
+   UQS — for the harness to re-issue.  Sources answer re-asked queries
+   against their *current* state; per-channel FIFO makes that exactly
+   what a late original answer would have contained, so the algorithms'
+   compensation reasoning survives the crash unchanged.
+
+Re-issue can race a pre-crash answer already in flight, producing a
+duplicate answer for the same query id; the recovered warehouse drops
+answers whose id is no longer pending (see ``runtime/actors.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.durability.codec import decode_algorithm, decode_value
+from repro.durability.wal import RECV, read_latest_snapshot, read_records
+from repro.errors import RecoveryError
+from repro.messaging.messages import (
+    QueryAnswer,
+    QueryRequest,
+    RefreshRequest,
+    UpdateNotification,
+)
+
+
+class RecoveryResult:
+    """What :func:`recover` reconstructed, plus how it got there."""
+
+    __slots__ = (
+        "algorithm",
+        "snapshot_lsn",
+        "last_lsn",
+        "replayed",
+        "torn_records",
+        "reissue",
+    )
+
+    def __init__(
+        self,
+        algorithm: object,
+        snapshot_lsn: int,
+        last_lsn: int,
+        replayed: int,
+        torn_records: int,
+        reissue: List[Tuple[Optional[str], QueryRequest]],
+    ) -> None:
+        self.algorithm = algorithm
+        self.snapshot_lsn = snapshot_lsn
+        self.last_lsn = last_lsn
+        self.replayed = replayed
+        self.torn_records = torn_records
+        self.reissue = reissue
+
+    def __repr__(self) -> str:
+        return (
+            f"RecoveryResult(snapshot_lsn={self.snapshot_lsn}, "
+            f"last_lsn={self.last_lsn}, replayed={self.replayed}, "
+            f"reissue={len(self.reissue)})"
+        )
+
+
+def _replay_one(algorithm: object, origin: Optional[str], message: object) -> None:
+    """Feed one logged message through the algorithm, discarding requests."""
+    multi = _is_multi(algorithm)
+    if multi and origin is None and not isinstance(message, RefreshRequest):
+        raise RecoveryError(
+            f"multi-source replay needs an origin for {message!r}"
+        )
+    if isinstance(message, UpdateNotification):
+        if multi:
+            algorithm.on_update(origin, message)
+        else:
+            algorithm.on_update(message)
+    elif isinstance(message, QueryAnswer):
+        if multi:
+            algorithm.on_answer(origin, message)
+        else:
+            algorithm.on_answer(message)
+    elif isinstance(message, RefreshRequest):
+        algorithm.on_refresh()
+    else:
+        raise RecoveryError(f"cannot replay message {message!r}")
+
+
+def _is_multi(algorithm: object) -> bool:
+    from repro.multisource.strobe import StrobeStyle
+    from repro.multisource.sweep import SweepStyle
+
+    return isinstance(algorithm, (StrobeStyle, SweepStyle))
+
+
+def recover(directory: str) -> RecoveryResult:
+    """Rebuild the warehouse algorithm persisted in ``directory``."""
+    snapshot_lsn, payload = read_latest_snapshot(directory)
+    algorithm = decode_algorithm(payload)
+    records, torn = read_records(directory)
+    replayed = 0
+    last_lsn = snapshot_lsn
+    for record in records:
+        last_lsn = max(last_lsn, record["lsn"])
+        if record["lsn"] <= snapshot_lsn or record["type"] != RECV:
+            continue
+        data = record["data"]
+        try:
+            origin = data["origin"]
+            message = decode_value(data["message"])
+        except (TypeError, KeyError) as exc:
+            raise RecoveryError(
+                f"malformed recv record at LSN {record['lsn']}: {exc}"
+            ) from exc
+        _replay_one(algorithm, origin, message)
+        replayed += 1
+    reissue = list(algorithm.pending_requests())
+    return RecoveryResult(
+        algorithm=algorithm,
+        snapshot_lsn=snapshot_lsn,
+        last_lsn=last_lsn,
+        replayed=replayed,
+        torn_records=torn,
+        reissue=reissue,
+    )

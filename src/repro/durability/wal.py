@@ -1,0 +1,305 @@
+"""Append-only, CRC-checked write-ahead log with compacting snapshots.
+
+Layout of a WAL directory:
+
+- ``wal.jsonl`` — one record per line, in LSN order.  Each line is the
+  canonical JSON of ``{"lsn", "type", "data", "crc"}``, where ``crc`` is
+  the CRC-32 of the canonical JSON of the record *without* the crc field.
+  Because the codec's canonical form is deterministic, re-encoding on
+  read reproduces the exact bytes the CRC was computed over.
+- ``snapshot-<lsn>.json`` — a full algorithm snapshot taken after the
+  record with that LSN, same CRC scheme, written atomically (temp file +
+  rename) so a crash mid-snapshot can never leave a half-written file
+  under the final name.
+
+Record types the warehouse writes (see ``runtime/actors.py``):
+
+- ``"recv"`` — a message the warehouse received, with its channel and
+  origin.  **The only replayed type**: algorithms are deterministic state
+  machines, so replaying received messages in order reconstructs the
+  exact pre-crash state (state-machine replication).
+- ``"send"`` / ``"event"`` — informational records of routed requests and
+  processed events; recovery skips them but they make the log a complete
+  audit trail of warehouse activity.
+
+Durability/recovery contract: a record is logged *before* the message is
+dispatched to the algorithm, and crash injection only fires at event
+boundaries after both, so the log never lags the in-memory state.  A torn
+final line (crash mid-append) fails its CRC and is truncated on read;
+corruption anywhere *else* raises :class:`WalCorruption`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.durability.codec import canonical_json, encode_algorithm
+from repro.errors import RecoveryError, WalCorruption
+
+WAL_FILENAME = "wal.jsonl"
+SNAPSHOT_PREFIX = "snapshot-"
+SNAPSHOT_SUFFIX = ".json"
+
+#: Record types (the warehouse's event vocabulary).
+RECV = "recv"
+SEND = "send"
+EVENT = "event"
+
+
+def _crc(payload: Dict[str, object]) -> int:
+    return zlib.crc32(canonical_json(payload).encode("utf-8"))
+
+
+def _seal(payload: Dict[str, object]) -> str:
+    """Attach the CRC and render the canonical line/file body."""
+    sealed = dict(payload)
+    sealed["crc"] = _crc(payload)
+    return canonical_json(sealed)
+
+
+def _unseal(text: str) -> Optional[Dict[str, object]]:
+    """Parse and CRC-check one sealed payload; None when invalid."""
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict) or "crc" not in record:
+        return None
+    crc = record.pop("crc")
+    if _crc(record) != crc:
+        return None
+    return record
+
+
+def _snapshot_name(lsn: int) -> str:
+    return f"{SNAPSHOT_PREFIX}{lsn:010d}{SNAPSHOT_SUFFIX}"
+
+
+def _snapshot_lsns(directory: str) -> List[int]:
+    """LSNs of snapshot files present, ascending."""
+    lsns = []
+    for name in os.listdir(directory):
+        if name.startswith(SNAPSHOT_PREFIX) and name.endswith(SNAPSHOT_SUFFIX):
+            stem = name[len(SNAPSHOT_PREFIX) : -len(SNAPSHOT_SUFFIX)]
+            try:
+                lsns.append(int(stem))
+            except ValueError:
+                continue
+    return sorted(lsns)
+
+
+class WriteAheadLog:
+    """The warehouse's durable log.
+
+    Parameters
+    ----------
+    directory:
+        Where ``wal.jsonl`` and snapshots live; created if missing.
+        Reopening a directory with an existing log resumes its LSN
+        sequence (this is how the recovered warehouse continues logging).
+    fsync:
+        ``True`` forces ``os.fsync`` after every append — real crash
+        safety at real cost (the WAL-overhead benchmark quantifies it).
+        The default flushes to the OS only, which is what the in-process
+        crash injection needs.
+    snapshot_every:
+        Take a compacting snapshot every N appended records (via
+        :meth:`maybe_snapshot`); ``None`` disables automatic snapshots.
+    keep_snapshots:
+        Retain this many most-recent snapshots when pruning.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        fsync: bool = False,
+        snapshot_every: Optional[int] = None,
+        keep_snapshots: int = 2,
+    ) -> None:
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
+        if keep_snapshots < 1:
+            raise ValueError(f"keep_snapshots must be >= 1, got {keep_snapshots}")
+        self.directory = directory
+        self.fsync = fsync
+        self.snapshot_every = snapshot_every
+        self.keep_snapshots = keep_snapshots
+        os.makedirs(directory, exist_ok=True)
+        self._path = os.path.join(directory, WAL_FILENAME)
+        self._lsn = 0
+        self._since_snapshot = 0
+        self.appended = 0  # records written by this handle (for metrics)
+        self.snapshots_taken = 0
+        if os.path.exists(self._path):
+            records, torn = read_records(directory)
+            if records:
+                self._lsn = records[-1]["lsn"]
+            if torn:
+                # Drop the torn tail now: appending after a partial line
+                # would weld the new record onto the damaged bytes.
+                self._rewrite(records)
+        lsns = _snapshot_lsns(directory)
+        if lsns:
+            self._lsn = max(self._lsn, lsns[-1])
+        self._file = open(self._path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+
+    def append(self, record_type: str, data: object) -> int:
+        """Append one record (``data`` is already-encoded tagged JSON)."""
+        self._lsn += 1
+        line = _seal({"lsn": self._lsn, "type": record_type, "data": data})
+        self._file.write(line + "\n")
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self.appended += 1
+        self._since_snapshot += 1
+        return self._lsn
+
+    @property
+    def last_lsn(self) -> int:
+        return self._lsn
+
+    # ------------------------------------------------------------------ #
+    # Snapshots + compaction
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self, algorithm: object) -> int:
+        """Snapshot the algorithm as of the current LSN, then compact.
+
+        The snapshot captures everything (view contents + pending state),
+        so every WAL record with ``lsn <= snapshot lsn`` becomes dead
+        weight: the log is rewritten without them and snapshots older
+        than ``keep_snapshots`` are pruned.
+        """
+        lsn = self._lsn
+        body = _seal({"lsn": lsn, "algo": encode_algorithm(algorithm)})
+        final = os.path.join(self.directory, _snapshot_name(lsn))
+        temp = final + ".tmp"
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(body + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(temp, final)
+        self._compact(lsn)
+        self._prune_snapshots()
+        self._since_snapshot = 0
+        self.snapshots_taken += 1
+        return lsn
+
+    def maybe_snapshot(self, algorithm: object) -> Optional[int]:
+        """Snapshot when ``snapshot_every`` appends have accumulated."""
+        if self.snapshot_every is None:
+            return None
+        if self._since_snapshot < self.snapshot_every:
+            return None
+        return self.snapshot(algorithm)
+
+    def _compact(self, snapshot_lsn: int) -> None:
+        records, _ = read_records(self.directory)
+        live = [r for r in records if r["lsn"] > snapshot_lsn]
+        self._file.close()
+        self._rewrite(live)
+        self._file = open(self._path, "a", encoding="utf-8")
+
+    def _rewrite(self, records: List[Dict[str, object]]) -> None:
+        """Atomically replace ``wal.jsonl`` with exactly these records."""
+        temp = self._path + ".tmp"
+        with open(temp, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(
+                    _seal(
+                        {
+                            "lsn": record["lsn"],
+                            "type": record["type"],
+                            "data": record["data"],
+                        }
+                    )
+                    + "\n"
+                )
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(temp, self._path)
+
+    def _prune_snapshots(self) -> None:
+        lsns = _snapshot_lsns(self.directory)
+        for lsn in lsns[: -self.keep_snapshots]:
+            os.remove(os.path.join(self.directory, _snapshot_name(lsn)))
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+
+# --------------------------------------------------------------------- #
+# Reading (used by recovery)
+# --------------------------------------------------------------------- #
+
+
+def read_records(directory: str) -> Tuple[List[Dict[str, object]], int]:
+    """All valid WAL records in LSN order, plus the torn-tail line count.
+
+    A run of invalid lines at the *end* of the file is a torn tail (the
+    crash hit mid-append) and is silently dropped — the count of dropped
+    lines is returned for reporting.  An invalid line *followed by* a
+    valid one cannot be explained by a torn write and raises
+    :class:`WalCorruption`, as does any LSN that fails to increase.
+    """
+    path = os.path.join(directory, WAL_FILENAME)
+    if not os.path.exists(path):
+        return [], 0
+    records: List[Dict[str, object]] = []
+    torn = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = _unseal(line)
+            if record is None:
+                torn += 1
+                continue
+            if torn:
+                raise WalCorruption(
+                    f"{path}:{line_number}: valid record after {torn} "
+                    f"corrupt line(s) — log is damaged beyond a torn tail"
+                )
+            if records and record["lsn"] <= records[-1]["lsn"]:
+                raise WalCorruption(
+                    f"{path}:{line_number}: LSN {record['lsn']} does not "
+                    f"advance past {records[-1]['lsn']}"
+                )
+            records.append(record)
+    return records, torn
+
+
+def read_latest_snapshot(directory: str) -> Tuple[int, Dict[str, object]]:
+    """The newest valid snapshot as ``(lsn, algorithm payload)``.
+
+    Falls back to older snapshots when the newest fails its CRC; raises
+    :class:`RecoveryError` when none exists at all and
+    :class:`WalCorruption` when snapshots exist but all are invalid.
+    """
+    lsns = _snapshot_lsns(directory)
+    if not lsns:
+        raise RecoveryError(f"no snapshot found in {directory!r}")
+    for lsn in reversed(lsns):
+        path = os.path.join(directory, _snapshot_name(lsn))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                body = _unseal(handle.read().strip())
+        except OSError:
+            body = None
+        if body is None or body.get("lsn") != lsn:
+            continue
+        return lsn, body["algo"]
+    raise WalCorruption(f"every snapshot in {directory!r} failed validation")

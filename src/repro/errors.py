@@ -89,3 +89,51 @@ class SimulationError(ReproError):
 
 class ConsistencyViolation(ReproError):
     """A trace failed a correctness property it was asserted to satisfy."""
+
+
+class DurabilityError(ReproError):
+    """Base class for persistence (codec / WAL / recovery) failures."""
+
+
+class CodecError(DurabilityError):
+    """A value could not be encoded to, or decoded from, durable form.
+
+    Raised for unknown tags, version mismatches, and payloads that fail
+    round-trip validation.
+    """
+
+
+class WalCorruption(DurabilityError):
+    """A write-ahead log or snapshot record failed its CRC or framing check.
+
+    A torn *tail* (the last record cut short by a crash) is expected and
+    silently truncated during recovery; this error is reserved for
+    corruption that cannot be explained by a torn write — e.g. a bad
+    record followed by valid ones, or an unreadable snapshot.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """Crash recovery could not rebuild a live warehouse.
+
+    Raised when no snapshot exists, when replay references state the
+    snapshot does not contain, or when the rebuilt algorithm fails
+    validation.
+    """
+
+
+class WarehouseCrashed(ReproError):
+    """A :class:`CrashPolicy` killed the warehouse actor at this point.
+
+    Carries where the crash fired so the harness can recover
+    deterministically and the trace can record the exact crash point.
+    """
+
+    def __init__(self, event_index: int, mode: str, drop_sends: bool) -> None:
+        super().__init__(
+            f"warehouse crashed at event #{event_index} (mode={mode!r}, "
+            f"drop_sends={drop_sends})"
+        )
+        self.event_index = event_index
+        self.mode = mode
+        self.drop_sends = drop_sends

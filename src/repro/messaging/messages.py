@@ -8,9 +8,26 @@ from repro.source.updates import Update
 
 
 class Message:
-    """Base class for protocol messages (useful for isinstance dispatch)."""
+    """Base class for protocol messages (useful for isinstance dispatch).
+
+    Messages compare structurally (and hash consistently): two messages
+    are equal when they have the same type and the same field values.
+    The write-ahead log's replay machinery and the tests rely on this to
+    compare logged messages against live ones directly.
+    """
 
     __slots__ = ()
+
+    def _fields(self) -> tuple:
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self._fields() == other._fields()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__,) + self._fields())
 
 
 class UpdateNotification(Message):

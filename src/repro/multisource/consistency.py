@@ -25,10 +25,23 @@ Cut = Tuple[int, ...]
 State = Dict[str, SignedBag]
 
 
+def _as_bag(value: object) -> SignedBag:
+    """Accept a live :class:`SignedBag` or its canonical pair form.
+
+    States that round-tripped through ``repro.durability`` (or any JSON
+    layer) arrive as ``[(row, count), ...]`` pairs; rebuild them through
+    the same validated :meth:`SignedBag.from_pairs` path the codec uses.
+    """
+    if isinstance(value, SignedBag):
+        return value
+    return SignedBag.from_pairs([(tuple(row), count) for row, count in value])
+
+
 def _merge(per_source: Mapping[str, List[State]], names: Sequence[str], cut: Cut) -> State:
     combined: State = {}
     for name, index in zip(names, cut):
-        combined.update(per_source[name][index])
+        for relation, bag in per_source[name][index].items():
+            combined[relation] = _as_bag(bag)
     return combined
 
 

@@ -199,3 +199,64 @@ class StrobeStyle:
 
     def is_quiescent(self) -> bool:
         return not self._pending and not self._actions
+
+    # ------------------------------------------------------------------ #
+    # Durability hooks
+    # ------------------------------------------------------------------ #
+
+    def pending_state(self):
+        # A FragmentPlan is fully derived from (term, owners), so only the
+        # term persists; routes refer to pending records by list index.
+        pending = [
+            {
+                "plans": [(plan.term, dict(answers)) for plan, answers in record.plans],
+                "outstanding": record.outstanding,
+                "filters": list(record.filters),
+            }
+            for record in self._pending
+        ]
+        route = {
+            query_id: (self._pending.index(record), plan_index, destination)
+            for query_id, (record, plan_index, destination) in self._route.items()
+        }
+        return {
+            "next_query_id": self._next_query_id,
+            "actions": list(self._actions),
+            "pending": pending,
+            "route": route,
+        }
+
+    def restore_pending_state(self, state) -> None:
+        self._next_query_id = state["next_query_id"]
+        self._actions = [tuple(action) for action in state["actions"]]
+        self._pending = []
+        for entry in state["pending"]:
+            record = _PendingInsert()
+            record.plans = [
+                (FragmentPlan(term, self.owners), dict(answers))
+                for term, answers in entry["plans"]
+            ]
+            record.outstanding = entry["outstanding"]
+            record.filters = [
+                (tuple(positions), tuple(key)) for positions, key in entry["filters"]
+            ]
+            self._pending.append(record)
+        self._route = {
+            query_id: (self._pending[record_index], plan_index, destination)
+            for query_id, (record_index, plan_index, destination) in state[
+                "route"
+            ].items()
+        }
+
+    def pending_requests(self) -> Routed:
+        out: Routed = []
+        for query_id in sorted(self._route):
+            record, plan_index, destination = self._route[query_id]
+            plan = record.plans[plan_index][0]
+            out.append(
+                (destination, QueryRequest(query_id, Query([plan.fragments[destination]])))
+            )
+        return out
+
+    def pending_query_ids(self) -> List[int]:
+        return sorted(self._route)

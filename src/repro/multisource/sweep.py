@@ -303,3 +303,56 @@ class SweepStyle:
 
     def is_quiescent(self) -> bool:
         return self._current is None and not self._queue
+
+    # ------------------------------------------------------------------ #
+    # Durability hooks
+    # ------------------------------------------------------------------ #
+
+    def pending_state(self):
+        current = None
+        if self._current is not None:
+            sweep = self._current
+            current = {
+                "term": sweep.term,
+                "remaining": list(sweep.remaining),
+                "covered": list(sweep.covered),
+                "bindings": sweep.bindings.to_pairs(),
+                "in_flight": sweep.in_flight,
+            }
+        return {
+            "next_query_id": self._next_query_id,
+            "queue": list(self._queue),
+            "current": current,
+        }
+
+    def restore_pending_state(self, state) -> None:
+        self._next_query_id = state["next_query_id"]
+        self._queue = deque(state["queue"])
+        entry = state["current"]
+        if entry is None:
+            self._current = None
+            return
+        sweep = _Sweep.__new__(_Sweep)
+        sweep.term = entry["term"]
+        sweep.remaining = list(entry["remaining"])
+        sweep.covered = list(entry["covered"])
+        sweep.bindings = SignedBag.from_pairs(entry["bindings"])
+        in_flight = entry["in_flight"]
+        sweep.in_flight = tuple(in_flight) if in_flight is not None else None
+        self._current = sweep
+
+    def pending_requests(self) -> Routed:
+        sweep = self._current
+        if sweep is None or sweep.in_flight is None:
+            return []
+        query_id, operand_index = sweep.in_flight
+        # _build_hop does not mutate the sweep, so rebuilding the exact
+        # in-flight request is safe.
+        hop_query, destination = self._build_hop(sweep, operand_index)
+        return [(destination, QueryRequest(query_id, hop_query))]
+
+    def pending_query_ids(self) -> List[int]:
+        sweep = self._current
+        if sweep is None or sweep.in_flight is None:
+            return []
+        return [sweep.in_flight[0]]

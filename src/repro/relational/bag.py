@@ -168,6 +168,45 @@ class SignedBag:
             out.extend([row] * count)
         return out
 
+    def to_pairs(self) -> List[Tuple[Row, int]]:
+        """Canonical ``(row, signed multiplicity)`` pairs.
+
+        Pairs are sorted by ``repr(row)`` (the same total order
+        :meth:`expand_rows` and ``__repr__`` use), so equal bags always
+        produce identical pair lists — the property the durability codec
+        relies on for byte-stable encodings.
+        """
+        return sorted(self._counts.items(), key=lambda kv: repr(kv[0]))
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[Tuple[Sequence[object], int]], nonnegative: bool = False
+    ) -> "SignedBag":
+        """Rebuild a bag from :meth:`to_pairs` output, with validation.
+
+        Each pair must be a ``(row, count)`` with an integral non-zero
+        count and no row repeated; ``nonnegative=True`` additionally
+        rejects minus-signed multiplicities (for base relations and
+        installed views).  Raises ``TypeError``/``ValueError`` so that
+        malformed persisted data is loudly rejected rather than clamped.
+        """
+        bag = cls()
+        for pair in pairs:
+            if not isinstance(pair, (tuple, list)) or len(pair) != 2:
+                raise TypeError(f"pair must be (row, count), got {pair!r}")
+            row, count = pair
+            if type(count) is not int:
+                raise TypeError(f"multiplicity must be int, got {count!r}")
+            if count == 0:
+                raise ValueError(f"zero multiplicity for row {row!r}")
+            if nonnegative and count < 0:
+                raise ValueError(f"negative multiplicity for row {row!r}: {count}")
+            key = tuple(row)
+            if key in bag._counts:
+                raise ValueError(f"duplicate row in pairs: {key!r}")
+            bag._counts[key] = count
+        return bag
+
     def distinct_count(self) -> int:
         """Number of distinct rows present (with any nonzero multiplicity)."""
         return len(self._counts)

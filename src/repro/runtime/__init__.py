@@ -7,15 +7,20 @@ message types — as independent asyncio actors whose interleaving emerges
 from concurrency and (optionally) injected transport faults, while
 remaining fully deterministic under a fixed seed.
 
-See ``docs/RUNTIME.md`` for the actor model, the fault knobs, and how
-concurrent traces map onto the Section 3.1 consistency hierarchy.
+Durability rides on top: pass ``wal_dir=`` to :func:`run_concurrent` to
+log every warehouse event to a :class:`~repro.durability.wal.WriteAheadLog`,
+and a :class:`~repro.durability.crash.CrashPolicy` (re-exported here) to
+kill and recover the warehouse mid-run.  See ``docs/RUNTIME.md`` and
+``docs/DURABILITY.md``.
 """
 
+from repro.durability.crash import CrashPolicy
 from repro.runtime.actors import (
     ActorMetrics,
     ClientActor,
     SourceActor,
     WarehouseActor,
+    WarehouseHandle,
 )
 from repro.runtime.harness import RuntimeResult, run_concurrent
 from repro.runtime.transport import (
@@ -31,11 +36,13 @@ __all__ = [
     "AsyncTransport",
     "ChannelStats",
     "ClientActor",
+    "CrashPolicy",
     "FaultPlan",
     "FaultyTransport",
     "InMemoryTransport",
     "RuntimeResult",
     "SourceActor",
     "WarehouseActor",
+    "WarehouseHandle",
     "run_concurrent",
 ]

@@ -32,7 +32,15 @@ import random
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ChannelEmpty, ProtocolError, TransportClosed
+from repro.durability.codec import encode_value
+from repro.durability.crash import CrashRun
+from repro.durability.wal import EVENT, RECV, SEND, WriteAheadLog
+from repro.errors import (
+    ChannelEmpty,
+    ProtocolError,
+    TransportClosed,
+    WarehouseCrashed,
+)
 from repro.messaging.messages import (
     Message,
     QueryAnswer,
@@ -209,6 +217,26 @@ class WarehouseActor:
     transport's delivery times.  Outgoing query requests are routed to the
     owning source (single-source protocol) or to the destination the
     algorithm names (multi-source protocol).
+
+    Durability (all optional, see ``repro.durability``):
+
+    - ``wal`` — every received message is appended as a ``"recv"`` record
+      *before* dispatch, routed requests and processed events as
+      informational ``"send"``/``"event"`` records after, and the log is
+      offered a compacting snapshot at each event boundary.  With a WAL
+      attached the actor also drops answers whose query id is no longer
+      pending: after recovery, a re-issued query can race a pre-crash
+      answer still in flight, and the duplicate must die *before* it is
+      logged so replay stays strict.
+    - ``crash_run`` — consulted once per atomic event (after the WAL and
+      dispatch, so the log never lags memory); when it fires the actor
+      raises :class:`~repro.errors.WarehouseCrashed`, abandoning its
+      state.  ``drop_sends`` crashes suppress the event's outgoing
+      requests first.
+    - ``reissue`` / ``metrics`` / ``event_index`` — carried across
+      incarnations by the harness: queries recovery found still pending
+      (sent before the inbox loop starts), the previous incarnation's
+      counters, and the global event count the crash policy keys on.
     """
 
     def __init__(
@@ -218,13 +246,23 @@ class WarehouseActor:
         inboxes: Sequence[str],
         owners: Dict[str, str],
         recorder: "object",
+        *,
+        wal: Optional[WriteAheadLog] = None,
+        crash_run: Optional[CrashRun] = None,
+        reissue: Optional[Sequence[Tuple[Optional[str], QueryRequest]]] = None,
+        metrics: Optional[ActorMetrics] = None,
+        event_index: int = 0,
     ) -> None:
         self.algorithm = algorithm
         self.transport = transport
         self.inboxes = tuple(inboxes)
         self.owners = dict(owners)
         self.recorder = recorder
-        self.metrics = ActorMetrics("warehouse", "warehouse")
+        self.wal = wal
+        self.crash_run = crash_run
+        self.event_index = event_index
+        self.metrics = metrics or ActorMetrics("warehouse", "warehouse")
+        self._reissue = list(reissue or [])
         self._multi = _is_multi_source_protocol(algorithm)
         #: source name an UpdateNotification/QueryAnswer arrived from,
         #: recovered from the channel name.
@@ -233,12 +271,28 @@ class WarehouseActor:
         }
 
     async def run(self) -> None:
+        for destination, request in self._reissue:
+            await self._send_request(destination, request, reissued=True)
+        self._reissue = []
         while True:
             try:
                 channel, message = await self.transport.recv_any(self.inboxes)
             except TransportClosed:
                 return
             self.metrics.received += 1
+            if self.wal is not None:
+                if self._is_duplicate_answer(message):
+                    self.metrics.bump("duplicate_answers_dropped")
+                    await asyncio.sleep(0)
+                    continue
+                self.wal.append(
+                    RECV,
+                    {
+                        "channel": channel,
+                        "origin": self._channel_source.get(channel),
+                        "message": encode_value(message),
+                    },
+                )
             await self._dispatch(channel, message)
             # One atomic event per scheduling slice: yield so sources and
             # clients interleave between warehouse events, as in the paper.
@@ -260,11 +314,50 @@ class WarehouseActor:
             kind = "W_ref"
         else:
             raise ProtocolError(f"warehouse received unknown message: {message!r}")
-        for destination, request in routed:
-            self.metrics.sent += 1
-            self.recorder.record_request(request)
-            await self.transport.send(source_inbox(destination), request)
+        self.event_index += 1
+        fired = False
+        if self.crash_run is not None:
+            pending = len(self.algorithm.pending_query_ids())
+            fired = self.crash_run.decide(self.event_index, kind, pending)
+        drop_sends = fired and self.crash_run.policy.drop_sends
+        if not drop_sends:
+            for destination, request in routed:
+                await self._send_request(destination, request)
         self.recorder.record_warehouse_event(kind, detail)
+        if self.wal is not None:
+            self.wal.append(
+                EVENT, {"index": self.event_index, "kind": kind, "detail": detail}
+            )
+            self.wal.maybe_snapshot(self.algorithm)
+        if fired:
+            raise WarehouseCrashed(self.event_index, self.crash_run.policy.mode, drop_sends)
+
+    async def _send_request(
+        self, destination: Optional[str], request: QueryRequest, reissued: bool = False
+    ) -> None:
+        """Route one outgoing query (``destination=None`` → owner lookup)."""
+        if destination is None:
+            destination = _query_owner(request.query, self.owners)
+        self.metrics.sent += 1
+        if reissued:
+            self.metrics.bump("reissued_queries")
+        self.recorder.record_request(request)
+        if self.wal is not None:
+            self.wal.append(
+                SEND,
+                {
+                    "destination": destination,
+                    "query_id": request.query_id,
+                    "reissued": reissued,
+                },
+            )
+        await self.transport.send(source_inbox(destination), request)
+
+    def _is_duplicate_answer(self, message: Message) -> bool:
+        return (
+            isinstance(message, QueryAnswer)
+            and message.query_id not in self.algorithm.pending_query_ids()
+        )
 
     # ------------------------------------------------------------------ #
     # Protocol adapters: both return routed (destination, request) pairs
@@ -313,6 +406,31 @@ class WarehouseActor:
         return self.algorithm.is_quiescent()
 
 
+class WarehouseHandle:
+    """Stable facade over the current warehouse incarnation.
+
+    Clients and the trace recorder hold this handle instead of the actor;
+    when a crash policy kills the warehouse the harness rebuilds a fresh
+    actor from the WAL and repoints :attr:`actor` — readers never notice
+    the swap.
+    """
+
+    __slots__ = ("actor",)
+
+    def __init__(self, actor: WarehouseActor) -> None:
+        self.actor = actor
+
+    def view_state(self) -> SignedBag:
+        return self.actor.view_state()
+
+    def is_quiescent(self) -> bool:
+        return self.actor.is_quiescent()
+
+    @property
+    def metrics(self) -> ActorMetrics:
+        return self.actor.metrics
+
+
 class ClientActor:
     """A warehouse client: requests refreshes and reads the view.
 
@@ -326,7 +444,7 @@ class ClientActor:
         self,
         name: str,
         transport: AsyncTransport,
-        warehouse: WarehouseActor,
+        warehouse: "WarehouseActor | WarehouseHandle",
         recorder: "object",
         reads: int = 4,
         seed: int = 0,

@@ -25,7 +25,10 @@ import asyncio
 import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.errors import SimulationError
+from repro.durability.crash import CrashPolicy
+from repro.durability.recovery import recover
+from repro.durability.wal import WriteAheadLog
+from repro.errors import SimulationError, WarehouseCrashed
 from repro.messaging.messages import QueryRequest
 from repro.relational.bag import SignedBag
 from repro.runtime.actors import (
@@ -33,6 +36,7 @@ from repro.runtime.actors import (
     ClientActor,
     SourceActor,
     WarehouseActor,
+    WarehouseHandle,
     warehouse_inbox,
 )
 from repro.runtime.transport import (
@@ -42,7 +46,7 @@ from repro.runtime.transport import (
     FaultyTransport,
     InMemoryTransport,
 )
-from repro.simulation.trace import C_REF, S_QU, S_UP, Trace
+from repro.simulation.trace import C_REF, S_QU, S_UP, W_CRASH, W_REC, Trace
 from repro.source.base import Source
 from repro.source.updates import Update
 
@@ -68,7 +72,7 @@ class _TraceRecorder:
         self.serial = 0
         self.last_update_at = 0.0
         self.requests = 0
-        self._warehouse: Optional[WarehouseActor] = None
+        self._warehouse: Optional["WarehouseActor | WarehouseHandle"] = None
 
     def snapshot(self) -> Dict[str, SignedBag]:
         combined: Dict[str, SignedBag] = {}
@@ -76,7 +80,7 @@ class _TraceRecorder:
             combined.update(source.snapshot())
         return combined
 
-    def record_initial(self, warehouse: WarehouseActor) -> None:
+    def record_initial(self, warehouse: "WarehouseActor | WarehouseHandle") -> None:
         self.trace.record_source_state(self.snapshot())
         self.trace.record_view_state(warehouse.view_state())
         self._warehouse = warehouse
@@ -104,6 +108,18 @@ class _TraceRecorder:
         self.trace.record_event(kind, detail)
         self.trace.record_view_state(self._warehouse.view_state())
 
+    def record_crash(self, detail: str) -> None:
+        # No view snapshot: the crashed process exposed nothing new, and
+        # the in-memory view it held is gone.
+        self.trace.record_event(W_CRASH, detail)
+
+    def record_recovery(self, detail: str) -> None:
+        # Snapshot the *recovered* view so the checker classifies what
+        # readers can now observe (a duplicate of the pre-crash state when
+        # recovery is exact — harmless to the checker's dedup).
+        self.trace.record_event(W_REC, detail)
+        self.trace.record_view_state(self._warehouse.view_state())
+
 
 class RuntimeResult:
     """Everything one concurrent run produced."""
@@ -119,6 +135,8 @@ class RuntimeResult:
         wall_seconds: float,
         observations: Dict[str, List[Tuple[float, SignedBag]]],
         final_view: SignedBag,
+        crashes: Optional[List[Dict[str, object]]] = None,
+        wal_stats: Optional[Dict[str, int]] = None,
     ) -> None:
         self.trace = trace
         self.metrics = metrics
@@ -134,6 +152,11 @@ class RuntimeResult:
         #: Per-client ``(virtual time, view contents)`` read samples.
         self.observations = observations
         self.final_view = final_view
+        #: One dict per injected crash (event index, mode, snapshot LSN,
+        #: replayed record count, re-issued queries, virtual time).
+        self.crashes = list(crashes or [])
+        #: WAL totals across all incarnations (``None`` when no WAL ran).
+        self.wal_stats = wal_stats
 
     def throughput(self) -> float:
         """Updates fully processed per wall-clock second."""
@@ -142,8 +165,22 @@ class RuntimeResult:
         return self.updates / self.wall_seconds
 
     def metrics_table(self) -> List[Dict[str, object]]:
-        """Uniform-column rows (renderable with ``render_table``)."""
+        """Uniform-column rows (renderable with ``render_table``).
+
+        Includes one ``ch:<name>`` row per transport channel, surfacing
+        the fault counters (drops, retries, reorders) the
+        :class:`FaultyTransport` accumulated alongside the actor counters.
+        """
         dicts = {name: self.metrics[name].as_dict() for name in self.metrics}
+        for name, stats in self.channel_stats.items():
+            dicts[f"ch:{name}"] = {
+                "role": "channel",
+                "sent": stats.sent,
+                "received": stats.delivered,
+                "dropped": stats.dropped,
+                "retries": stats.retries,
+                "reordered": stats.reordered,
+            }
         columns: List[str] = []
         for fields in dicts.values():
             for key in fields:
@@ -216,6 +253,10 @@ def run_concurrent(
     seed: int = 0,
     max_burst: int = 2,
     sizer: Optional[object] = None,
+    wal_dir: Optional[str] = None,
+    wal_fsync: bool = False,
+    snapshot_every: Optional[int] = 8,
+    crash: Optional[CrashPolicy] = None,
 ) -> RuntimeResult:
     """Run sources, warehouse, and clients concurrently to quiescence.
 
@@ -245,11 +286,28 @@ def run_concurrent(
     sizer:
         Optional message sizer for byte accounting (e.g.
         ``CostRecorder().message_size``).
+    wal_dir:
+        Directory for a :class:`~repro.durability.wal.WriteAheadLog`; the
+        warehouse logs every received message before dispatching it and a
+        genesis snapshot is taken before the first event.
+    wal_fsync:
+        Force ``os.fsync`` on every WAL append (real crash safety, real
+        cost — see the durability benchmark).
+    snapshot_every:
+        Compacting-snapshot cadence in WAL records (``None`` disables).
+    crash:
+        A :class:`~repro.durability.crash.CrashPolicy`.  Requires
+        ``wal_dir``: when it fires, the warehouse actor dies mid-run and
+        is rebuilt from snapshot + WAL replay while sources and clients
+        keep running on the same transport.
     """
     named_sources = _normalize_sources(sources)
     owners = _relation_owners(named_sources)
     workloads = _normalize_workloads(workload, named_sources, owners)
     total_updates = sum(len(w) for w in workloads.values())
+
+    if crash is not None and wal_dir is None:
+        raise SimulationError("crash injection requires wal_dir= (recovery source)")
 
     inner = InMemoryTransport(sizer=sizer)
     transport: AsyncTransport = (
@@ -257,15 +315,31 @@ def run_concurrent(
     )
     recorder = _TraceRecorder(named_sources, transport)
 
+    wal = (
+        WriteAheadLog(wal_dir, fsync=wal_fsync, snapshot_every=snapshot_every)
+        if wal_dir is not None
+        else None
+    )
+    crash_run = crash.start() if crash is not None else None
+
+    inboxes = [warehouse_inbox(name) for name in sorted(named_sources)] + [
+        warehouse_inbox(f"client-{i}") for i in range(clients)
+    ]
     warehouse = WarehouseActor(
         algorithm,
         transport,
-        inboxes=[warehouse_inbox(name) for name in sorted(named_sources)]
-        + [warehouse_inbox(f"client-{i}") for i in range(clients)],
+        inboxes=inboxes,
         owners=owners,
         recorder=recorder,
+        wal=wal,
+        crash_run=crash_run,
     )
-    recorder.record_initial(warehouse)
+    handle = WarehouseHandle(warehouse)
+    recorder.record_initial(handle)
+    if wal is not None:
+        # Genesis snapshot: recovery is possible even before the first
+        # automatic snapshot cadence fires.
+        wal.snapshot(algorithm)
 
     source_actors = [
         SourceActor(
@@ -283,7 +357,7 @@ def run_concurrent(
         ClientActor(
             f"client-{i}",
             transport,
-            warehouse,
+            handle,
             recorder,
             reads=client_reads,
             seed=seed + 101 + i,
@@ -291,18 +365,91 @@ def run_concurrent(
         for i in range(clients)
     ]
 
+    crashes: List[Dict[str, object]] = []
+    wal_totals = {"records": 0, "snapshots": 0}
+    wal_box = {"wal": wal}
+
+    def _restart(fault: WarehouseCrashed) -> None:
+        """Replace the dead warehouse with one rebuilt from the WAL."""
+        old = handle.actor
+        recorder.record_crash(
+            f"warehouse crashed at event {fault.event_index} "
+            f"(mode={fault.mode}, drop_sends={fault.drop_sends})"
+        )
+        dead_wal = wal_box["wal"]
+        wal_totals["records"] += dead_wal.appended
+        wal_totals["snapshots"] += dead_wal.snapshots_taken
+        dead_wal.close()
+        recovered = recover(wal_dir)
+        new_wal = WriteAheadLog(
+            wal_dir, fsync=wal_fsync, snapshot_every=snapshot_every
+        )
+        # Fold the replayed suffix into a fresh snapshot so a second crash
+        # recovers from here, not from before the first one.
+        new_wal.snapshot(recovered.algorithm)
+        wal_box["wal"] = new_wal
+        old.metrics.bump("crashes")
+        handle.actor = WarehouseActor(
+            recovered.algorithm,
+            transport,
+            inboxes=inboxes,
+            owners=owners,
+            recorder=recorder,
+            wal=new_wal,
+            crash_run=crash_run,
+            reissue=recovered.reissue,
+            metrics=old.metrics,
+            event_index=fault.event_index,
+        )
+        crashes.append(
+            {
+                "event_index": fault.event_index,
+                "mode": fault.mode,
+                "drop_sends": fault.drop_sends,
+                "snapshot_lsn": recovered.snapshot_lsn,
+                "replayed": recovered.replayed,
+                "reissued": len(recovered.reissue),
+                "virtual_time": transport.now(),
+            }
+        )
+        recorder.record_recovery(
+            f"recovered from snapshot lsn {recovered.snapshot_lsn} + "
+            f"{recovered.replayed} replayed record(s), "
+            f"{len(recovered.reissue)} re-issued query(ies)"
+        )
+
     started = time.perf_counter()
-    asyncio.run(_drive(transport, warehouse, source_actors, client_actors))
+    asyncio.run(
+        _drive(
+            transport,
+            handle,
+            source_actors,
+            client_actors,
+            restart=_restart if crash_run is not None else None,
+        )
+    )
     wall_seconds = time.perf_counter() - started
 
-    if not warehouse.is_quiescent():
+    wal_stats = None
+    final_wal = wal_box["wal"]
+    if final_wal is not None:
+        wal_totals["records"] += final_wal.appended
+        wal_totals["snapshots"] += final_wal.snapshots_taken
+        wal_stats = {
+            "records": wal_totals["records"],
+            "snapshots": wal_totals["snapshots"],
+            "last_lsn": final_wal.last_lsn,
+        }
+        final_wal.close()
+
+    if not handle.is_quiescent():
         raise SimulationError(
             f"algorithm {getattr(algorithm, 'name', algorithm)!r} failed to "
             f"quiesce after the workload drained"
         )
 
     metrics = {actor.metrics.name: actor.metrics for actor in source_actors}
-    metrics["warehouse"] = warehouse.metrics
+    metrics["warehouse"] = handle.metrics
     for client in client_actors:
         metrics[client.name] = client.metrics
 
@@ -315,18 +462,36 @@ def run_concurrent(
         virtual_duration=transport.now(),
         wall_seconds=wall_seconds,
         observations={c.name: c.observations for c in client_actors},
-        final_view=warehouse.view_state(),
+        final_view=handle.view_state(),
+        crashes=crashes,
+        wal_stats=wal_stats,
     )
 
 
 async def _drive(
     transport: AsyncTransport,
-    warehouse: WarehouseActor,
+    warehouse: WarehouseHandle,
     source_actors: Sequence[SourceActor],
     client_actors: Sequence[ClientActor],
+    restart: Optional[object] = None,
 ) -> None:
     tasks = [asyncio.ensure_future(actor.run()) for actor in source_actors]
-    warehouse_task = asyncio.ensure_future(warehouse.run())
+
+    async def _supervise_warehouse() -> None:
+        # Each iteration is one warehouse incarnation.  A crash rebuilds
+        # the actor (synchronously — no messages are lost, they wait in
+        # the transport) and re-enters its run loop; a clean return means
+        # the transport closed.
+        while True:
+            try:
+                await warehouse.actor.run()
+                return
+            except WarehouseCrashed as fault:
+                if restart is None:
+                    raise
+                restart(fault)
+
+    warehouse_task = asyncio.ensure_future(_supervise_warehouse())
     client_tasks = [asyncio.ensure_future(actor.run()) for actor in client_actors]
 
     try:

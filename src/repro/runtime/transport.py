@@ -49,6 +49,7 @@ class ChannelStats:
         "sent_bytes",
         "dropped",
         "retries",
+        "reordered",
         "max_pending",
     )
 
@@ -59,6 +60,9 @@ class ChannelStats:
         self.sent_bytes = 0
         self.dropped = 0
         self.retries = 0
+        #: Sends that jumped ahead of an already-queued message on this
+        #: channel (only possible with ``fifo_per_channel=False``).
+        self.reordered = 0
         self.max_pending = 0
 
     def as_dict(self) -> Dict[str, int]:
@@ -68,6 +72,7 @@ class ChannelStats:
             "bytes": self.sent_bytes,
             "dropped": self.dropped,
             "retries": self.retries,
+            "reordered": self.reordered,
             "max_pending": self.max_pending,
         }
 
@@ -232,6 +237,8 @@ class InMemoryTransport(AsyncTransport):
         position = len(queue)
         while position > 0 and queue[position - 1][:2] > entry[:2]:
             position -= 1
+        if position < len(queue):
+            stats.reordered += 1
         queue.insert(position, entry)
         stats.sent += 1
         if self._sizer is not None:

@@ -14,13 +14,17 @@ from typing import Dict, List, Optional
 from repro.relational.bag import SignedBag
 
 # Event kinds, named after the paper's event types.  C_ref/W_ref extend
-# the model with warehouse-client refresh requests (deferred timing).
+# the model with warehouse-client refresh requests (deferred timing);
+# W_crash/W_rec mark process-fault injection and WAL recovery (these two
+# never carry a view snapshot change the checker would classify).
 S_UP = "S_up"
 S_QU = "S_qu"
 W_UP = "W_up"
 W_ANS = "W_ans"
 C_REF = "C_ref"
 W_REF = "W_ref"
+W_CRASH = "W_crash"
+W_REC = "W_rec"
 
 
 class EventRecord:

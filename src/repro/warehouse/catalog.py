@@ -154,6 +154,42 @@ class WarehouseCatalog:
             algorithm.is_quiescent() for algorithm in self.algorithms.values()
         )
 
+    # ------------------------------------------------------------------ #
+    # Durability hooks
+    # ------------------------------------------------------------------ #
+
+    def pending_state(self) -> Dict[str, object]:
+        """Catalog-level bookkeeping only; member algorithms persist
+        their own state through the durability codec."""
+        return {
+            "next_query_id": self._next_query_id,
+            "routes": dict(self._routes),
+        }
+
+    def restore_pending_state(self, state) -> None:
+        self._next_query_id = state["next_query_id"]
+        self._routes = {
+            global_id: (view_name, local_id)
+            for global_id, (view_name, local_id) in state["routes"].items()
+        }
+        # Per-view history restarts at the recovered state; per_view_trace
+        # over a crash-spanning run is out of scope for recovery.
+        self._history = {
+            name: [algorithm.view_state()]
+            for name, algorithm in self.algorithms.items()
+        }
+
+    def pending_requests(self) -> List[Tuple[None, QueryRequest]]:
+        out: List[Tuple[None, QueryRequest]] = []
+        for global_id in sorted(self._routes):
+            view_name, local_id = self._routes[global_id]
+            query = self.algorithms[view_name].uqs[local_id]
+            out.append((None, QueryRequest(global_id, query)))
+        return out
+
+    def pending_query_ids(self) -> List[int]:
+        return sorted(self._routes)
+
     def __repr__(self) -> str:
         parts = ", ".join(
             f"{name}:{algo.name}" for name, algo in self.algorithms.items()

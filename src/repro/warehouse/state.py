@@ -51,6 +51,14 @@ class MaterializedView:
     def multiplicity(self, row: Sequence[object]) -> int:
         return self._contents.multiplicity(row)
 
+    def contents_pairs(self) -> List[Tuple[Row, int]]:
+        """Canonical ``(row, multiplicity)`` pairs of the current contents.
+
+        The durability codec persists view contents through this so equal
+        views always serialize identically regardless of insertion order.
+        """
+        return self._contents.to_pairs()
+
     def cardinality(self) -> int:
         return self._contents.total_count()
 

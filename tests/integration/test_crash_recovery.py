@@ -1,0 +1,205 @@
+"""Integration: crash-fault injection + WAL recovery in the runtime.
+
+The acceptance bar for the durability subsystem: a seeded
+``run_concurrent`` run that kills and restarts the warehouse mid-UQS
+under ECA on the paper's Example 2/3 workloads must recover via
+snapshot + WAL replay and remain strongly consistent, and the same seed
+must reproduce the identical crash point and trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency import check_trace
+from repro.core.eca import ECA
+from repro.errors import SimulationError
+from repro.relational.engine import evaluate_view
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.runtime import CrashPolicy, run_concurrent
+from repro.simulation.trace import W_CRASH, W_REC
+from repro.source.memory import MemorySource
+from repro.warehouse.catalog import WarehouseCatalog
+from repro.workloads.paper_examples import PAPER_EXAMPLES
+from repro.workloads.random_gen import random_workload
+
+
+def build_eca(scenario_name):
+    scenario = PAPER_EXAMPLES[scenario_name]
+    source = MemorySource(scenario.schemas, scenario.initial)
+    warehouse = ECA(scenario.view, evaluate_view(scenario.view, source.snapshot()))
+    return scenario, source, warehouse
+
+
+def crash_run(scenario_name, seed, tmp_path, **crash_kwargs):
+    scenario, source, warehouse = build_eca(scenario_name)
+    crash_kwargs.setdefault("mode", "mid-uqs")
+    crash_kwargs.setdefault("seed", seed)
+    result = run_concurrent(
+        source,
+        warehouse,
+        scenario.updates,
+        clients=2,
+        seed=seed,
+        wal_dir=str(tmp_path),
+        snapshot_every=4,
+        crash=CrashPolicy(**crash_kwargs),
+    )
+    return scenario, result
+
+
+class TestAcceptance:
+    """Mid-UQS crash on the paper examples: recover + stay strong."""
+
+    @pytest.mark.parametrize("scenario_name", ["example-2", "example-3"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_eca_survives_mid_uqs_crash(self, scenario_name, seed, tmp_path):
+        scenario, result = crash_run(scenario_name, seed, tmp_path)
+        assert len(result.crashes) == 1, "crash policy never fired"
+        report = check_trace(scenario.view, result.trace)
+        assert report.strongly_consistent, report.detail
+        correct = evaluate_view(scenario.view, result.trace.final_source_state)
+        assert result.final_view == correct
+
+    def test_trace_records_crash_and_recovery(self, tmp_path):
+        _, result = crash_run("example-2", 0, tmp_path)
+        kinds = [event.kind for event in result.trace.events]
+        assert kinds.count(W_CRASH) == 1
+        assert kinds.count(W_REC) == 1
+        assert kinds.index(W_CRASH) < kinds.index(W_REC)
+
+    @pytest.mark.parametrize("scenario_name", ["example-2", "example-3"])
+    def test_drop_sends_crash_reissues_lost_queries(
+        self, scenario_name, tmp_path
+    ):
+        scenario, result = crash_run(
+            scenario_name, 2, tmp_path, drop_sends=True
+        )
+        assert len(result.crashes) == 1
+        assert result.crashes[0]["reissued"] >= 1
+        report = check_trace(scenario.view, result.trace)
+        assert report.strongly_consistent, report.detail
+
+    def test_multiple_crashes_in_one_run(self, tmp_path):
+        scenario, result = crash_run(
+            "example-2", 1, tmp_path, max_crashes=2, skip=0
+        )
+        assert len(result.crashes) == 2
+        report = check_trace(scenario.view, result.trace)
+        assert report.strongly_consistent, report.detail
+
+    def test_event_mode_pins_exact_boundary(self, tmp_path):
+        scenario, result = crash_run(
+            "example-2", 0, tmp_path, mode="event", at=2
+        )
+        assert [c["event_index"] for c in result.crashes] == [2]
+        assert check_trace(scenario.view, result.trace).strongly_consistent
+
+
+class TestDeterminism:
+    def test_same_seed_same_crash_point_and_trace(self, tmp_path):
+        runs = []
+        for sub in ("a", "b"):
+            directory = tmp_path / sub
+            directory.mkdir()
+            runs.append(crash_run("example-2", 3, directory)[1])
+        first, second = runs
+        assert first.crashes == second.crashes
+        assert [repr(e) for e in first.trace.events] == [
+            repr(e) for e in second.trace.events
+        ]
+        assert first.trace.view_states == second.trace.view_states
+
+    def test_different_seeds_pick_different_points(self, tmp_path):
+        points = set()
+        for seed in range(4):
+            directory = tmp_path / str(seed)
+            directory.mkdir()
+            _, result = crash_run("example-2", seed, directory)
+            points.add(result.crashes[0]["event_index"])
+        assert len(points) > 1
+
+
+class TestWiderTopologies:
+    def test_catalog_over_two_sources_recovers(self, tmp_path):
+        a = [RelationSchema("a1", ("W", "X")), RelationSchema("a2", ("X", "Y"))]
+        b = [RelationSchema("b1", ("P", "Q")), RelationSchema("b2", ("Q", "R"))]
+        ia = {"a1": [(1, 2)], "a2": [(2, 4)]}
+        ib = {"b1": [(7, 8)], "b2": [(8, 9)]}
+        va = View.natural_join("VA", a, ["W"])
+        vb = View.natural_join("VB", b, ["P"])
+        sa, sb = MemorySource(a, ia), MemorySource(b, ib)
+        catalog = WarehouseCatalog(
+            {
+                "VA": ECA(va, evaluate_view(va, sa.snapshot())),
+                "VB": ECA(vb, evaluate_view(vb, sb.snapshot())),
+            }
+        )
+        workload = random_workload(a, 5, seed=1, initial=ia) + random_workload(
+            b, 5, seed=2, initial=ib
+        )
+        result = run_concurrent(
+            {"alpha": sa, "beta": sb},
+            catalog,
+            workload,
+            clients=2,
+            seed=6,
+            wal_dir=str(tmp_path),
+            snapshot_every=4,
+            crash=CrashPolicy(mode="mid-uqs", seed=6),
+        )
+        assert len(result.crashes) == 1
+        assert check_trace(catalog, result.trace).convergent
+
+    def test_wal_without_crash_changes_nothing(self, tmp_path):
+        scenario, source, warehouse = build_eca("example-2")
+        logged = run_concurrent(
+            source,
+            warehouse,
+            scenario.updates,
+            clients=2,
+            seed=5,
+            wal_dir=str(tmp_path),
+        )
+        scenario, source, warehouse = build_eca("example-2")
+        plain = run_concurrent(
+            source, warehouse, scenario.updates, clients=2, seed=5
+        )
+        assert [repr(e) for e in logged.trace.events] == [
+            repr(e) for e in plain.trace.events
+        ]
+        assert logged.final_view == plain.final_view
+        assert logged.wal_stats is not None
+        assert logged.wal_stats["records"] > 0
+        assert plain.wal_stats is None
+
+    def test_crash_without_wal_dir_is_refused(self):
+        scenario, source, warehouse = build_eca("example-2")
+        with pytest.raises(SimulationError, match="wal_dir"):
+            run_concurrent(
+                source,
+                warehouse,
+                scenario.updates,
+                seed=0,
+                crash=CrashPolicy(),
+            )
+
+    def test_fault_counters_surface_in_metrics_table(self, tmp_path):
+        from repro.runtime import FaultPlan
+
+        scenario, source, warehouse = build_eca("example-2")
+        result = run_concurrent(
+            source,
+            warehouse,
+            scenario.updates,
+            clients=1,
+            faults=FaultPlan(latency=1.0, jitter=4.0, drop_rate=0.4),
+            seed=3,
+        )
+        rows = {row["actor"]: row for row in result.metrics_table()}
+        channel_rows = [r for r in rows.values() if r["role"] == "channel"]
+        assert channel_rows, "metrics_table must include channel rows"
+        assert any(r["dropped"] > 0 for r in channel_rows)
+        for row in channel_rows:
+            assert {"dropped", "retries", "reordered"} <= set(row)

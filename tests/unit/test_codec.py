@@ -1,0 +1,202 @@
+"""Unit tests for the durability codec (``repro.durability.codec``).
+
+The load-bearing property: equal states produce byte-identical canonical
+encodings, and every encoding decodes back to an equal live object — for
+plain values, messages, and whole algorithms mid-protocol.
+"""
+
+import pytest
+
+from repro.core.registry import ALGORITHMS, create_algorithm
+from repro.core.stored_copies import StoredCopies
+from repro.durability import (
+    CODEC_VERSION,
+    decode_value,
+    dumps,
+    dumps_algorithm,
+    encode_value,
+    loads,
+    loads_algorithm,
+)
+from repro.errors import CodecError
+from repro.messaging.messages import (
+    QueryAnswer,
+    QueryRequest,
+    RefreshRequest,
+    UpdateNotification,
+)
+from repro.relational.bag import SignedBag
+from repro.relational.engine import evaluate_view
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.source.memory import MemorySource
+from repro.source.updates import insert
+
+SCHEMAS = [
+    RelationSchema("r1", ("W", "X"), key=("W",)),
+    RelationSchema("r2", ("X", "Y"), key=("Y",)),
+]
+INITIAL = {"r1": [(1, 2), (2, 3)], "r2": [(2, 5), (3, 6)]}
+
+
+def make_view():
+    return View.natural_join("V", SCHEMAS, ["W", "Y"])
+
+
+def roundtrip(value):
+    return loads(dumps(value, validate=True))
+
+
+class TestValueRoundTrips:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -3,
+            2.5,
+            "text",
+            (1, 2, "a"),
+            [1, (2, 3), "x"],
+            {"k": (1,), (1, 2): [3]},
+            SignedBag.from_rows([(1, 2), (1, 2), (3, 4)]),
+        ],
+    )
+    def test_roundtrip_equal(self, value):
+        assert roundtrip(value) == value
+
+    def test_bool_does_not_collapse_to_int(self):
+        # bool is an int subclass; the codec must keep them distinct
+        # because tuple equality would otherwise silently change rows.
+        assert roundtrip(True) is True
+        assert roundtrip(1) == 1 and roundtrip(1) is not True
+
+    def test_tuple_list_distinction_survives(self):
+        assert roundtrip((1, 2)) == (1, 2)
+        assert roundtrip([1, 2]) == [1, 2]
+        assert not isinstance(roundtrip((1, 2)), list)
+
+    def test_canonical_bytes_for_equal_bags(self):
+        a = SignedBag.from_rows([(1,), (2,), (2,)])
+        b = SignedBag.from_rows([(2,), (1,), (2,)])
+        assert dumps(a) == dumps(b)
+
+    def test_view_and_query_roundtrip(self):
+        view = make_view()
+        again = roundtrip(view)
+        state = {
+            "r1": SignedBag.from_rows(INITIAL["r1"]),
+            "r2": SignedBag.from_rows(INITIAL["r2"]),
+        }
+        assert again.name == view.name
+        assert again.evaluate(state) == view.evaluate(state)
+
+    def test_message_roundtrips(self):
+        _, request = algorithm_mid_protocol("eca").pending_requests()[0]
+        messages = [
+            UpdateNotification(insert("r1", (9, 9)), 4),
+            QueryRequest(7, request.query),
+            QueryAnswer(7, SignedBag.from_rows([(9, 5)])),
+            RefreshRequest(2),
+        ]
+        for message in messages:
+            assert roundtrip(message) == message
+
+    def test_unencodable_value_raises(self):
+        with pytest.raises(CodecError):
+            dumps(object())
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(CodecError):
+            decode_value({"$": "no-such-tag"})
+
+    def test_version_mismatch_refused(self):
+        text = dumps((1, 2)).replace(f'"v":{CODEC_VERSION}', '"v":999')
+        with pytest.raises(CodecError, match="version"):
+            loads(text)
+
+    def test_malformed_payload_raises_codec_error(self):
+        with pytest.raises(CodecError):
+            decode_value({"$": "bag", "pairs": [["not-a-pair"]]})
+
+
+def algorithm_mid_protocol(name):
+    """An algorithm of the given registry name with a query in flight."""
+    source = MemorySource(SCHEMAS, INITIAL)
+    view = make_view()
+    initial_view = evaluate_view(view, source.snapshot())
+    if name == "stored-copies":
+        algorithm = StoredCopies(view, initial_view, source.snapshot())
+    else:
+        algorithm = create_algorithm(name, view, initial_view)
+    update = insert("r1", (7, 2))
+    source.apply_update(update)
+    algorithm.on_update(UpdateNotification(update, 1))
+    return algorithm
+
+
+class TestAlgorithmRoundTrips:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_registry_algorithms_roundtrip_byte_identical(self, name):
+        algorithm = algorithm_mid_protocol(name)
+        text = dumps_algorithm(algorithm)
+        twin = loads_algorithm(text)
+        assert dumps_algorithm(twin) == text
+        assert twin.view_state() == algorithm.view_state()
+        assert twin.pending_query_ids() == algorithm.pending_query_ids()
+
+    def test_pending_requests_survive(self):
+        algorithm = algorithm_mid_protocol("eca")
+        assert algorithm.pending_query_ids()  # mid-UQS by construction
+        twin = loads_algorithm(dumps_algorithm(algorithm))
+        assert list(twin.pending_requests()) == list(algorithm.pending_requests())
+
+    def test_twin_is_independent(self):
+        algorithm = algorithm_mid_protocol("eca")
+        twin = loads_algorithm(dumps_algorithm(algorithm))
+        qid = algorithm.pending_query_ids()[0]
+        algorithm.on_answer(QueryAnswer(qid, SignedBag()))
+        # Draining the original leaves the twin's UQS untouched.
+        assert qid in twin.pending_query_ids()
+        assert qid not in algorithm.pending_query_ids()
+
+    def test_unknown_algorithm_payload_refused(self):
+        with pytest.raises(CodecError):
+            loads_algorithm(
+                dumps_algorithm(algorithm_mid_protocol("eca")).replace(
+                    '"name":"eca"', '"name":"nope"'
+                )
+            )
+
+
+class TestBagPairs:
+    """SignedBag.to_pairs/from_pairs — the codec's shared bag form."""
+
+    def test_roundtrip(self):
+        bag = SignedBag.from_rows([(1, 2), (1, 2)])
+        bag.add((5, 6), -1)  # signed bags carry negative counts
+        assert SignedBag.from_pairs(bag.to_pairs()) == bag
+
+    def test_pairs_are_sorted_and_stable(self):
+        a = SignedBag.from_rows([(2,), (1,)])
+        b = SignedBag.from_rows([(1,), (2,)])
+        assert a.to_pairs() == b.to_pairs()
+
+    def test_from_pairs_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            SignedBag.from_pairs([((1,), 0)])
+
+    def test_from_pairs_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            SignedBag.from_pairs([((1,), 1), ((1,), 2)])
+
+    def test_from_pairs_rejects_bool_count(self):
+        with pytest.raises(TypeError):
+            SignedBag.from_pairs([((1,), True)])
+
+    def test_nonnegative_mode(self):
+        with pytest.raises(ValueError):
+            SignedBag.from_pairs([((1,), -1)], nonnegative=True)
+        assert SignedBag.from_pairs([((1,), -1)]).multiplicity((1,)) == -1

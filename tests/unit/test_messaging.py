@@ -126,3 +126,40 @@ class TestMessages:
         assert msg.query_id == 3
         assert msg.answer.multiplicity((1,)) == 1
         assert "Q3" in repr(msg)
+
+
+class TestMessageEquality:
+    """Structural __eq__/__hash__: what WAL-replay dedup relies on."""
+
+    def test_update_notifications_equal_by_value(self):
+        a = UpdateNotification(insert("r1", (1, 2)), 7)
+        b = UpdateNotification(insert("r1", (1, 2)), 7)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_update_notifications_differ_on_serial(self):
+        a = UpdateNotification(insert("r1", (1, 2)), 7)
+        b = UpdateNotification(insert("r1", (1, 2)), 8)
+        assert a != b
+
+    def test_query_answers_equal_by_contents(self):
+        a = QueryAnswer(3, SignedBag.from_rows([(1,), (2,)]))
+        b = QueryAnswer(3, SignedBag.from_rows([(2,), (1,)]))
+        assert a == b
+
+    def test_query_answers_differ_on_answer(self):
+        a = QueryAnswer(3, SignedBag.from_rows([(1,)]))
+        b = QueryAnswer(3, SignedBag.from_rows([(2,)]))
+        assert a != b
+
+    def test_different_types_never_equal(self):
+        from repro.messaging.messages import RefreshRequest
+
+        assert QueryRequest(1, empty_query()) != RefreshRequest(1)
+        assert RefreshRequest(1) != 1
+
+    def test_refresh_requests_hashable_and_equal(self):
+        from repro.messaging.messages import RefreshRequest
+
+        assert RefreshRequest(2) == RefreshRequest(2)
+        assert len({RefreshRequest(2), RefreshRequest(2), RefreshRequest(3)}) == 2

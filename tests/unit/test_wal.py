@@ -1,0 +1,215 @@
+"""Unit tests for the write-ahead log (``repro.durability.wal``)."""
+
+import os
+
+import pytest
+
+from repro.durability import (
+    EVENT,
+    RECV,
+    WriteAheadLog,
+    read_latest_snapshot,
+    read_records,
+    recover,
+)
+from repro.durability.wal import SNAPSHOT_PREFIX, WAL_FILENAME, _snapshot_name
+from repro.errors import RecoveryError, WalCorruption
+from repro.messaging.messages import UpdateNotification
+from repro.relational.engine import evaluate_view
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.source.memory import MemorySource
+from repro.source.updates import insert
+
+SCHEMAS = [RelationSchema("r1", ("W", "X")), RelationSchema("r2", ("X", "Y"))]
+INITIAL = {"r1": [(1, 2), (2, 3)], "r2": [(2, 5), (3, 6)]}
+
+
+def fresh_eca():
+    from repro.core.eca import ECA
+
+    view = View.natural_join("V", SCHEMAS, ["W", "Y"])
+    source = MemorySource(SCHEMAS, INITIAL)
+    return source, ECA(view, evaluate_view(view, source.snapshot()))
+
+
+def wal_path(directory):
+    return os.path.join(str(directory), WAL_FILENAME)
+
+
+class TestAppendAndRead:
+    def test_lsns_advance_and_records_read_back(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        assert wal.append(RECV, {"n": 1}) == 1
+        assert wal.append(EVENT, {"n": 2}) == 2
+        wal.close()
+        records, torn = read_records(str(tmp_path))
+        assert torn == 0
+        assert [(r["lsn"], r["type"]) for r in records] == [(1, RECV), (2, EVENT)]
+        assert records[0]["data"] == {"n": 1}
+
+    def test_reopen_resumes_lsn_sequence(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(RECV, {})
+        wal.close()
+        wal = WriteAheadLog(str(tmp_path))
+        assert wal.append(RECV, {}) == 2
+        wal.close()
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_records(str(tmp_path)) == ([], 0)
+
+
+class TestCorruption:
+    def write_two(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(RECV, {"n": 1})
+        wal.append(RECV, {"n": 2})
+        wal.close()
+
+    def test_torn_tail_is_dropped_silently(self, tmp_path):
+        self.write_two(tmp_path)
+        with open(wal_path(tmp_path), "a", encoding="utf-8") as handle:
+            handle.write('{"lsn":3,"type":"recv","da')  # crash mid-append
+        records, torn = read_records(str(tmp_path))
+        assert torn == 1
+        assert [r["lsn"] for r in records] == [1, 2]
+
+    def test_corruption_mid_file_raises(self, tmp_path):
+        self.write_two(tmp_path)
+        lines = open(wal_path(tmp_path), encoding="utf-8").readlines()
+        lines[0] = lines[0][:20] + "\n"  # damage a non-final record
+        with open(wal_path(tmp_path), "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        with pytest.raises(WalCorruption):
+            read_records(str(tmp_path))
+
+    def test_crc_catches_bit_flips(self, tmp_path):
+        self.write_two(tmp_path)
+        text = open(wal_path(tmp_path), encoding="utf-8").read()
+        with open(wal_path(tmp_path), "w", encoding="utf-8") as handle:
+            handle.write(text.replace('"n":2', '"n":7'))
+        records, torn = read_records(str(tmp_path))
+        assert torn == 1  # the flipped record fails its CRC
+        assert [r["data"]["n"] for r in records] == [1]
+
+    def test_non_advancing_lsn_raises(self, tmp_path):
+        self.write_two(tmp_path)
+        lines = open(wal_path(tmp_path), encoding="utf-8").readlines()
+        with open(wal_path(tmp_path), "w", encoding="utf-8") as handle:
+            handle.writelines([lines[0], lines[0]])
+        with pytest.raises(WalCorruption):
+            read_records(str(tmp_path))
+
+    def test_reopen_truncates_torn_tail(self, tmp_path):
+        self.write_two(tmp_path)
+        with open(wal_path(tmp_path), "a", encoding="utf-8") as handle:
+            handle.write('{"half')
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(RECV, {"n": 3})  # must not weld onto the partial line
+        wal.close()
+        records, torn = read_records(str(tmp_path))
+        assert torn == 0
+        assert [r["lsn"] for r in records] == [1, 2, 3]
+
+
+class TestSnapshots:
+    def test_snapshot_compacts_log_and_is_readable(self, tmp_path):
+        _, algorithm = fresh_eca()
+        wal = WriteAheadLog(str(tmp_path))
+        for n in range(5):
+            wal.append(EVENT, {"n": n})
+        lsn = wal.snapshot(algorithm)
+        assert lsn == 5
+        # Compaction removed records covered by the snapshot.
+        assert read_records(str(tmp_path))[0] == []
+        got_lsn, payload = read_latest_snapshot(str(tmp_path))
+        assert got_lsn == 5 and payload["$"] == "algo"
+        wal.close()
+
+    def test_maybe_snapshot_honours_cadence(self, tmp_path):
+        _, algorithm = fresh_eca()
+        wal = WriteAheadLog(str(tmp_path), snapshot_every=3)
+        for _ in range(2):
+            wal.append(EVENT, {})
+            assert wal.maybe_snapshot(algorithm) is None
+        wal.append(EVENT, {})
+        assert wal.maybe_snapshot(algorithm) == 3
+        assert wal.snapshots_taken == 1
+        wal.close()
+
+    def test_old_snapshots_pruned(self, tmp_path):
+        _, algorithm = fresh_eca()
+        wal = WriteAheadLog(str(tmp_path), keep_snapshots=2)
+        for _ in range(4):
+            wal.append(EVENT, {})
+            wal.snapshot(algorithm)
+        names = [n for n in os.listdir(str(tmp_path)) if n.startswith(SNAPSHOT_PREFIX)]
+        assert len(names) == 2
+        wal.close()
+
+    def test_corrupt_newest_snapshot_falls_back(self, tmp_path):
+        _, algorithm = fresh_eca()
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(EVENT, {})
+        wal.snapshot(algorithm)
+        wal.append(EVENT, {})
+        second = wal.snapshot(algorithm)
+        wal.close()
+        with open(
+            os.path.join(str(tmp_path), _snapshot_name(second)), "w", encoding="utf-8"
+        ) as handle:
+            handle.write("garbage")
+        lsn, _ = read_latest_snapshot(str(tmp_path))
+        assert lsn == 1
+
+    def test_no_snapshot_raises_recovery_error(self, tmp_path):
+        with pytest.raises(RecoveryError):
+            read_latest_snapshot(str(tmp_path))
+
+    def test_all_snapshots_invalid_raises_corruption(self, tmp_path):
+        _, algorithm = fresh_eca()
+        wal = WriteAheadLog(str(tmp_path), keep_snapshots=1)
+        wal.append(EVENT, {})
+        lsn = wal.snapshot(algorithm)
+        wal.close()
+        with open(
+            os.path.join(str(tmp_path), _snapshot_name(lsn)), "w", encoding="utf-8"
+        ) as handle:
+            handle.write("garbage")
+        with pytest.raises(WalCorruption):
+            read_latest_snapshot(str(tmp_path))
+
+    def test_parameter_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(str(tmp_path), snapshot_every=0)
+        with pytest.raises(ValueError):
+            WriteAheadLog(str(tmp_path), keep_snapshots=0)
+
+
+class TestRecoverFromWal:
+    def test_snapshot_plus_replay_rebuilds_pending_state(self, tmp_path):
+        from repro.durability import encode_value
+
+        source, algorithm = fresh_eca()
+        wal = WriteAheadLog(str(tmp_path))
+        wal.snapshot(algorithm)  # genesis
+        update = insert("r1", (7, 2))
+        source.apply_update(update)
+        notification = UpdateNotification(update, 1)
+        wal.append(
+            RECV,
+            {"channel": "source->wh", "origin": "source", "message": encode_value(notification)},
+        )
+        algorithm.on_update(notification)
+        wal.close()
+
+        result = recover(str(tmp_path))
+        assert result.replayed == 1
+        assert result.snapshot_lsn == 0
+        twin = result.algorithm
+        assert twin.view_state() == algorithm.view_state()
+        assert twin.pending_query_ids() == algorithm.pending_query_ids()
+        assert [req for _, req in result.reissue] == [
+            req for _, req in algorithm.pending_requests()
+        ]
