@@ -16,7 +16,11 @@ Commands
     Print the headline crossover points the figures claim.
 ``runtime``
     Run the concurrent asyncio runtime: N sources x M clients, optional
-    fault-injecting transport, consistency verdict and metrics.
+    fault-injecting transport, consistency verdict and metrics.  With
+    ``--trace-out`` / ``--metrics-out`` / ``--prom-out`` the run also
+    exports its causal span trace and metrics registry.
+``trace``
+    Render a recorded trace file as a causal timeline.
 """
 
 from __future__ import annotations
@@ -305,6 +309,12 @@ def cmd_runtime(args: argparse.Namespace) -> int:
             drop_rate=args.drop_rate,
         )
 
+    obs = None
+    if args.trace_out or args.metrics_out or args.prom_out:
+        from repro.obs import Observability
+
+        obs = Observability(trace=bool(args.trace_out))
+
     crash = None
     wal_dir = args.wal_dir
     temp_wal = None
@@ -338,6 +348,7 @@ def cmd_runtime(args: argparse.Namespace) -> int:
             wal_fsync=args.wal_fsync,
             snapshot_every=args.snapshot_every,
             crash=crash,
+            obs=obs,
         )
     finally:
         if temp_wal is not None:
@@ -375,6 +386,45 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         )
     if args.crash and not result.crashes:
         print("crash policy never fired (no eligible event boundary)")
+    if obs is not None:
+        from repro.obs import write_metrics_json, write_prometheus, write_trace_jsonl
+
+        if args.trace_out:
+            written = write_trace_jsonl(obs.tracer, args.trace_out)
+            dropped = obs.tracer.dropped
+            suffix = f" ({dropped} evicted)" if dropped else ""
+            print(f"trace:              {written} span(s) -> {args.trace_out}{suffix}")
+        if args.metrics_out:
+            meta = {
+                "command": "runtime",
+                "algorithm": args.algorithm,
+                "sources": args.sources,
+                "clients": args.clients,
+                "seed": args.seed,
+            }
+            write_metrics_json(obs.registry, args.metrics_out, meta=meta)
+            print(f"metrics:            -> {args.metrics_out}")
+        if args.prom_out:
+            write_prometheus(obs.registry, args.prom_out)
+            print(f"prometheus:         -> {args.prom_out}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import read_trace_jsonl, render_timeline
+
+    try:
+        spans = read_trace_jsonl(args.path)
+    except OSError as exc:
+        print(f"cannot read {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.kind:
+        wanted = set(args.kind)
+        spans = [s for s in spans if s.get("kind") in wanted]
+    if not spans:
+        print("(no spans)")
+        return 0
+    print(render_timeline(spans, limit=args.limit))
     return 0
 
 
@@ -510,7 +560,36 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="crash before the event's outgoing queries reach the transport",
     )
+    p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write the causal span trace as JSON lines (view with 'repro trace')",
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the metrics registry (counters/gauges/histograms) as JSON",
+    )
+    p.add_argument(
+        "--prom-out",
+        metavar="PATH",
+        help="write the metrics registry in Prometheus text format",
+    )
     p.set_defaults(func=cmd_runtime)
+
+    p = sub.add_parser(
+        "trace", help="render a recorded trace file as a causal timeline"
+    )
+    p.add_argument("path", help="trace file written by runtime --trace-out")
+    p.add_argument(
+        "--limit", type=int, help="show only the first N spans (by start time)"
+    )
+    p.add_argument(
+        "--kind",
+        action="append",
+        help="filter by span kind (repeatable: update, wh_event, query, ...)",
+    )
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("crossovers", help="headline crossover points")
     _add_param_arguments(p)

@@ -26,6 +26,58 @@ from repro.relational.engine import evaluate_view
 from repro.simulation.trace import C_REF, S_UP, Trace
 
 
+class LiveStaleness:
+    """Staleness as a *live* observable (feeds the obs gauge).
+
+    :func:`staleness_profile` is exact but post-hoc: it re-evaluates the
+    view over every recorded source state.  Stale View Cleaning (Krishnan
+    et al., VLDB 2015) argues staleness must also be observable *while*
+    the system runs, so this tracker maintains a cheap lower bound from
+    the update serials alone:
+
+    - ``executed(serial)`` — a source finished update ``serial``;
+    - ``processed(serial)`` — the warehouse dispatched the notification;
+    - ``pending(n)`` — the UQS size after the last warehouse event.
+
+    ``lag()`` is then *executed − processed*, plus one when queries are
+    still in flight (the view cannot yet reflect the dispatched updates
+    either).  Exported live as the ``repro_staleness_lag_updates`` gauge
+    by :class:`repro.obs.instrument.Observability`.
+    """
+
+    __slots__ = ("_executed", "_processed", "_pending")
+
+    def __init__(self) -> None:
+        self._executed = 0
+        self._processed = 0
+        self._pending = 0
+
+    def executed(self, serial: int) -> None:
+        """A source executed update ``serial`` (global serials ascend)."""
+        self._executed = max(self._executed, serial)
+
+    def processed(self, serial: int) -> None:
+        """The warehouse processed the notification for ``serial``."""
+        self._processed = max(self._processed, serial)
+
+    def pending(self, count: int) -> None:
+        """UQS size after the latest warehouse event."""
+        self._pending = count
+
+    def lag(self) -> int:
+        """Source updates executed but not yet reflected (lower bound)."""
+        lag = self._executed - self._processed
+        if self._pending:
+            lag += 1
+        return lag
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveStaleness(executed={self._executed}, "
+            f"processed={self._processed}, pending={self._pending})"
+        )
+
+
 class StalenessReport:
     """Aggregated lag profile of one run."""
 

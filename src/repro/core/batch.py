@@ -170,6 +170,12 @@ class BatchECA(WarehouseAlgorithm):
     def is_quiescent(self) -> bool:
         return not self.uqs and not self._buffer and self.collect.is_empty()
 
+    def gauges(self):
+        out = super().gauges()
+        out["collect_tuples"] = self.collect.total_count()
+        out["buffered_updates"] = len(self._buffer)
+        return out
+
     # ------------------------------------------------------------------ #
     # Durability hooks
     # ------------------------------------------------------------------ #

@@ -119,6 +119,11 @@ class ECA(WarehouseAlgorithm):
     def is_quiescent(self) -> bool:
         return not self.uqs and self.collect.is_empty()
 
+    def gauges(self):
+        out = super().gauges()
+        out["collect_tuples"] = self.collect.total_count()
+        return out
+
     # ------------------------------------------------------------------ #
     # Durability hooks
     # ------------------------------------------------------------------ #

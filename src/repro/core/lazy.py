@@ -131,6 +131,13 @@ class LCA(WarehouseAlgorithm):
     def is_quiescent(self) -> bool:
         return not self.uqs and self._current is None and not self._pending
 
+    def gauges(self):
+        out = super().gauges()
+        out["queued_updates"] = len(self._pending) + (
+            1 if self._current is not None else 0
+        )
+        return out
+
     # ------------------------------------------------------------------ #
     # Durability hooks
     # ------------------------------------------------------------------ #

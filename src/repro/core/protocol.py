@@ -138,6 +138,17 @@ class WarehouseAlgorithm:
         """Ids of queries awaiting answers (for duplicate-answer dedup)."""
         return sorted(self.uqs)
 
+    def gauges(self) -> Dict[str, int]:
+        """Live in-flight sizes for the observability layer.
+
+        Keyed by gauge name; the base protocol reports the UQS size
+        (Section 5.2's unanswered query set).  Subclasses extend with
+        their family-specific buffers (COLLECT tuples, batched updates,
+        ...) — exported as ``repro_algorithm_gauge{gauge=...}`` by
+        :class:`repro.obs.instrument.Observability`.
+        """
+        return {"uqs": len(self.uqs)}
+
     # ------------------------------------------------------------------ #
     # State inspection
     # ------------------------------------------------------------------ #

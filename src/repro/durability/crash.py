@@ -42,6 +42,11 @@ MODES = ("mid-uqs", "after-answer", "event")
 class CrashPolicy:
     """Immutable description of when the warehouse should die.
 
+    The default modes aim at the boundaries where Section 5.2's
+    in-flight state (the UQS, the COLLECT buffer — what Appendix B's
+    consistency proof depends on) is non-trivial, so surviving them is
+    the strongest durability evidence a run can produce.
+
     Parameters
     ----------
     mode:

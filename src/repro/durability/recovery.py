@@ -103,8 +103,14 @@ def _is_multi(algorithm: object) -> bool:
     return isinstance(algorithm, (StrobeStyle, SweepStyle))
 
 
-def recover(directory: str) -> RecoveryResult:
-    """Rebuild the warehouse algorithm persisted in ``directory``."""
+def recover(directory: str, obs: Optional[object] = None) -> RecoveryResult:
+    """Rebuild the warehouse algorithm persisted in ``directory``.
+
+    ``obs`` (an :class:`repro.obs.instrument.Observability`) records the
+    recovery as a ``wh.recovery`` span linked to the crash that caused it
+    plus the ``repro_warehouse_recoveries_total`` /
+    ``repro_recovery_replayed_total`` counters.
+    """
     snapshot_lsn, payload = read_latest_snapshot(directory)
     algorithm = decode_algorithm(payload)
     records, torn = read_records(directory)
@@ -125,6 +131,8 @@ def recover(directory: str) -> RecoveryResult:
         _replay_one(algorithm, origin, message)
         replayed += 1
     reissue = list(algorithm.pending_requests())
+    if obs is not None:
+        obs.recovery(snapshot_lsn, replayed, len(reissue), torn)
     return RecoveryResult(
         algorithm=algorithm,
         snapshot_lsn=snapshot_lsn,

@@ -110,6 +110,10 @@ class WriteAheadLog:
         :meth:`maybe_snapshot`); ``None`` disables automatic snapshots.
     keep_snapshots:
         Retain this many most-recent snapshots when pruning.
+    obs:
+        Optional :class:`repro.obs.instrument.Observability`; appends
+        bump ``repro_wal_append_total{type=...}`` and snapshots emit a
+        ``wal.snapshot`` span.
     """
 
     def __init__(
@@ -118,6 +122,7 @@ class WriteAheadLog:
         fsync: bool = False,
         snapshot_every: Optional[int] = None,
         keep_snapshots: int = 2,
+        obs: Optional[object] = None,
     ) -> None:
         if snapshot_every is not None and snapshot_every < 1:
             raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
@@ -127,6 +132,7 @@ class WriteAheadLog:
         self.fsync = fsync
         self.snapshot_every = snapshot_every
         self.keep_snapshots = keep_snapshots
+        self.obs = obs
         os.makedirs(directory, exist_ok=True)
         self._path = os.path.join(directory, WAL_FILENAME)
         self._lsn = 0
@@ -160,6 +166,8 @@ class WriteAheadLog:
             os.fsync(self._file.fileno())
         self.appended += 1
         self._since_snapshot += 1
+        if self.obs is not None:
+            self.obs.wal_append(record_type)
         return self._lsn
 
     @property
@@ -192,6 +200,8 @@ class WriteAheadLog:
         self._prune_snapshots()
         self._since_snapshot = 0
         self.snapshots_taken += 1
+        if self.obs is not None:
+            self.obs.wal_snapshot(lsn)
         return lsn
 
     def maybe_snapshot(self, algorithm: object) -> Optional[int]:

@@ -200,6 +200,14 @@ class StrobeStyle:
     def is_quiescent(self) -> bool:
         return not self._pending and not self._actions
 
+    def gauges(self):
+        """Strobe's in-flight state: open queries, pending inserts, AL size."""
+        return {
+            "uqs": len(self.pending_query_ids()),
+            "pending_inserts": len(self._pending),
+            "action_list": len(self._actions),
+        }
+
     # ------------------------------------------------------------------ #
     # Durability hooks
     # ------------------------------------------------------------------ #

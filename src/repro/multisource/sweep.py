@@ -356,3 +356,10 @@ class SweepStyle:
         if sweep is None or sweep.in_flight is None:
             return []
         return [sweep.in_flight[0]]
+
+    def gauges(self):
+        """Sweep's in-flight state: the open hop plus queued updates."""
+        return {
+            "uqs": len(self.pending_query_ids()),
+            "queued_updates": len(self._queue) + (1 if self._current else 0),
+        }

@@ -1,0 +1,230 @@
+"""Causal tracing: spans, message-causality links, and a ring buffer.
+
+The paper's anomalies (Examples 2-3) are *ordering* bugs: understanding
+why ECA sends a compensating query requires seeing the causal chain
+
+    source update  ->  warehouse event  ->  query  ->  answer  ->  install
+
+as one linked structure, not as four disconnected log lines.  The tracer
+records every step as a :class:`Span` and links spans two ways:
+
+- ``parent_id`` — the span this one is nested under (a query span's
+  parent is the warehouse event that emitted it);
+- ``links`` — cross-actor causality edges ``(relation, span_id)``.  The
+  relations used by the runtime instrumentation:
+
+  ===============  ====================================================
+  relation         meaning
+  ===============  ====================================================
+  ``causes``       the message event that made this span happen (an
+                   update span causes the warehouse event processing
+                   it; a query span causes the source answer span)
+  ``compensates``  a compensating query links every UQS entry whose
+                   pending answer it offsets (ECA's ``Q_j<U_i>`` terms,
+                   Section 5.2)
+  ``installs``     a COLLECT flush links the answers it folds in
+  ``recovers``     a recovery span links the crash span it heals
+  ===============  ====================================================
+
+Causality across *messages* rides on the messages' natural identities:
+update serials and query ids are unique per run, so the tracer keeps a
+binding table (``bind``/``lookup``) from keys like ``("U", serial)`` and
+``("Q", query_id)`` to span ids.  This is the run's trace context —
+every ``UpdateNotification``/``QueryRequest``/``QueryAnswer`` carries it
+implicitly, with no change to the wire format or the codec.
+
+Spans live in a bounded ring buffer (``capacity`` spans; eviction is
+counted, never silent) and export to JSON lines via
+:mod:`repro.obs.export`.  Time is whatever clock the caller injects —
+the runtime injects the transport's *virtual* clock, so span timestamps
+line up with the deterministic event schedule, not the wall clock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+#: Default ring-buffer capacity (spans).
+DEFAULT_CAPACITY = 65536
+
+#: Causal link relations (see module docstring).
+CAUSES = "causes"
+COMPENSATES = "compensates"
+INSTALLS = "installs"
+RECOVERS = "recovers"
+
+
+class Span:
+    """One traced operation: a named interval with causal links.
+
+    Spans are mutable while open (``end`` is ``None``) and frozen in
+    meaning once :meth:`Tracer.end` stamps them.  ``attrs`` holds small
+    JSON-able values only — the tracer never deep-copies payloads.
+    """
+
+    __slots__ = ("span_id", "name", "kind", "start", "end", "parent_id", "links", "attrs")
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        kind: str,
+        start: float,
+        parent_id: Optional[int] = None,
+        links: Tuple[Tuple[str, int], ...] = (),
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.kind = kind
+        self.start = start
+        self.end: Optional[float] = None
+        self.parent_id = parent_id
+        self.links: Tuple[Tuple[str, int], ...] = tuple(links)
+        self.attrs: Dict[str, object] = dict(attrs or {})
+
+    def link(self, relation: str, span_id: int) -> None:
+        """Attach one causal edge ``(relation, span_id)``."""
+        self.links = self.links + ((relation, span_id),)
+
+    def linked(self, relation: str) -> List[int]:
+        """Span ids this span links to under ``relation``."""
+        return [sid for rel, sid in self.links if rel == relation]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able form (one trace-file line; see ``repro.obs.export``)."""
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "parent": self.parent_id,
+            "links": [[relation, sid] for relation, sid in self.links],
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span(#{self.span_id} {self.name!r} kind={self.kind} "
+            f"start={self.start:g} links={list(self.links)})"
+        )
+
+
+class Tracer:
+    """Span factory + ring buffer + message-causality bindings.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current (virtual) time.
+        Defaults to a monotone counter, so unit tests need no transport.
+    capacity:
+        Ring-buffer size in spans; the oldest spans are evicted first
+        and counted in :attr:`dropped`.
+    """
+
+    def __init__(self, clock=None, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._clock = clock
+        self._tick = 0
+        self._next_id = 1
+        self._spans: Deque[Span] = deque()
+        self._capacity = capacity
+        #: Spans evicted because the ring filled up.
+        self.dropped = 0
+        #: Message identity -> span id (the run's trace context).
+        self._bindings: Dict[Tuple[str, object], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Clock
+    # ------------------------------------------------------------------ #
+
+    def set_clock(self, clock) -> None:
+        """Swap the time source (the runtime injects ``transport.now``)."""
+        self._clock = clock
+
+    def now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        self._tick += 1
+        return float(self._tick)
+
+    # ------------------------------------------------------------------ #
+    # Span lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(
+        self,
+        name: str,
+        kind: str,
+        parent: Optional[Span] = None,
+        links: Iterable[Tuple[str, Optional[int]]] = (),
+        **attrs: object,
+    ) -> Span:
+        """Open a span.  ``links`` entries with a ``None`` id are skipped
+        (a lookup that found nothing simply produces no edge)."""
+        span = Span(
+            self._next_id,
+            name,
+            kind,
+            self.now(),
+            parent_id=parent.span_id if parent is not None else None,
+            links=tuple((rel, sid) for rel, sid in links if sid is not None),
+            attrs=attrs,
+        )
+        self._next_id += 1
+        if len(self._spans) >= self._capacity:
+            self._spans.popleft()
+            self.dropped += 1
+        self._spans.append(span)
+        return span
+
+    def end(self, span: Span, **attrs: object) -> Span:
+        """Close a span, stamping its end time and final attributes."""
+        span.end = self.now()
+        if attrs:
+            span.attrs.update(attrs)
+        return span
+
+    def instant(
+        self,
+        name: str,
+        kind: str,
+        parent: Optional[Span] = None,
+        links: Iterable[Tuple[str, Optional[int]]] = (),
+        **attrs: object,
+    ) -> Span:
+        """A zero-duration span (a point event on the timeline)."""
+        span = self.start(name, kind, parent=parent, links=links, **attrs)
+        span.end = span.start
+        return span
+
+    # ------------------------------------------------------------------ #
+    # Message causality (the trace context)
+    # ------------------------------------------------------------------ #
+
+    def bind(self, key: Tuple[str, object], span: Span) -> None:
+        """Register ``key`` (e.g. ``("U", serial)``) as produced by ``span``."""
+        self._bindings[key] = span.span_id
+
+    def lookup(self, key: Tuple[str, object]) -> Optional[int]:
+        """Span id bound to ``key``, or ``None`` if never bound (a miss
+        is normal: e.g. replayed messages after ring eviction)."""
+        return self._bindings.get(key)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def spans(self) -> List[Span]:
+        """Retained spans in start order (oldest may have been evicted)."""
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __repr__(self) -> str:
+        return f"Tracer(spans={len(self._spans)}, dropped={self.dropped})"

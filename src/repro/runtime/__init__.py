@@ -10,11 +10,14 @@ remaining fully deterministic under a fixed seed.
 Durability rides on top: pass ``wal_dir=`` to :func:`run_concurrent` to
 log every warehouse event to a :class:`~repro.durability.wal.WriteAheadLog`,
 and a :class:`~repro.durability.crash.CrashPolicy` (re-exported here) to
-kill and recover the warehouse mid-run.  See ``docs/RUNTIME.md`` and
-``docs/DURABILITY.md``.
+kill and recover the warehouse mid-run.  Observability likewise: pass
+``obs=Observability()`` (re-exported from :mod:`repro.obs`) to capture a
+causal span trace and a metrics registry for the run.  See
+``docs/RUNTIME.md``, ``docs/DURABILITY.md``, and ``docs/OBSERVABILITY.md``.
 """
 
 from repro.durability.crash import CrashPolicy
+from repro.obs.instrument import Observability
 from repro.runtime.actors import (
     ActorMetrics,
     ClientActor,
@@ -40,6 +43,7 @@ __all__ = [
     "FaultPlan",
     "FaultyTransport",
     "InMemoryTransport",
+    "Observability",
     "RuntimeResult",
     "SourceActor",
     "WarehouseActor",

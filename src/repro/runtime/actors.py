@@ -30,7 +30,10 @@ import asyncio
 import inspect
 import random
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs imports errors)
+    from repro.obs.instrument import Observability
 
 from repro.durability.codec import encode_value
 from repro.durability.crash import CrashRun
@@ -66,7 +69,13 @@ def warehouse_inbox(name: str) -> str:
 
 
 class ActorMetrics:
-    """Message/byte counters common to every actor."""
+    """Message and event counters common to every actor.
+
+    The per-actor slice of the run's accounting; ``RuntimeResult``
+    aggregates one of these per actor into ``metrics_table()``, and
+    :meth:`repro.obs.instrument.Observability.finalize` republishes them
+    as labelled registry counters.
+    """
 
     __slots__ = ("name", "role", "sent", "received", "events")
 
@@ -80,7 +89,19 @@ class ActorMetrics:
         self.events: Dict[str, int] = {}
 
     def bump(self, key: str, amount: int = 1) -> None:
+        """Add ``amount`` to the role-specific counter ``key``."""
         self.events[key] = self.events.get(key, 0) + amount
+
+    def declare(self, *keys: str) -> None:
+        """Pre-register role counters at zero.
+
+        Actors declare their vocabulary up front so a counter that never
+        fires still reports an explicit ``0`` in ``metrics_table()`` —
+        e.g. a client that reads zero times before quiescence used to
+        drop its ``reads`` column entirely.
+        """
+        for key in keys:
+            self.events.setdefault(key, 0)
 
     def as_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -122,6 +143,7 @@ class SourceActor:
         recorder: "object",
         seed: int = 0,
         max_burst: int = 2,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.name = name
         self.source = source
@@ -133,6 +155,8 @@ class SourceActor:
         self._rng = random.Random(seed)
         self._max_burst = max(1, max_burst)
         self.metrics = ActorMetrics(name, "source")
+        self.metrics.declare("updates_applied", "queries_answered")
+        self._obs = obs
         self.workload_done = len(self._workload) == 0
 
     async def run(self) -> None:
@@ -167,6 +191,8 @@ class SourceActor:
         serial = self.recorder.record_update(self.name, update)
         self.metrics.bump("updates_applied")
         self.metrics.sent += 1
+        if self._obs is not None:
+            self._obs.source_update(self.name, update.relation, serial)
         await self.transport.send(self.outbox, UpdateNotification(update, serial))
 
     async def _answer(self, message: Message) -> None:
@@ -177,6 +203,8 @@ class SourceActor:
         self.recorder.record_query(self.name, message.query_id, answer)
         self.metrics.bump("queries_answered")
         self.metrics.sent += 1
+        if self._obs is not None:
+            self._obs.source_answer(self.name, message.query_id, answer.total_count())
         await self.transport.send(self.outbox, QueryAnswer(message.query_id, answer))
 
 
@@ -252,6 +280,7 @@ class WarehouseActor:
         reissue: Optional[Sequence[Tuple[Optional[str], QueryRequest]]] = None,
         metrics: Optional[ActorMetrics] = None,
         event_index: int = 0,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.algorithm = algorithm
         self.transport = transport
@@ -264,6 +293,11 @@ class WarehouseActor:
         self.metrics = metrics or ActorMetrics("warehouse", "warehouse")
         self._reissue = list(reissue or [])
         self._multi = _is_multi_source_protocol(algorithm)
+        self._obs = obs
+        #: Set for the duration of one _dispatch: the event span and the
+        #: UQS snapshot outgoing queries compensate against.
+        self._obs_span = None
+        self._obs_compensates: Sequence[int] = ()
         #: source name an UpdateNotification/QueryAnswer arrived from,
         #: recovered from the channel name.
         self._channel_source = {
@@ -300,6 +334,24 @@ class WarehouseActor:
 
     async def _dispatch(self, channel: str, message: Message) -> None:
         origin = self._channel_source.get(channel)
+        obs = self._obs
+        pending_before: Sequence[int] = ()
+        if obs is not None:
+            if isinstance(message, UpdateNotification):
+                begin_kind = "W_up"
+            elif isinstance(message, QueryAnswer):
+                begin_kind = "W_ans"
+            else:
+                begin_kind = "W_ref"
+            pending_before = tuple(self.algorithm.pending_query_ids())
+            self._obs_span = obs.wh_event_begin(begin_kind, message, origin)
+            # An answer event retires its own query id before any follow-up
+            # query is built, so it is not compensated against (Section 5.2).
+            self._obs_compensates = tuple(
+                qid
+                for qid in pending_before
+                if not (begin_kind == "W_ans" and qid == message.query_id)
+            )
         if isinstance(message, UpdateNotification):
             routed = self._on_update(origin, message)
             detail = f"U{message.serial} from {origin}, {len(routed)} query(ies)"
@@ -329,6 +381,10 @@ class WarehouseActor:
                 EVENT, {"index": self.event_index, "kind": kind, "detail": detail}
             )
             self.wal.maybe_snapshot(self.algorithm)
+        if obs is not None:
+            obs.wh_event_end(self._obs_span, kind, message, self.algorithm, pending_before)
+            self._obs_span = None
+            self._obs_compensates = ()
         if fired:
             raise WarehouseCrashed(self.event_index, self.crash_run.policy.mode, drop_sends)
 
@@ -342,6 +398,14 @@ class WarehouseActor:
         if reissued:
             self.metrics.bump("reissued_queries")
         self.recorder.record_request(request)
+        if self._obs is not None:
+            self._obs.wh_query_sent(
+                self._obs_span,
+                request.query_id,
+                destination,
+                self._obs_compensates,
+                reissued,
+            )
         if self.wal is not None:
             self.wal.append(
                 SEND,
@@ -449,6 +513,7 @@ class ClientActor:
         reads: int = 4,
         seed: int = 0,
         max_think: int = 4,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.name = name
         self.transport = transport
@@ -459,6 +524,8 @@ class ClientActor:
         self._rng = random.Random(seed)
         self._max_think = max(1, max_think)
         self.metrics = ActorMetrics(name, "client")
+        self.metrics.declare("reads")
+        self._obs = obs
         self.observations: List[Tuple[float, SignedBag]] = []
 
     async def run(self) -> None:
@@ -469,10 +536,13 @@ class ClientActor:
                 return
             self.metrics.sent += 1
             self.recorder.record_refresh(self.name, serial)
+            if self._obs is not None:
+                self._obs.client_refresh(self.name, serial)
             # Think, then read whatever the warehouse currently exposes.
             for _ in range(self._rng.randrange(self._max_think) + 1):
                 await asyncio.sleep(0)
-            self.observations.append(
-                (self.transport.now(), self.warehouse.view_state())
-            )
+            view = self.warehouse.view_state()
+            self.observations.append((self.transport.now(), view))
             self.metrics.bump("reads")
+            if self._obs is not None:
+                self._obs.client_read(self.name, view.total_count())

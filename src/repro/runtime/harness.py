@@ -257,6 +257,7 @@ def run_concurrent(
     wal_fsync: bool = False,
     snapshot_every: Optional[int] = 8,
     crash: Optional[CrashPolicy] = None,
+    obs: Optional[object] = None,
 ) -> RuntimeResult:
     """Run sources, warehouse, and clients concurrently to quiescence.
 
@@ -300,6 +301,13 @@ def run_concurrent(
         ``wal_dir``: when it fires, the warehouse actor dies mid-run and
         is rebuilt from snapshot + WAL replay while sources and clients
         keep running on the same transport.
+    obs:
+        An :class:`repro.obs.instrument.Observability` bundle; when set,
+        every actor, the WAL, and recovery emit causal spans and registry
+        metrics through it (timestamps use the transport's virtual
+        clock), and the run's final accounting is folded in via
+        ``obs.finalize``.  ``None`` (the default) costs one ``is None``
+        check per hook site.
     """
     named_sources = _normalize_sources(sources)
     owners = _relation_owners(named_sources)
@@ -314,9 +322,11 @@ def run_concurrent(
         FaultyTransport(inner, plan=faults, seed=seed + 0x5EED) if faults else inner
     )
     recorder = _TraceRecorder(named_sources, transport)
+    if obs is not None:
+        obs.attach_clock(transport.now)
 
     wal = (
-        WriteAheadLog(wal_dir, fsync=wal_fsync, snapshot_every=snapshot_every)
+        WriteAheadLog(wal_dir, fsync=wal_fsync, snapshot_every=snapshot_every, obs=obs)
         if wal_dir is not None
         else None
     )
@@ -333,6 +343,7 @@ def run_concurrent(
         recorder=recorder,
         wal=wal,
         crash_run=crash_run,
+        obs=obs,
     )
     handle = WarehouseHandle(warehouse)
     recorder.record_initial(handle)
@@ -350,6 +361,7 @@ def run_concurrent(
             recorder,
             seed=seed + 1 + index,
             max_burst=max_burst,
+            obs=obs,
         )
         for index, name in enumerate(sorted(named_sources))
     ]
@@ -361,6 +373,7 @@ def run_concurrent(
             recorder,
             reads=client_reads,
             seed=seed + 101 + i,
+            obs=obs,
         )
         for i in range(clients)
     ]
@@ -380,9 +393,11 @@ def run_concurrent(
         wal_totals["records"] += dead_wal.appended
         wal_totals["snapshots"] += dead_wal.snapshots_taken
         dead_wal.close()
-        recovered = recover(wal_dir)
+        if obs is not None:
+            obs.crash(fault.event_index, fault.mode, fault.drop_sends)
+        recovered = recover(wal_dir, obs=obs)
         new_wal = WriteAheadLog(
-            wal_dir, fsync=wal_fsync, snapshot_every=snapshot_every
+            wal_dir, fsync=wal_fsync, snapshot_every=snapshot_every, obs=obs
         )
         # Fold the replayed suffix into a fresh snapshot so a second crash
         # recovers from here, not from before the first one.
@@ -400,6 +415,7 @@ def run_concurrent(
             reissue=recovered.reissue,
             metrics=old.metrics,
             event_index=fault.event_index,
+            obs=obs,
         )
         crashes.append(
             {
@@ -453,7 +469,7 @@ def run_concurrent(
     for client in client_actors:
         metrics[client.name] = client.metrics
 
-    return RuntimeResult(
+    result = RuntimeResult(
         trace=recorder.trace,
         metrics=metrics,
         channel_stats=transport.stats(),
@@ -466,6 +482,9 @@ def run_concurrent(
         crashes=crashes,
         wal_stats=wal_stats,
     )
+    if obs is not None:
+        obs.finalize(result)
+    return result
 
 
 async def _drive(

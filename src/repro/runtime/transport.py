@@ -40,7 +40,11 @@ from repro.messaging.messages import Message
 
 
 class ChannelStats:
-    """Per-channel delivery accounting (feeds the runtime metrics)."""
+    """Per-channel delivery accounting.
+
+    Rendered as the ``ch:<name>`` rows of ``RuntimeResult.metrics_table()``
+    and exported as the ``repro_channel_*`` series by ``repro.obs``.
+    """
 
     __slots__ = (
         "name",
@@ -155,11 +159,13 @@ _Entry = Tuple[float, int, Message]
 
 
 class AsyncTransport(ABC):
-    """Named unidirectional channels with awaitable receives.
+    """Named unidirectional channels with awaitable receives (Section 2's message model).
 
     Channels are created on first use.  Each channel is expected to have a
     single consumer (the runtime wires one inbox per actor); multiple
-    producers are fine.
+    producers are fine.  Implementations must deliver per-channel FIFO —
+    the assumption every Section 5 correctness proof leans on — and keep
+    :meth:`now` on virtual time so runs replay deterministically.
     """
 
     @abstractmethod
@@ -339,7 +345,10 @@ class FaultyTransport(AsyncTransport):
     All queueing, waiting, and clock machinery is delegated to the inner
     transport; this wrapper only decides *when* each send is delivered,
     drawing latency, jitter, and drop/retry outcomes from a private seeded
-    RNG.  Same seed + same send sequence ⇒ same delivery schedule.
+    RNG.  Same seed + same send sequence ⇒ same delivery schedule.  The
+    paper's reliable-delivery assumption (Section 2) is preserved: a
+    dropped message is retried until delivered, so faults stretch time
+    without ever losing messages.
     """
 
     def __init__(

@@ -190,6 +190,13 @@ class WarehouseCatalog:
     def pending_query_ids(self) -> List[int]:
         return sorted(self._routes)
 
+    def gauges(self) -> Dict[str, int]:
+        """Per-view UQS sizes plus the global route count (obs layer)."""
+        out = {"uqs": len(self._routes)}
+        for name, algorithm in self.algorithms.items():
+            out[f"uqs:{name}"] = len(algorithm.uqs)
+        return out
+
     def __repr__(self) -> str:
         parts = ", ".join(
             f"{name}:{algo.name}" for name, algo in self.algorithms.items()

@@ -118,3 +118,55 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "eca" in out
         assert "incorrect" not in out.split("basic")[0]  # header intact
+
+
+class TestObservabilityCli:
+    def test_runtime_exports_trace_and_metrics(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        prom_path = tmp_path / "metrics.prom"
+        assert main([
+            "runtime", "--sources", "1", "--updates", "4", "--seed", "7",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+            "--prom-out", str(prom_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "metrics:" in out
+        assert trace_path.exists() and metrics_path.exists() and prom_path.exists()
+        import json
+
+        payload = json.loads(metrics_path.read_text())
+        assert payload["meta"]["seed"] == 7
+        assert "repro_warehouse_events_total" in payload["metrics"]
+        assert "# TYPE repro_warehouse_events_total counter" in prom_path.read_text()
+
+    def test_trace_renders_causal_timeline(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([
+            "runtime", "--sources", "1", "--updates", "4", "--seed", "7",
+            "--trace-out", str(trace_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wh.query" in out
+        assert "<- causes source.update" in out
+
+    def test_trace_kind_filter_and_limit(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([
+            "runtime", "--sources", "1", "--updates", "4", "--seed", "7",
+            "--trace-out", str(trace_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_path), "--kind", "query",
+                     "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "wh.query" in out
+        assert "client.refresh" not in out
+
+    def test_trace_missing_file_fails_cleanly(self, capsys):
+        assert main(["trace", "/nonexistent/trace.jsonl"]) == 2
+        assert "cannot read" in capsys.readouterr().err

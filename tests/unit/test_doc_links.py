@@ -1,0 +1,91 @@
+"""The documentation must not rot: links resolve, anchors exist.
+
+Runs the same checker CI's docs job runs (``tools/check_doc_links.py``)
+over the real repository, plus unit coverage of the slug/extraction
+rules on synthetic trees.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_doc_links import anchors_of, check_file, check_tree, slugify  # noqa: E402
+
+
+class TestSlugify:
+    def test_github_rules(self):
+        assert slugify("Overhead") == "overhead"
+        assert slugify("1. Schemas, views, sources") == "1-schemas-views-sources"
+        assert slugify("The trace model") == "the-trace-model"
+        assert slugify("`repro.obs` internals") == "reproobs-internals"
+
+    def test_duplicate_headings_get_suffixes(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("# Setup\n\n## Setup\n")
+        assert anchors_of(doc) == {"setup", "setup-1"}
+
+
+class TestCheckFile:
+    def test_valid_relative_link_and_anchor(self, tmp_path):
+        (tmp_path / "other.md").write_text("# Target Heading\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text("[ok](other.md) [ok2](other.md#target-heading) [self](#intro)\n\n# Intro\n")
+        assert check_file(doc, tmp_path) == []
+
+    def test_missing_file_reported_with_line(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("line one\n[bad](missing.md)\n")
+        (broken,) = check_file(doc, tmp_path)
+        assert broken.line == 2
+        assert broken.target == "missing.md"
+        assert broken.reason == "no such file"
+
+    def test_missing_anchor_reported(self, tmp_path):
+        (tmp_path / "other.md").write_text("# Only Heading\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text("[bad](other.md#nope)\n")
+        (broken,) = check_file(doc, tmp_path)
+        assert "#nope" in broken.reason
+
+    def test_external_links_and_code_are_skipped(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[web](https://example.com) [mail](mailto:x@y.z)\n"
+            "`[not a link](nowhere.md)`\n"
+            "```\n[also not](nowhere.md)\n```\n"
+        )
+        assert check_file(doc, tmp_path) == []
+
+    def test_link_escaping_the_repo_is_rejected(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("[out](../../etc/passwd)\n")
+        (broken,) = check_file(doc, tmp_path)
+        assert broken.reason == "escapes the repository"
+
+
+class TestRealRepository:
+    def test_readme_and_docs_have_no_dead_links(self):
+        broken = check_tree(REPO_ROOT)
+        assert broken == [], "\n".join(
+            f"{b.file.relative_to(REPO_ROOT)}:{b.line}: {b.target} — {b.reason}"
+            for b in broken
+        )
+
+    def test_documentation_index_covers_every_docs_file(self):
+        # Every docs/*.md must be reachable from the README's index.
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for path in sorted((REPO_ROOT / "docs").glob("*.md")):
+            assert f"docs/{path.name}" in readme, f"README does not link docs/{path.name}"
+
+
+class TestTutorialDoctest:
+    def test_tutorial_examples_execute(self):
+        import doctest
+
+        failures, tested = doctest.testfile(
+            str(REPO_ROOT / "docs" / "TUTORIAL.md"), module_relative=False
+        )
+        assert tested > 0
+        assert failures == 0

@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Dead-link checker for the repo's markdown documentation.
+
+Walks README.md, DESIGN.md, EXPERIMENTS.md, and docs/*.md, extracts
+every markdown link, and verifies:
+
+- **relative paths** resolve to an existing file or directory (relative
+  to the file containing the link);
+- **anchors** (``#fragment``, alone or after a path) match a heading in
+  the target document, using GitHub's heading-to-anchor slug rules.
+
+External schemes (http/https/mailto) are skipped — CI must not depend
+on the network.  Fenced code blocks and inline code spans are ignored
+so ASCII diagrams and ``[BLT86]``-style citations don't false-positive.
+
+Usage::
+
+    python tools/check_doc_links.py [repo-root]
+
+Exits 0 when every link resolves, 1 otherwise (one line per broken
+link: ``file:line: target — reason``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, NamedTuple, Optional
+
+#: Files checked, relative to the repo root (globs allowed).
+DOC_GLOBS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/*.md")
+
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+_FENCE = re.compile(r"^(```|~~~)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+class Broken(NamedTuple):
+    file: Path
+    line: int
+    target: str
+    reason: str
+
+
+def slugify(heading: str) -> str:
+    """GitHub's heading → anchor id rule.
+
+    Lowercase; markup/punctuation dropped; spaces become hyphens.
+    ``"## 1. Schemas, views"`` → ``"1-schemas-views"``.
+    """
+
+    text = _CODE_SPAN.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"[*_~]", "", text).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def iter_content_lines(text: str) -> Iterator[tuple]:
+    """Yield (lineno, line) pairs with fenced code blocks blanked out."""
+
+    fence: Optional[str] = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _FENCE.match(line.strip())
+        if match:
+            marker = match.group(1)
+            if fence is None:
+                fence = marker
+            elif marker == fence:
+                fence = None
+            continue
+        if fence is None:
+            yield lineno, line
+
+
+def anchors_of(path: Path) -> set:
+    """All anchor ids a markdown file exposes (headings, deduplicated)."""
+
+    seen: dict = {}
+    out = set()
+    for _, line in iter_content_lines(path.read_text(encoding="utf-8")):
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        out.add(slug if count == 0 else f"{slug}-{count}")
+    return out
+
+
+def check_file(path: Path, root: Path) -> List[Broken]:
+    broken: List[Broken] = []
+    text = path.read_text(encoding="utf-8")
+    for lineno, raw_line in iter_content_lines(text):
+        line = _CODE_SPAN.sub("", raw_line)
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if _EXTERNAL.match(target):
+                continue
+            dest_part, _, fragment = target.partition("#")
+            if dest_part:
+                dest = (path.parent / dest_part).resolve()
+                try:
+                    dest.relative_to(root.resolve())
+                except ValueError:
+                    broken.append(Broken(path, lineno, target, "escapes the repository"))
+                    continue
+                if not dest.exists():
+                    broken.append(Broken(path, lineno, target, "no such file"))
+                    continue
+            else:
+                dest = path
+            if fragment:
+                if dest.is_dir() or dest.suffix.lower() not in (".md", ".markdown"):
+                    broken.append(
+                        Broken(path, lineno, target, "anchor into a non-markdown target")
+                    )
+                elif fragment.lower() not in anchors_of(dest):
+                    broken.append(
+                        Broken(path, lineno, target, f"no heading for #{fragment}")
+                    )
+    return broken
+
+
+def check_tree(root: Path) -> List[Broken]:
+    broken: List[Broken] = []
+    for pattern in DOC_GLOBS:
+        for path in sorted(root.glob(pattern)):
+            broken.extend(check_file(path, root))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    broken = check_tree(root)
+    for item in broken:
+        rel = item.file.relative_to(root)
+        print(f"{rel}:{item.line}: {item.target} — {item.reason}")
+    checked = sum(len(list(root.glob(p))) for p in DOC_GLOBS)
+    if broken:
+        print(f"{len(broken)} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"all links OK across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
