@@ -17,7 +17,6 @@ from repro.costmodel.counters import CostRecorder
 from repro.costmodel.parameters import PaperParameters
 from repro.relational.bag import SignedBag
 from repro.relational.engine import evaluate_query
-from repro.relational.tuples import SignedTuple
 from repro.source.memory import MemorySource
 from repro.workloads.example6 import build_example6
 
@@ -129,7 +128,6 @@ class TestProtocolAblations:
         run (Appendix D's zero-cost terms)."""
         from repro.core.eca import ECA
         from repro.messaging.messages import UpdateNotification
-        from repro.relational.views import View
 
         view = setup.view
 
@@ -153,7 +151,7 @@ class TestProtocolAblations:
                 for pending in algo.uqs_queries():
                     full = full - pending.substitute(update.relation, signed)
                 produced += full.term_count()
-                for request in algo.on_update(UpdateNotification(update, serial)):
+                for request in algo.handle_update(UpdateNotification(update, serial)):
                     shipped += request.query.term_count()
             return produced, shipped
 

@@ -118,7 +118,7 @@ def test_bench_recovery_latency(benchmark):
                     "message": encode_value(notification),
                 },
             )
-            for request in algorithm.on_update(notification):
+            for request in algorithm.handle_update(notification):
                 answer = QueryAnswer(request.query_id, source.evaluate(request.query))
                 wal.append(
                     RECV,
@@ -128,7 +128,7 @@ def test_bench_recovery_latency(benchmark):
                         "message": encode_value(answer),
                     },
                 )
-                algorithm.on_answer(answer)
+                algorithm.handle_answer(answer)
         wal.close()
         return directory, algorithm
 

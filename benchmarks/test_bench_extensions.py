@@ -8,8 +8,6 @@ multiple sources).
 
 from __future__ import annotations
 
-import pytest
-
 from _bench_util import emit
 
 from repro.consistency import check_trace

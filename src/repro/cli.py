@@ -153,7 +153,12 @@ def cmd_audit(args: argparse.Namespace) -> int:
     ]
     initial = {"r1": [(1, 2), (2, 3)], "r2": [(2, 5), (3, 6)]}
     view = View.natural_join("V", schemas, ["W", "Y"])
-    names = [n for n in sorted(ALGORITHMS) if n not in ("recompute", "deferred-eca")]
+    names = [
+        n
+        for n in sorted(ALGORITHMS)
+        if n not in ("recompute", "deferred-eca")
+        and not getattr(ALGORITHMS[n], "multi_source", False)
+    ]
     levels = defaultdict(set)
     for seed in range(args.workloads):
         workload = random_workload(
@@ -253,8 +258,9 @@ def cmd_staleness(args: argparse.Namespace) -> int:
 
 def cmd_runtime(args: argparse.Namespace) -> int:
     from repro.consistency import check_trace
-    from repro.core.registry import create_algorithm
+    from repro.core.registry import ALGORITHMS, create_algorithm
     from repro.experiments.report import render_table
+    from repro.multisource.consistency import cut_report
     from repro.relational.engine import evaluate_view
     from repro.relational.schema import RelationSchema
     from repro.relational.views import View
@@ -263,43 +269,93 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     from repro.warehouse.catalog import WarehouseCatalog
     from repro.workloads.random_gen import random_workload
 
-    # Topology: N autonomous sources, each owning a two-relation join view
-    # maintained by the chosen algorithm (Section 7: "ECA is simply
-    # applied to each view separately").
+    multi = getattr(ALGORITHMS[args.algorithm], "multi_source", False)
     sources = {}
-    algorithms = {}
     workload = []
-    for index in range(args.sources):
-        prefix = f"s{index}"
-        schemas = [
-            RelationSchema(f"{prefix}r1", ("W", "X"), key=("W",)),
-            RelationSchema(f"{prefix}r2", ("X", "Y"), key=("Y",)),
-        ]
-        initial = {
-            f"{prefix}r1": [(1, 2), (2, 3)],
-            f"{prefix}r2": [(2, 5), (3, 6)],
-        }
-        source = MemorySource(schemas, initial)
-        sources[prefix] = source
-        view = View.natural_join(f"V{index}", schemas, ["W", "Y"])
-        algorithms[f"V{index}"] = create_algorithm(
-            args.algorithm, view, evaluate_view(view, source.snapshot())
-        )
-        workload.extend(
-            random_workload(
-                schemas,
-                args.updates,
-                seed=args.seed + index,
-                initial=initial,
-                respect_keys=True,
+    spanning_view = None
+    if multi:
+        # Topology: one view spanning all N sources as a join chain —
+        # source s<i> owns relation s<i>r(C<i>, C<i+1>).  The projection
+        # keeps every key column, so the Strobe family's key-completeness
+        # requirement holds for any N.
+        schemas = []
+        for index in range(args.sources):
+            name = f"s{index}"
+            relation = f"{name}r"
+            key = ("C0",) if index == 0 else (f"C{index + 1}",)
+            schema = RelationSchema(
+                relation, (f"C{index}", f"C{index + 1}"), key=key
             )
+            schemas.append(schema)
+            initial = {relation: [(1, 1), (2, 2)]}
+            sources[name] = MemorySource([schema], initial)
+            workload.extend(
+                random_workload(
+                    [schema],
+                    args.updates,
+                    seed=args.seed + index,
+                    initial=initial,
+                    respect_keys=True,
+                    domain=3,
+                )
+            )
+        # Key columns double as join columns from 3 sources up, so the
+        # projection must qualify them (bare "C2" is ambiguous between
+        # s1r and s2r).
+        projection = [f"{schemas[0].name}.C0"] + [
+            f"{schema.name}.{schema.key[0]}" for schema in schemas[1:]
+        ]
+        spanning_view = View.natural_join("V", schemas, projection)
+        owners = {f"s{index}r": f"s{index}" for index in range(args.sources)}
+        snapshot = {}
+        for source in sources.values():
+            snapshot.update(source.snapshot())
+        options = {"owners": owners}
+        if args.algorithm == "multi-stored-copies":
+            options["initial_copies"] = snapshot
+        warehouse = create_algorithm(
+            args.algorithm,
+            spanning_view,
+            evaluate_view(spanning_view, snapshot),
+            **options,
         )
-    if len(algorithms) == 1:
-        warehouse = next(iter(algorithms.values()))
-        checkable = warehouse.view
+        checkable = spanning_view
     else:
-        warehouse = WarehouseCatalog(algorithms)
-        checkable = warehouse
+        # Topology: N autonomous sources, each owning a two-relation join
+        # view maintained by the chosen algorithm (Section 7: "ECA is
+        # simply applied to each view separately").
+        algorithms = {}
+        for index in range(args.sources):
+            prefix = f"s{index}"
+            schemas = [
+                RelationSchema(f"{prefix}r1", ("W", "X"), key=("W",)),
+                RelationSchema(f"{prefix}r2", ("X", "Y"), key=("Y",)),
+            ]
+            initial = {
+                f"{prefix}r1": [(1, 2), (2, 3)],
+                f"{prefix}r2": [(2, 5), (3, 6)],
+            }
+            source = MemorySource(schemas, initial)
+            sources[prefix] = source
+            view = View.natural_join(f"V{index}", schemas, ["W", "Y"])
+            algorithms[f"V{index}"] = create_algorithm(
+                args.algorithm, view, evaluate_view(view, source.snapshot())
+            )
+            workload.extend(
+                random_workload(
+                    schemas,
+                    args.updates,
+                    seed=args.seed + index,
+                    initial=initial,
+                    respect_keys=True,
+                )
+            )
+        if len(algorithms) == 1:
+            warehouse = next(iter(algorithms.values()))
+            checkable = warehouse.view
+        else:
+            warehouse = WarehouseCatalog(algorithms)
+            checkable = warehouse
 
     faults = None
     if args.faults:
@@ -353,7 +409,17 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     finally:
         if temp_wal is not None:
             temp_wal.cleanup()
-    report = check_trace(checkable, result.trace)
+    if multi:
+        # A spanning view has no global source-state sequence; classify
+        # against monotone consistent cuts of the per-source histories.
+        report = cut_report(
+            spanning_view,
+            result.per_source_states,
+            result.trace.view_states,
+            result.final_view,
+        )
+    else:
+        report = check_trace(checkable, result.trace)
 
     print(render_table("Per-actor metrics", result.metrics_table()))
     print()

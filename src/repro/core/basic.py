@@ -20,14 +20,14 @@ class BasicAlgorithm(WarehouseAlgorithm):
 
     name = "basic"
 
-    def on_update(self, notification: UpdateNotification) -> List[QueryRequest]:
+    def handle_update(self, notification: UpdateNotification) -> List[QueryRequest]:
         if not self.relevant(notification):
             return []
         update = notification.update
         query = self.view.substitute(update.relation, update.signed_tuple())
         return [self._make_request(query)]
 
-    def on_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
+    def handle_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
         self._retire(answer)
         # Non-strict: anomalies can legitimately drive multiplicities
         # negative (e.g. a deletion answered twice); the paper's broken

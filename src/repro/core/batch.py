@@ -89,7 +89,7 @@ class BatchECA(WarehouseAlgorithm):
     # W_up
     # ------------------------------------------------------------------ #
 
-    def on_update(self, notification: UpdateNotification) -> List[QueryRequest]:
+    def handle_update(self, notification: UpdateNotification) -> List[QueryRequest]:
         if not self.relevant(notification):
             return []
         self._buffer.append(notification.update)
@@ -138,13 +138,13 @@ class BatchECA(WarehouseAlgorithm):
     # W_ans / refresh
     # ------------------------------------------------------------------ #
 
-    def on_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
+    def handle_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
         self._retire(answer)
         self.collect.add_bag(answer.answer)
         self._maybe_install()
         return []
 
-    def on_refresh(self) -> List[QueryRequest]:
+    def handle_refresh(self) -> List[QueryRequest]:
         return self.flush()
 
     def _maybe_install(self) -> None:

@@ -61,7 +61,7 @@ class ECA(WarehouseAlgorithm):
     # W_up
     # ------------------------------------------------------------------ #
 
-    def on_update(self, notification: UpdateNotification) -> List[QueryRequest]:
+    def handle_update(self, notification: UpdateNotification) -> List[QueryRequest]:
         if not self.relevant(notification):
             return []
         update = notification.update
@@ -87,7 +87,7 @@ class ECA(WarehouseAlgorithm):
     # W_ans
     # ------------------------------------------------------------------ #
 
-    def on_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
+    def handle_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
         self._retire(answer)
         self._absorb(answer.answer)
         self._maybe_install()

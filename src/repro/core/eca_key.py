@@ -82,7 +82,7 @@ class ECAKey(WarehouseAlgorithm):
     # W_up
     # ------------------------------------------------------------------ #
 
-    def on_update(self, notification: UpdateNotification) -> List[QueryRequest]:
+    def handle_update(self, notification: UpdateNotification) -> List[QueryRequest]:
         if not self.relevant(notification):
             return []
         update = notification.update
@@ -106,7 +106,7 @@ class ECAKey(WarehouseAlgorithm):
     # W_ans
     # ------------------------------------------------------------------ #
 
-    def on_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
+    def handle_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
         self._retire(answer)
         filters = self._filters.pop(answer.query_id, [])
         # Rule 4: merge, dropping duplicates.  Insert answers are all

@@ -53,7 +53,7 @@ class ECALocal(ECA):
             return False
         return True
 
-    def on_update(self, notification: UpdateNotification) -> List[QueryRequest]:
+    def handle_update(self, notification: UpdateNotification) -> List[QueryRequest]:
         if not self.relevant(notification):
             return []
         update = notification.update
@@ -61,7 +61,7 @@ class ECALocal(ECA):
             self.mv.key_delete(update.relation, update.values)
             self.local_updates_handled += 1
             return []
-        return super().on_update(notification)
+        return super().handle_update(notification)
 
     # ------------------------------------------------------------------ #
     # Durability hooks

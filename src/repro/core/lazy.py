@@ -68,7 +68,7 @@ class LCA(WarehouseAlgorithm):
     # W_up
     # ------------------------------------------------------------------ #
 
-    def on_update(self, notification: UpdateNotification) -> List[QueryRequest]:
+    def handle_update(self, notification: UpdateNotification) -> List[QueryRequest]:
         if not self.relevant(notification):
             return []
         update = notification.update
@@ -89,7 +89,7 @@ class LCA(WarehouseAlgorithm):
     # W_ans
     # ------------------------------------------------------------------ #
 
-    def on_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
+    def handle_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
         self._retire(answer)
         self._delta.add_bag(answer.answer)
         return self._finish_if_done()

@@ -1,13 +1,23 @@
 """The common protocol all warehouse maintenance algorithms implement.
 
-The simulation driver delivers source -> warehouse messages to the
-algorithm by calling :meth:`WarehouseAlgorithm.on_update` (the ``W_up``
-event) and :meth:`WarehouseAlgorithm.on_answer` (``W_ans``).  Either call
-may return query requests, which the driver ships over the
-warehouse -> source channel.  Per Section 3, each such call is atomic.
+Every execution kernel delivers source -> warehouse messages to the
+algorithm through the *routed* event API: :meth:`WarehouseAlgorithm.on_update`
+(the ``W_up`` event), :meth:`WarehouseAlgorithm.on_answer` (``W_ans``) and
+:meth:`WarehouseAlgorithm.on_refresh` (deferred timing).  Each call names
+the source the message arrived from and returns ``(destination, request)``
+pairs for the kernel to ship over the per-source warehouse -> source
+channels.  A ``None`` destination means "route by relation owner" — the
+sole source in a single-source run.  Per Section 3, each call is atomic.
+
+Single-source algorithm families (ECA, ECA-Key, LCA, RV, SC, ...) do not
+care which channel a message arrived on: they implement the unrouted
+hooks :meth:`handle_update` / :meth:`handle_answer` / :meth:`handle_refresh`
+returning plain request lists, and the base class lifts those into the
+routed API.  Multi-source families (Strobe, SWEEP, FragmentingIncremental)
+override the routed methods directly and set ``multi_source = True``.
 
 Algorithms own their query-id sequence so that the UQS bookkeeping stays
-inside the algorithm; the driver treats query ids as opaque.
+inside the algorithm; kernels treat query ids as opaque.
 """
 
 from __future__ import annotations
@@ -21,17 +31,31 @@ from repro.relational.expressions import Query
 from repro.relational.views import View
 from repro.warehouse.state import MaterializedView
 
+#: What every routed event handler returns: ``(destination, request)``
+#: pairs.  ``destination is None`` = route by relation owner.
+Routed = List[Tuple[Optional[str], QueryRequest]]
+
 
 class WarehouseAlgorithm:
-    """Base class: query-id bookkeeping plus the event API.
+    """Base class: query-id bookkeeping plus the routed event API.
 
-    Subclasses implement :meth:`on_update` and :meth:`on_answer`, calling
-    :meth:`_make_request` to register outgoing queries in the unanswered
-    query set (UQS).
+    Single-source subclasses implement :meth:`handle_update` and
+    :meth:`handle_answer`, calling :meth:`_make_request` to register
+    outgoing queries in the unanswered query set (UQS).  Multi-source
+    subclasses override :meth:`on_update` / :meth:`on_answer` directly.
     """
 
     #: Human-readable algorithm name (overridden by subclasses).
     name = "abstract"
+
+    #: Whether the algorithm routes queries to specific sources itself.
+    #: Single-source families leave this False and are oblivious to
+    #: message origins.
+    multi_source = False
+
+    #: Durability codec tag (``repro.durability.codec``); the catalog
+    #: overrides this with its composite tag.
+    codec_tag = "algo"
 
     def __init__(self, view: View, initial: Optional[SignedBag] = None) -> None:
         self.view = view
@@ -39,27 +63,56 @@ class WarehouseAlgorithm:
         self._next_query_id = 1
         #: The unanswered query set: query id -> full query expression.
         self.uqs: Dict[int, Query] = {}
+        #: relation name -> owning source name (for routing); bound by the
+        #: kernel via :meth:`bind_owners`, or by multi-source constructors.
+        self.owners: Dict[str, str] = {}
 
     # ------------------------------------------------------------------ #
-    # Event API (called by the simulation driver)
+    # Routed event API (called by the execution kernels)
     # ------------------------------------------------------------------ #
 
-    def on_update(self, notification: UpdateNotification) -> List[QueryRequest]:
-        """Process ``W_up``: an update notification arrived.
+    def bind_owners(self, owners: Dict[str, str]) -> None:
+        """Tell the algorithm which source owns each relation.
 
-        Returns the query requests to ship to the source (possibly none).
+        Kernels call this once before the run starts.  Multi-source
+        algorithms take owners at construction time; an explicit mapping
+        always wins, so this is a no-op when owners are already set.
         """
+        if not self.owners:
+            self.owners = dict(owners)
+
+    def on_update(self, source: Optional[str], notification: UpdateNotification) -> Routed:
+        """Process ``W_up``: an update notification arrived from ``source``.
+
+        Returns ``(destination, request)`` pairs to ship (possibly none).
+        """
+        return self._route_all(self.handle_update(notification))
+
+    def on_answer(self, source: Optional[str], answer: QueryAnswer) -> Routed:
+        """Process ``W_ans``: a query answer arrived from ``source``.
+
+        Returns follow-up ``(destination, request)`` pairs (usually none).
+        """
+        return self._route_all(self.handle_answer(answer))
+
+    def on_refresh(self) -> Routed:
+        """Process a warehouse-client refresh request (deferred timing)."""
+        return self._route_all(self.handle_refresh())
+
+    # ------------------------------------------------------------------ #
+    # Unrouted hooks (single-source subclasses implement these)
+    # ------------------------------------------------------------------ #
+
+    def handle_update(self, notification: UpdateNotification) -> List[QueryRequest]:
+        """Single-source ``W_up`` hook; requests are routed by owner."""
         raise NotImplementedError
 
-    def on_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
-        """Process ``W_ans``: a query answer arrived.
-
-        Returns follow-up query requests (most algorithms return none).
-        """
+    def handle_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
+        """Single-source ``W_ans`` hook; requests are routed by owner."""
         raise NotImplementedError
 
-    def on_refresh(self) -> List[QueryRequest]:
-        """Process a warehouse-client refresh request (deferred timing).
+    def handle_refresh(self) -> List[QueryRequest]:
+        """Single-source refresh hook.
 
         Immediate-update algorithms keep the view current at all times, so
         the default is a no-op; deferred algorithms override this to flush
@@ -70,6 +123,10 @@ class WarehouseAlgorithm:
     # ------------------------------------------------------------------ #
     # Shared plumbing
     # ------------------------------------------------------------------ #
+
+    def _route_all(self, requests: List[QueryRequest]) -> Routed:
+        """Lift unrouted requests into the routed API (owner routing)."""
+        return [(None, request) for request in requests]
 
     def _make_request(self, query: Query) -> QueryRequest:
         """Assign a fresh id, record the query in the UQS, build the request."""

@@ -48,7 +48,7 @@ class RecomputeView(WarehouseAlgorithm):
         self.period = period
         self._count = 0
 
-    def on_update(self, notification: UpdateNotification) -> List[QueryRequest]:
+    def handle_update(self, notification: UpdateNotification) -> List[QueryRequest]:
         if not self.relevant(notification):
             return []
         self._count += 1
@@ -57,7 +57,7 @@ class RecomputeView(WarehouseAlgorithm):
         self._count = 0
         return [self._make_request(self.view.as_query())]
 
-    def on_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
+    def handle_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
         self._retire(answer)
         self.mv.replace(answer.answer)
         return []

@@ -1,4 +1,12 @@
-"""Algorithm registry: construct maintenance algorithms by name."""
+"""Algorithm registry: construct maintenance algorithms by name.
+
+One registry covers both families: the single-source algorithms from the
+paper's Sections 4-6 and the multi-source algorithms (Strobe, SWEEP,
+FragmentingIncremental, multi-source SC) from the Section 7 follow-ups.
+All of them speak the routed :class:`~repro.core.protocol.WarehouseAlgorithm`
+protocol, so every kernel — and WAL recovery — rebuilds any of them by
+name via :func:`create_algorithm`.
+"""
 
 from __future__ import annotations
 
@@ -13,6 +21,12 @@ from repro.core.lazy import LCA
 from repro.core.protocol import WarehouseAlgorithm
 from repro.core.recompute import RecomputeView
 from repro.core.stored_copies import StoredCopies
+from repro.multisource.algorithms import (
+    FragmentingIncremental,
+    MultiSourceStoredCopies,
+)
+from repro.multisource.strobe import StrobeStyle
+from repro.multisource.sweep import SweepStyle
 from repro.relational.bag import SignedBag
 from repro.relational.views import View
 
@@ -27,6 +41,10 @@ ALGORITHMS: Dict[str, type] = {
     LCA.name: LCA,
     RecomputeView.name: RecomputeView,
     StoredCopies.name: StoredCopies,
+    FragmentingIncremental.name: FragmentingIncremental,
+    MultiSourceStoredCopies.name: MultiSourceStoredCopies,
+    StrobeStyle.name: StrobeStyle,
+    SweepStyle.name: SweepStyle,
 }
 
 
@@ -38,8 +56,8 @@ def create_algorithm(
 ) -> WarehouseAlgorithm:
     """Instantiate the named algorithm.
 
-    ``options`` are forwarded to the constructor (e.g. ``period=5`` for
-    ``"recompute"``, ``buffer_answers=False`` for ``"eca"``).
+    ``options`` are forwarded to the constructor by keyword (e.g.
+    ``period=5`` for ``"recompute"``, ``owners={...}`` for ``"strobe"``).
     """
     try:
         cls = ALGORITHMS[name]
@@ -47,4 +65,4 @@ def create_algorithm(
         raise KeyError(
             f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
         ) from None
-    return cls(view, initial, **options)
+    return cls(view, initial=initial, **options)

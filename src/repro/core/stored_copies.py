@@ -52,7 +52,7 @@ class StoredCopies(WarehouseAlgorithm):
                 if relation in self.copies:
                     self.copies[relation] = bag.copy()
 
-    def on_update(self, notification: UpdateNotification) -> List[QueryRequest]:
+    def handle_update(self, notification: UpdateNotification) -> List[QueryRequest]:
         if not self.relevant(notification):
             return []
         update = notification.update
@@ -73,7 +73,7 @@ class StoredCopies(WarehouseAlgorithm):
         self.mv.apply_delta(delta_query.evaluate(self.copies))
         return []
 
-    def on_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
+    def handle_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
         # SC never sends queries, so an answer is a protocol violation.
         self._retire(answer)
         return []

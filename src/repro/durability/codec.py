@@ -51,8 +51,10 @@ from repro.relational.views import View
 from repro.source.updates import Update
 from repro.warehouse.state import MaterializedView
 
-#: Bumped whenever the encoded layout changes incompatibly.
-CODEC_VERSION = 1
+#: Bumped whenever the encoded layout changes incompatibly.  v2: the
+#: routed-protocol unification folded the ``algo.multi`` envelope into
+#: the generic ``algo`` form (owners travel in ``config``).
+CODEC_VERSION = 2
 
 _PRIMITIVES = (str, int, float, bool, type(None))
 
@@ -329,27 +331,20 @@ def loads(text: str) -> object:
 def encode_algorithm(algorithm: object) -> Dict[str, object]:
     """Encode a live warehouse algorithm (any protocol family) to tagged
     JSON data: the view definition(s), the materialized contents, the
-    constructor options, and the full pending protocol state."""
-    from repro.multisource.strobe import StrobeStyle
-    from repro.multisource.sweep import SweepStyle
-    from repro.warehouse.catalog import WarehouseCatalog
+    constructor options, and the full pending protocol state.
 
-    if isinstance(algorithm, WarehouseCatalog):
+    Dispatch is on the algorithm's ``codec_tag`` class attribute — the
+    routed protocol made every registry family (single- or multi-source)
+    share the generic ``algo`` envelope, with owners and other
+    constructor options carried by ``durable_config()``.
+    """
+    if getattr(algorithm, "codec_tag", "algo") == "algo.catalog":
         return {
             "$": "algo.catalog",
             "members": [
                 [name, encode_algorithm(member)]
                 for name, member in algorithm.algorithms.items()
             ],
-            "pending": encode_value(algorithm.pending_state()),
-        }
-    if isinstance(algorithm, (StrobeStyle, SweepStyle)):
-        return {
-            "$": "algo.multi",
-            "name": algorithm.name,
-            "view": encode_value(algorithm.view),
-            "owners": encode_value(algorithm.owners),
-            "mv": encode_value(algorithm.mv.as_bag()),
             "pending": encode_value(algorithm.pending_state()),
         }
     return {
@@ -365,8 +360,6 @@ def encode_algorithm(algorithm: object) -> Dict[str, object]:
 def decode_algorithm(data: Dict[str, object]) -> object:
     """Rebuild a live algorithm from :func:`encode_algorithm` output."""
     from repro.core.registry import create_algorithm
-    from repro.multisource.strobe import StrobeStyle
-    from repro.multisource.sweep import SweepStyle
     from repro.warehouse.catalog import WarehouseCatalog
 
     tag = data.get("$")
@@ -377,21 +370,6 @@ def decode_algorithm(data: Dict[str, object]) -> object:
         catalog = WarehouseCatalog(members)
         catalog.restore_pending_state(decode_value(data["pending"]))
         return catalog
-    if tag == "algo.multi":
-        classes = {StrobeStyle.name: StrobeStyle, SweepStyle.name: SweepStyle}
-        try:
-            cls = classes[data["name"]]
-        except KeyError:
-            raise CodecError(
-                f"unknown multi-source algorithm {data['name']!r}"
-            ) from None
-        algorithm = cls(
-            decode_value(data["view"]),
-            decode_value(data["owners"]),
-            decode_value(data["mv"]),
-        )
-        algorithm.restore_pending_state(decode_value(data["pending"]))
-        return algorithm
     if tag == "algo":
         config = decode_value(data["config"])
         try:

@@ -28,13 +28,9 @@ from typing import List, Optional, Tuple
 
 from repro.durability.codec import decode_algorithm, decode_value
 from repro.durability.wal import RECV, read_latest_snapshot, read_records
-from repro.errors import RecoveryError
-from repro.messaging.messages import (
-    QueryAnswer,
-    QueryRequest,
-    RefreshRequest,
-    UpdateNotification,
-)
+from repro.errors import ProtocolError, RecoveryError
+from repro.kernel.dispatch import dispatch_event, event_kind
+from repro.messaging.messages import QueryRequest
 
 
 class RecoveryResult:
@@ -74,33 +70,18 @@ class RecoveryResult:
 
 
 def _replay_one(algorithm: object, origin: Optional[str], message: object) -> None:
-    """Feed one logged message through the algorithm, discarding requests."""
-    multi = _is_multi(algorithm)
-    if multi and origin is None and not isinstance(message, RefreshRequest):
-        raise RecoveryError(
-            f"multi-source replay needs an origin for {message!r}"
-        )
-    if isinstance(message, UpdateNotification):
-        if multi:
-            algorithm.on_update(origin, message)
-        else:
-            algorithm.on_update(message)
-    elif isinstance(message, QueryAnswer):
-        if multi:
-            algorithm.on_answer(origin, message)
-        else:
-            algorithm.on_answer(message)
-    elif isinstance(message, RefreshRequest):
-        algorithm.on_refresh()
-    else:
-        raise RecoveryError(f"cannot replay message {message!r}")
+    """Feed one logged message through the algorithm, discarding requests.
 
-
-def _is_multi(algorithm: object) -> bool:
-    from repro.multisource.strobe import StrobeStyle
-    from repro.multisource.sweep import SweepStyle
-
-    return isinstance(algorithm, (StrobeStyle, SweepStyle))
+    Replay goes through the same :func:`dispatch_event` the live kernels
+    use — routed protocol, no per-family dispatch — because the pre-crash
+    warehouse already sent whatever the call returns (or crashed before
+    sending, in which case the re-issue pass covers it).
+    """
+    try:
+        event_kind(message)
+    except ProtocolError:
+        raise RecoveryError(f"cannot replay message {message!r}") from None
+    dispatch_event(algorithm, origin, message)
 
 
 def recover(directory: str, obs: Optional[object] = None) -> RecoveryResult:

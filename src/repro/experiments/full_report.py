@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import List, Optional
 
-from repro.consistency import check_trace, staleness_profile
+from repro.consistency import check_trace
 from repro.costmodel import analytic
 from repro.costmodel.parameters import PaperParameters
 from repro.experiments.figures import ALL_FIGURES

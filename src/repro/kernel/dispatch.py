@@ -1,0 +1,155 @@
+"""Atomic event dispatch: the one place messages meet algorithms.
+
+Every execution path — the synchronous kernel, the asyncio warehouse
+actor, and WAL replay during recovery — feeds incoming messages through
+:func:`dispatch_event`.  It classifies the message (``W_up`` / ``W_ans``
+/ ``W_ref``), invokes the matching routed protocol method, and renders
+the canonical trace detail string, so identical executions produce
+identical traces regardless of which kernel ran them.
+
+Routing helpers live here too: :func:`query_owner` maps an owner-routed
+(``destination=None``) request to the single source owning the relations
+it reads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.messaging.messages import (
+    Message,
+    QueryAnswer,
+    QueryRequest,
+    RefreshRequest,
+    UpdateNotification,
+)
+from repro.relational.expressions import Query
+from repro.simulation.trace import W_ANS, W_REF, W_UP
+
+#: What dispatch returns: the trace kind, the detail string, and the
+#: routed ``(destination, request)`` pairs the algorithm emitted.
+DispatchResult = Tuple[str, str, List[Tuple[Optional[str], QueryRequest]]]
+
+
+def event_kind(message: Message) -> str:
+    """The warehouse trace kind this message produces when dispatched."""
+    if isinstance(message, UpdateNotification):
+        return W_UP
+    if isinstance(message, QueryAnswer):
+        return W_ANS
+    if isinstance(message, RefreshRequest):
+        return W_REF
+    raise ProtocolError(f"warehouse received unknown message: {message!r}")
+
+
+def dispatch_event(
+    algorithm: object,
+    origin: Optional[str],
+    message: Message,
+    qualified: bool = True,
+) -> DispatchResult:
+    """Process one atomic warehouse event through the routed protocol.
+
+    ``origin`` is the source the message arrived from (``None`` for
+    client channels — legal only for refresh requests).  ``qualified``
+    selects the source-qualified detail format shared by the multi-source
+    and concurrent kernels; the single-source :class:`Simulation` facade
+    keeps its historical unqualified strings.
+    """
+    kind = event_kind(message)
+    if kind == W_UP:
+        if origin is None:
+            raise ProtocolError("update notification arrived on a client channel")
+        routed = list(algorithm.on_update(origin, message))
+        if qualified:
+            detail = f"U{message.serial} from {origin}, {len(routed)} query(ies)"
+        else:
+            detail = f"U{message.serial} processed, {len(routed)} query(ies) sent"
+    elif kind == W_ANS:
+        if origin is None:
+            raise ProtocolError("query answer arrived on a client channel")
+        routed = list(algorithm.on_answer(origin, message))
+        if qualified:
+            detail = (
+                f"A(Q{message.query_id}) from {origin}, "
+                f"{len(routed)} follow-up(s)"
+            )
+        else:
+            detail = (
+                f"A for Q{message.query_id} applied, "
+                f"{len(routed)} follow-up query(ies)"
+            )
+    else:
+        routed = list(algorithm.on_refresh())
+        detail = (
+            f"refresh #{message.serial} processed, {len(routed)} query(ies) sent"
+        )
+    return kind, detail, routed
+
+
+def query_owner(query: Query, owners: Mapping[str, str]) -> str:
+    """The single source owning every base relation the query reads."""
+    found = set()
+    for term in query.terms:
+        for operand in term.operands:
+            if operand.is_bound:
+                continue
+            relation = operand.source_relation
+            try:
+                found.add(owners[relation])
+            except KeyError:
+                raise ProtocolError(
+                    f"no source owns relation {relation!r}"
+                ) from None
+    if len(found) != 1:
+        raise ProtocolError(
+            f"query reads relations of sources {sorted(found)!r}; "
+            f"single-source algorithms need fragment routing — use a "
+            f"multi-source algorithm (e.g. StrobeStyle) for spanning views"
+        )
+    return found.pop()
+
+
+def resolve_destination(
+    destination: Optional[str],
+    request: QueryRequest,
+    owners: Mapping[str, str],
+    sole: Optional[str] = None,
+) -> str:
+    """Resolve an owner-routed (``None``) destination to a source name."""
+    if destination is not None:
+        return destination
+    if sole is not None:
+        return sole
+    return query_owner(request.query, owners)
+
+
+def receive_query_request(name: str, message: Message) -> QueryRequest:
+    """Validate that a source-inbox message is a query request."""
+    if not isinstance(message, QueryRequest):
+        raise ProtocolError(f"source {name} received {message!r}")
+    return message
+
+
+def is_duplicate_answer(algorithm: object, message: Message) -> bool:
+    """An answer whose query id is no longer pending (post-recovery race)."""
+    return (
+        isinstance(message, QueryAnswer)
+        and message.query_id not in algorithm.pending_query_ids()
+    )
+
+
+def relation_owners(sources: Mapping[str, object]) -> Dict[str, str]:
+    """Map each relation to its owning source; reject shared relations."""
+    from repro.errors import SimulationError
+
+    owners: Dict[str, str] = {}
+    for name, source in sources.items():
+        for schema in source.schemas:
+            if schema.name in owners:
+                raise SimulationError(
+                    f"relation {schema.name!r} owned by two sources"
+                )
+            owners[schema.name] = name
+    return owners

@@ -1,0 +1,316 @@
+"""The synchronous execution kernel: one pump for every sync driver.
+
+:class:`SyncKernel` owns the per-source FIFO channel pairs, executes the
+workload, evaluates source queries, and feeds warehouse messages through
+:func:`repro.kernel.dispatch.dispatch_event` — the same atomic events,
+trace records, and routing the asyncio runtime performs.  The historical
+:class:`repro.simulation.driver.Simulation` (one source, legacy action
+names) and :class:`repro.multisource.driver.MultiSourceSimulation`
+facades subclass it; schedules drive either through :meth:`run`.
+
+Actions (all strings, chooseable by a schedule):
+
+- ``"update"``             — execute the next workload item at its owning
+  source and send the notification (a :data:`REFRESH` marker becomes a
+  client refresh request instead);
+- ``"answer:<source>"``    — that source evaluates its oldest pending
+  query and sends the answer;
+- ``"warehouse:<name>"``   — the warehouse processes the oldest message
+  on ``<name>``'s channel (``<name>`` is a source or a client);
+- ``"refresh:<client>"``   — client ``<client>`` enqueues a refresh
+  request on its own warehouse channel (used by conformance replay).
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.kernel.dispatch import (
+    dispatch_event,
+    relation_owners,
+    resolve_destination,
+)
+from repro.messaging.channel import FifoChannel
+from repro.messaging.messages import (
+    QueryAnswer,
+    QueryRequest,
+    RefreshRequest,
+    UpdateNotification,
+)
+from repro.relational.bag import SignedBag
+from repro.simulation.trace import C_REF, S_QU, S_UP, Trace
+from repro.source.base import Source
+from repro.source.updates import Update
+
+logger = logging.getLogger("repro.kernel")
+
+#: Name of the implicit warehouse client that issues the refresh
+#: requests a :data:`REFRESH` workload marker stands for in multi-source
+#: runs.  Reserved: no source may use it.
+CLIENT = "client"
+
+
+class _RefreshMarker:
+    """Workload sentinel: a warehouse client reads the view here.
+
+    Place :data:`REFRESH` in a workload to model deferred/periodic
+    maintenance: the kernel injects a :class:`RefreshRequest` into the
+    warehouse's inbox instead of executing a source update.
+    """
+
+    def __repr__(self) -> str:
+        return "REFRESH"
+
+
+#: The refresh sentinel (a singleton).
+REFRESH = _RefreshMarker()
+
+
+class SyncKernel:
+    """One warehouse, N sources, per-source FIFO ordering.
+
+    Parameters
+    ----------
+    sources:
+        ``name -> Source``; relation names must be globally unique.
+    algorithm:
+        Any routed :class:`~repro.core.protocol.WarehouseAlgorithm`
+        (including :class:`~repro.warehouse.catalog.WarehouseCatalog`).
+        The kernel binds the relation-owner map before the run starts.
+    workload:
+        Updates in global order, each routed to its owning source;
+        :data:`REFRESH` markers become client refresh requests.
+    recorder:
+        Optional cost recorder (``record_request`` / ``record_answer`` /
+        ``record_evaluation``); when it can size messages it doubles as
+        the channel sizer so the B metric shows up in ``sent_bytes``.
+    qualified:
+        Whether trace details carry source qualifiers.  The concurrent
+        runtime always qualifies; the single-source ``Simulation`` facade
+        keeps its historical unqualified strings.
+    """
+
+    def __init__(
+        self,
+        sources: Mapping[str, Source],
+        algorithm: object,
+        workload: Sequence[Update],
+        recorder: Optional[object] = None,
+        qualified: bool = True,
+    ) -> None:
+        self.sources = dict(sources)
+        if not self.sources:
+            raise SimulationError("the kernel needs at least one source")
+        if CLIENT in self.sources:
+            raise SimulationError(f"source name {CLIENT!r} is reserved for clients")
+        self.algorithm = algorithm
+        self.recorder = recorder
+        self._qualified = qualified
+        self._updates: Deque[Update] = deque(workload)
+        self.owners = relation_owners(self.sources)
+        algorithm.bind_owners(self.owners)
+        #: The sole source's name in single-source runs (owner routing
+        #: shortcut + legacy refresh-on-the-source-channel behavior).
+        self._sole = next(iter(self.sources)) if len(self.sources) == 1 else None
+        sizer = getattr(recorder, "message_size", None)
+        #: name -> channel into the warehouse (sources and clients).
+        self.inbound: Dict[str, FifoChannel] = {
+            name: FifoChannel(f"{name}->warehouse", sizer=sizer)
+            for name in self.sources
+        }
+        #: source name -> channel from the warehouse back to that source.
+        self.outbound: Dict[str, FifoChannel] = {
+            name: FifoChannel(f"warehouse->{name}", sizer=sizer)
+            for name in self.sources
+        }
+        self._client_serials: Dict[str, int] = {}
+        self.trace = Trace()
+        self._serial = 0
+        self._refresh_serial = 0
+        #: Per-source state histories: name -> [state after i updates at
+        #: that source].  Used by the cut-consistency checker.
+        self.per_source_states: Dict[str, List[Dict[str, SignedBag]]] = {
+            name: [source.snapshot()] for name, source in self.sources.items()
+        }
+        # ss_0 and ws_0: the initial states.
+        self.trace.record_source_state(self._snapshot())
+        self.trace.record_view_state(algorithm.view_state())
+
+    def _snapshot(self) -> Dict[str, SignedBag]:
+        combined: Dict[str, SignedBag] = {}
+        for source in self.sources.values():
+            combined.update(source.snapshot())
+        return combined
+
+    def _client_channel(self, name: str) -> FifoChannel:
+        if name in self.sources:
+            raise SimulationError(f"client name {name!r} collides with a source")
+        channel = self.inbound.get(name)
+        if channel is None:
+            channel = FifoChannel(f"{name}->warehouse")
+            self.inbound[name] = channel
+        return channel
+
+    # ------------------------------------------------------------------ #
+    # Action availability
+    # ------------------------------------------------------------------ #
+
+    def available_actions(self) -> List[str]:
+        actions: List[str] = []
+        if self._updates:
+            actions.append("update")
+        for name in sorted(self.sources):
+            if not self.outbound[name].is_empty():
+                actions.append(f"answer:{name}")
+            if not self.inbound[name].is_empty():
+                actions.append(f"warehouse:{name}")
+        for name in sorted(self.inbound):
+            if name not in self.sources and not self.inbound[name].is_empty():
+                actions.append(f"warehouse:{name}")
+        return actions
+
+    def is_done(self) -> bool:
+        return not self.available_actions()
+
+    # ------------------------------------------------------------------ #
+    # Primitive actions
+    # ------------------------------------------------------------------ #
+
+    def step(self, action: str) -> None:
+        if action == "update":
+            self._do_update()
+        elif action.startswith("answer:"):
+            self._do_answer(action.split(":", 1)[1])
+        elif action.startswith("warehouse:"):
+            self._do_warehouse(action.split(":", 1)[1])
+        elif action.startswith("refresh:"):
+            self._do_refresh(action.split(":", 1)[1])
+        else:
+            raise SimulationError(f"unknown action {action!r}")
+
+    def _do_update(self) -> None:
+        """``S_up``: execute the next update, then notify the warehouse.
+
+        A :data:`REFRESH` workload item is a warehouse-client read rather
+        than a source update: it skips the sources entirely and enqueues
+        a refresh request on the warehouse's inbox — the sole source's
+        channel in single-source runs (the historical FIFO coupling with
+        update notifications), the implicit :data:`CLIENT` channel
+        otherwise.
+        """
+        if not self._updates:
+            raise SimulationError("no workload updates remain")
+        update = self._updates.popleft()
+        if update is REFRESH:
+            self._refresh_serial += 1
+            logger.debug("client refresh #%d requested", self._refresh_serial)
+            if self._sole is not None:
+                self.trace.record_event(C_REF, f"refresh #{self._refresh_serial}")
+                self.inbound[self._sole].send(RefreshRequest(self._refresh_serial))
+            else:
+                self.trace.record_event(
+                    C_REF, f"{CLIENT} refresh #{self._refresh_serial}"
+                )
+                self._client_channel(CLIENT).send(
+                    RefreshRequest(self._refresh_serial)
+                )
+            return
+        owner = self.owners.get(update.relation)
+        if owner is None:
+            raise SimulationError(f"no source owns relation {update.relation!r}")
+        self.sources[owner].apply_update(update)
+        logger.debug("source %s executed %r", owner, update)
+        self._serial += 1
+        if self._qualified:
+            self.trace.record_event(S_UP, f"U{self._serial}@{owner} = {update!r}")
+        else:
+            self.trace.record_event(S_UP, f"U{self._serial} = {update!r}")
+        self.trace.record_source_state(self._snapshot())
+        self.per_source_states[owner].append(self.sources[owner].snapshot())
+        self.inbound[owner].send(UpdateNotification(update, self._serial))
+
+    def _do_answer(self, name: str) -> None:
+        """``S_qu``: the source receives the oldest query, evaluates it on
+        its current state, and sends the answer."""
+        message = self.outbound[name].receive()
+        if not isinstance(message, QueryRequest):
+            raise SimulationError(f"source {name} received {message!r}")
+        answer = self.sources[name].evaluate(message.query)
+        logger.debug(
+            "source %s answered Q%d with %d tuple(s)",
+            name,
+            message.query_id,
+            answer.total_count(),
+        )
+        if self.recorder is not None:
+            self.recorder.record_evaluation(message.query, self.sources[name])
+        if self._qualified:
+            self.trace.record_event(
+                S_QU,
+                f"{name}: Q{message.query_id} -> {answer.total_count()} tuple(s)",
+            )
+        else:
+            self.trace.record_event(
+                S_QU, f"Q{message.query_id} -> {answer.total_count()} tuple(s)"
+            )
+        reply = QueryAnswer(message.query_id, answer)
+        if self.recorder is not None:
+            self.recorder.record_answer(reply)
+        self.inbound[name].send(reply)
+
+    def _do_warehouse(self, name: str) -> None:
+        """``W_up`` / ``W_ans`` / ``W_ref``: process the oldest message
+        from ``name``'s channel atomically."""
+        message = self.inbound[name].receive()
+        origin = name if name in self.sources else None
+        kind, detail, routed = dispatch_event(
+            self.algorithm, origin, message, qualified=self._qualified
+        )
+        self.trace.record_event(kind, detail)
+        for destination, request in routed:
+            if self.recorder is not None:
+                self.recorder.record_request(request)
+            target = resolve_destination(
+                destination, request, self.owners, sole=self._sole
+            )
+            self.outbound[target].send(request)
+        self.trace.record_view_state(self.algorithm.view_state())
+
+    def _do_refresh(self, client: str) -> None:
+        """``C_ref``: a named client enqueues a refresh request."""
+        serial = self._client_serials.get(client, 0) + 1
+        self._client_serials[client] = serial
+        self.trace.record_event(C_REF, f"{client} refresh #{serial}")
+        self._client_channel(client).send(RefreshRequest(serial))
+
+    # ------------------------------------------------------------------ #
+    # Run loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, schedule: object, max_steps: int = 1_000_000) -> Trace:
+        """Run to quiescence under ``schedule``; returns the trace."""
+        steps = 0
+        while True:
+            available = self.available_actions()
+            if not available:
+                break
+            if steps >= max_steps:
+                raise SimulationError(
+                    f"simulation exceeded {max_steps} steps without quiescing"
+                )
+            self.step(schedule.choose(available))
+            steps += 1
+        if not self.algorithm.is_quiescent():
+            # Channels are drained and the workload is exhausted, yet the
+            # algorithm still holds buffered work: a deadlocked algorithm
+            # (or an RV with a partial period, which callers opt into by
+            # choosing a non-dividing period).
+            if getattr(self.algorithm, "uqs", None):
+                raise SimulationError(
+                    f"algorithm {self.algorithm.name!r} still has pending "
+                    f"queries after quiescence: {sorted(self.algorithm.uqs)}"
+                )
+        return self.trace

@@ -38,7 +38,11 @@ compensation can see.
 """
 
 from repro.multisource.algorithms import FragmentingIncremental, MultiSourceStoredCopies
-from repro.multisource.consistency import check_cut_consistency, check_cut_convergence
+from repro.multisource.consistency import (
+    check_cut_consistency,
+    check_cut_convergence,
+    cut_report,
+)
 from repro.multisource.driver import MultiSourceSimulation
 from repro.multisource.fragment import FragmentPlan, fragment_query
 from repro.multisource.strobe import StrobeStyle
@@ -53,5 +57,6 @@ __all__ = [
     "SweepStyle",
     "check_cut_consistency",
     "check_cut_convergence",
+    "cut_report",
     "fragment_query",
 ]

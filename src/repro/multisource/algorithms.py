@@ -17,17 +17,15 @@ missing cross-source ordering is irrelevant — it stays complete.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
+from repro.core.protocol import Routed, WarehouseAlgorithm
 from repro.errors import ProtocolError, UpdateError
 from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
 from repro.multisource.fragment import FragmentPlan, fragment_query
 from repro.relational.bag import SignedBag
 from repro.relational.expressions import Query
 from repro.relational.views import View
-from repro.warehouse.state import MaterializedView
-
-Routed = List[Tuple[str, QueryRequest]]
 
 
 class _PendingTerm:
@@ -41,22 +39,22 @@ class _PendingTerm:
         return set(self.answers) == set(self.plan.fragments)
 
 
-class FragmentingIncremental:
+class FragmentingIncremental(WarehouseAlgorithm):
     """Naive incremental maintenance over multiple sources (anomalous)."""
 
     name = "fragmenting-incremental"
+    multi_source = True
 
     def __init__(
         self,
         view: View,
-        owners: Dict[str, str],
+        owners: Optional[Dict[str, str]] = None,
         initial: Optional[SignedBag] = None,
     ) -> None:
-        self.view = view
-        self.owners = dict(owners)
-        self.mv = MaterializedView(view, initial)
-        self._next_query_id = 1
-        #: query id -> pending term state.
+        super().__init__(view, initial)
+        if owners:
+            self.owners = dict(owners)
+        #: query id -> pending term state (shared across a plan's fragments).
         self._pending: Dict[int, _PendingTerm] = {}
         #: query id -> destination source (for validation).
         self._destination: Dict[int, str] = {}
@@ -64,10 +62,10 @@ class FragmentingIncremental:
         self.spanning_queries = 0
 
     # ------------------------------------------------------------------ #
-    # Events (called by MultiSourceSimulation)
+    # Routed events (called by the execution kernels)
     # ------------------------------------------------------------------ #
 
-    def on_update(self, source: str, notification: UpdateNotification) -> Routed:
+    def on_update(self, source: Optional[str], notification: UpdateNotification) -> Routed:
         update = notification.update
         if not self.view.involves(update.relation):
             return []
@@ -90,7 +88,7 @@ class FragmentingIncremental:
                 )
         return routed
 
-    def on_answer(self, source: str, answer: QueryAnswer) -> Routed:
+    def on_answer(self, source: Optional[str], answer: QueryAnswer) -> Routed:
         try:
             pending = self._pending.pop(answer.query_id)
         except KeyError:
@@ -114,28 +112,92 @@ class FragmentingIncremental:
     # State
     # ------------------------------------------------------------------ #
 
-    def view_state(self) -> SignedBag:
-        return self.mv.as_bag()
-
     def is_quiescent(self) -> bool:
         return not self._pending
 
+    def gauges(self) -> Dict[str, int]:
+        return {
+            "uqs": len(self._pending),
+            "pending_terms": len({id(p) for p in self._pending.values()}),
+        }
 
-class MultiSourceStoredCopies:
+    # ------------------------------------------------------------------ #
+    # Durability hooks
+    # ------------------------------------------------------------------ #
+
+    def durable_config(self):
+        return {"owners": dict(self.owners)}
+
+    def pending_state(self):
+        # A _PendingTerm may be shared by several query ids (one per
+        # fragment); persist each unique record once, in first-seen order,
+        # and let routes point at records by index.
+        records: List[_PendingTerm] = []
+        index_of: Dict[int, int] = {}
+        for query_id in sorted(self._pending):
+            record = self._pending[query_id]
+            if id(record) not in index_of:
+                index_of[id(record)] = len(records)
+                records.append(record)
+        return {
+            "next_query_id": self._next_query_id,
+            "terms": [
+                {"term": record.plan.term, "answers": dict(record.answers)}
+                for record in records
+            ],
+            "routes": {
+                query_id: (index_of[id(self._pending[query_id])],
+                           self._destination[query_id])
+                for query_id in sorted(self._pending)
+            },
+            "spanning_queries": self.spanning_queries,
+        }
+
+    def restore_pending_state(self, state) -> None:
+        self._next_query_id = state["next_query_id"]
+        self.spanning_queries = state["spanning_queries"]
+        records: List[_PendingTerm] = []
+        for entry in state["terms"]:
+            record = _PendingTerm(FragmentPlan(entry["term"], self.owners))
+            record.answers = dict(entry["answers"])
+            records.append(record)
+        self._pending = {}
+        self._destination = {}
+        for query_id, (record_index, destination) in state["routes"].items():
+            self._pending[query_id] = records[record_index]
+            self._destination[query_id] = destination
+
+    def pending_requests(self) -> Routed:
+        out: Routed = []
+        for query_id in sorted(self._pending):
+            destination = self._destination[query_id]
+            plan = self._pending[query_id].plan
+            out.append(
+                (destination,
+                 QueryRequest(query_id, Query([plan.fragments[destination]])))
+            )
+        return out
+
+    def pending_query_ids(self) -> List[int]:
+        return sorted(self._pending)
+
+
+class MultiSourceStoredCopies(WarehouseAlgorithm):
     """SC over multiple sources: correct because it never asks anything."""
 
     name = "multi-stored-copies"
+    multi_source = True
 
     def __init__(
         self,
         view: View,
-        owners: Dict[str, str],
+        owners: Optional[Dict[str, str]] = None,
         initial: Optional[SignedBag] = None,
         initial_copies: Optional[Dict[str, SignedBag]] = None,
     ) -> None:
-        self.view = view
-        self.owners = dict(owners)
-        self.mv = MaterializedView(view, initial)
+        super().__init__(view, initial)
+        if owners:
+            self.owners = dict(owners)
         self.copies: Dict[str, SignedBag] = {
             name: SignedBag() for name in view.relation_names
         }
@@ -144,7 +206,7 @@ class MultiSourceStoredCopies:
                 if relation in self.copies:
                     self.copies[relation] = bag.copy()
 
-    def on_update(self, source: str, notification: UpdateNotification) -> Routed:
+    def on_update(self, source: Optional[str], notification: UpdateNotification) -> Routed:
         update = notification.update
         if not self.view.involves(update.relation):
             return []
@@ -161,11 +223,29 @@ class MultiSourceStoredCopies:
         self.mv.apply_delta(delta.evaluate(self.copies))
         return []
 
-    def on_answer(self, source: str, answer: QueryAnswer) -> Routed:
+    def on_answer(self, source: Optional[str], answer: QueryAnswer) -> Routed:
         raise ProtocolError("stored-copies never sends queries")
-
-    def view_state(self) -> SignedBag:
-        return self.mv.as_bag()
 
     def is_quiescent(self) -> bool:
         return True
+
+    def gauges(self) -> Dict[str, int]:
+        return {"uqs": 0, "copied_tuples": sum(
+            len(bag) for bag in self.copies.values()
+        )}
+
+    # ------------------------------------------------------------------ #
+    # Durability hooks
+    # ------------------------------------------------------------------ #
+
+    def durable_config(self):
+        return {"owners": dict(self.owners)}
+
+    def pending_state(self):
+        state = super().pending_state()
+        state["copies"] = {name: bag.copy() for name, bag in self.copies.items()}
+        return state
+
+    def restore_pending_state(self, state) -> None:
+        super().restore_pending_state({k: state[k] for k in ("next_query_id", "uqs")})
+        self.copies = {name: bag.copy() for name, bag in state["copies"].items()}

@@ -89,6 +89,36 @@ def check_cut_consistency(
     return True
 
 
+def cut_report(
+    view: View,
+    per_source_states: Mapping[str, List[State]],
+    view_states: Sequence[SignedBag],
+    final_view: SignedBag,
+) -> "ConsistencyReport":
+    """Classify a multi-source execution as a :class:`ConsistencyReport`.
+
+    The single-source checker's levels carry over with cuts standing in
+    for source-state prefixes: *consistent* (and *weakly consistent* —
+    the two coincide here, since a monotone cut path orders every pair of
+    observed states) means every view state sits on a monotone path of
+    consistent cuts; *convergent* means the final view matches the final
+    cut.  *Complete* is never claimed: with several autonomous sources
+    there is no canonical global state sequence to be complete against.
+    """
+    from repro.consistency.checker import ConsistencyReport
+
+    consistent = check_cut_consistency(view, per_source_states, view_states)
+    convergent = check_cut_convergence(view, per_source_states, final_view)
+    return ConsistencyReport(
+        convergent=convergent,
+        weakly_consistent=consistent,
+        consistent=consistent,
+        complete=False,
+        detail="cut-consistency over "
+        f"{len(per_source_states)} source histories",
+    )
+
+
 def check_cut_convergence(
     view: View,
     per_source_states: Mapping[str, List[State]],

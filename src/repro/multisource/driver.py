@@ -1,10 +1,16 @@
-"""Simulation driver for multiple autonomous sources.
+"""Multi-source simulation driver — a facade over the shared kernel.
 
 Each source gets its own FIFO channel pair, so ordering guarantees hold
 *per source* only — there is no global order between one source's update
 notifications and another source's query answers.  That missing order is
 precisely what ECA's compensation deduction relies on, and its absence is
 what the multi-source tests demonstrate.
+
+This class is now a thin compatibility layer over
+:class:`repro.kernel.sync.SyncKernel`, which owns the pump; the kernel
+also accepts :data:`repro.kernel.sync.REFRESH` workload markers (routed
+through the implicit client channel) so deferred-timing experiments run
+over multiple sources.
 
 Actions (for schedules):
 
@@ -13,7 +19,7 @@ Actions (for schedules):
 - ``"answer:<name>"``   — source ``<name>`` evaluates its oldest pending
   fragment query and sends the answer;
 - ``"warehouse:<name>"`` — the warehouse processes the oldest message from
-  source ``<name>``'s channel.
+  source ``<name>``'s channel (or the implicit client channel).
 
 :class:`repro.simulation.schedules.RandomSchedule` works unchanged (it
 chooses among whatever actions are available).
@@ -21,19 +27,17 @@ chooses among whatever actions are available).
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, List, Mapping, Sequence
+from typing import Dict, Mapping, Sequence
 
-from repro.errors import SimulationError
+from repro.kernel.sync import SyncKernel
 from repro.messaging.channel import FifoChannel
-from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
-from repro.relational.bag import SignedBag
-from repro.simulation.trace import S_QU, S_UP, Trace, W_ANS, W_UP
 from repro.source.base import Source
 from repro.source.updates import Update
 
+__all__ = ["MultiSourceSimulation"]
 
-class MultiSourceSimulation:
+
+class MultiSourceSimulation(SyncKernel):
     """One warehouse, several sources, per-source FIFO ordering.
 
     Parameters
@@ -41,13 +45,13 @@ class MultiSourceSimulation:
     sources:
         name -> source database.  Relation names must be globally unique.
     algorithm:
-        An object with ``on_update(source_name, notification)`` and
-        ``on_answer(source_name, answer)``, both returning a list of
-        ``(destination_source, QueryRequest)`` pairs, plus ``view_state()``
-        and ``is_quiescent()``.
+        Any routed :class:`~repro.core.protocol.WarehouseAlgorithm`
+        (multi-source families like Strobe route their own queries;
+        single-source families are owner-routed by the kernel).
     workload:
         Updates, in global order; each is routed to the source owning its
-        relation.
+        relation.  :data:`~repro.kernel.sync.REFRESH` markers become
+        client refresh requests on the implicit client channel.
     """
 
     def __init__(
@@ -56,112 +60,14 @@ class MultiSourceSimulation:
         algorithm: object,
         workload: Sequence[Update],
     ) -> None:
-        self.sources = dict(sources)
-        self.algorithm = algorithm
-        self._updates: Deque[Update] = deque(workload)
-        self.owners: Dict[str, str] = {}
-        for name, source in self.sources.items():
-            for schema in source.schemas:
-                if schema.name in self.owners:
-                    raise SimulationError(
-                        f"relation {schema.name!r} owned by two sources"
-                    )
-                self.owners[schema.name] = name
-        self.to_warehouse: Dict[str, FifoChannel] = {
-            name: FifoChannel(f"{name}->warehouse") for name in self.sources
-        }
-        self.to_source: Dict[str, FifoChannel] = {
-            name: FifoChannel(f"warehouse->{name}") for name in self.sources
-        }
-        self.trace = Trace()
-        self._serial = 0
-        #: Per-source state histories: name -> [state after i updates at
-        #: that source].  Used by the cut-consistency checker.
-        self.per_source_states: Dict[str, List[Dict[str, SignedBag]]] = {
-            name: [source.snapshot()] for name, source in self.sources.items()
-        }
-        self.trace.record_source_state(self._snapshot())
-        self.trace.record_view_state(algorithm.view_state())
+        super().__init__(sources, algorithm, workload)
 
-    def _snapshot(self) -> Dict[str, SignedBag]:
-        combined: Dict[str, SignedBag] = {}
-        for source in self.sources.values():
-            combined.update(source.snapshot())
-        return combined
+    @property
+    def to_warehouse(self) -> Dict[str, FifoChannel]:
+        """Per-source channels into the warehouse (legacy attribute)."""
+        return {name: self.inbound[name] for name in self.sources}
 
-    # ------------------------------------------------------------------ #
-    # Actions
-    # ------------------------------------------------------------------ #
-
-    def available_actions(self) -> List[str]:
-        actions: List[str] = []
-        if self._updates:
-            actions.append("update")
-        for name in sorted(self.sources):
-            if not self.to_source[name].is_empty():
-                actions.append(f"answer:{name}")
-            if not self.to_warehouse[name].is_empty():
-                actions.append(f"warehouse:{name}")
-        return actions
-
-    def step(self, action: str) -> None:
-        if action == "update":
-            self._do_update()
-        elif action.startswith("answer:"):
-            self._do_answer(action.split(":", 1)[1])
-        elif action.startswith("warehouse:"):
-            self._do_warehouse(action.split(":", 1)[1])
-        else:
-            raise SimulationError(f"unknown action {action!r}")
-
-    def _do_update(self) -> None:
-        update = self._updates.popleft()
-        owner = self.owners.get(update.relation)
-        if owner is None:
-            raise SimulationError(f"no source owns relation {update.relation!r}")
-        self.sources[owner].apply_update(update)
-        self._serial += 1
-        self.trace.record_event(S_UP, f"U{self._serial}@{owner} = {update!r}")
-        self.trace.record_source_state(self._snapshot())
-        self.per_source_states[owner].append(self.sources[owner].snapshot())
-        self.to_warehouse[owner].send(UpdateNotification(update, self._serial))
-
-    def _do_answer(self, name: str) -> None:
-        message = self.to_source[name].receive()
-        if not isinstance(message, QueryRequest):
-            raise SimulationError(f"source {name} received {message!r}")
-        answer = self.sources[name].evaluate(message.query)
-        self.trace.record_event(
-            S_QU, f"{name}: Q{message.query_id} -> {answer.total_count()} tuple(s)"
-        )
-        self.to_warehouse[name].send(QueryAnswer(message.query_id, answer))
-
-    def _do_warehouse(self, name: str) -> None:
-        message = self.to_warehouse[name].receive()
-        if isinstance(message, UpdateNotification):
-            routed = self.algorithm.on_update(name, message)
-            self.trace.record_event(W_UP, f"U{message.serial} from {name}")
-        elif isinstance(message, QueryAnswer):
-            routed = self.algorithm.on_answer(name, message)
-            self.trace.record_event(W_ANS, f"A(Q{message.query_id}) from {name}")
-        else:
-            raise SimulationError(f"warehouse received {message!r}")
-        for destination, request in routed:
-            self.to_source[destination].send(request)
-        self.trace.record_view_state(self.algorithm.view_state())
-
-    # ------------------------------------------------------------------ #
-    # Run loop
-    # ------------------------------------------------------------------ #
-
-    def run(self, schedule: object, max_steps: int = 1_000_000) -> Trace:
-        steps = 0
-        while True:
-            available = self.available_actions()
-            if not available:
-                break
-            if steps >= max_steps:
-                raise SimulationError(f"exceeded {max_steps} steps")
-            self.step(schedule.choose(available))
-            steps += 1
-        return self.trace
+    @property
+    def to_source(self) -> Dict[str, FifoChannel]:
+        """Per-source channels back to the sources (legacy attribute)."""
+        return dict(self.outbound)

@@ -40,15 +40,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.protocol import Routed, WarehouseAlgorithm
 from repro.errors import ProtocolError, SchemaError
 from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
 from repro.multisource.fragment import FragmentPlan, fragment_query
 from repro.relational.bag import SignedBag
 from repro.relational.expressions import Query
 from repro.relational.views import View
-from repro.warehouse.state import MaterializedView, key_delete
-
-Routed = List[Tuple[str, QueryRequest]]
+from repro.warehouse.state import key_delete
 
 _DELETE = "delete"
 _INSERT = "insert"
@@ -64,15 +63,16 @@ class _PendingInsert:
         self.filters: List[Tuple[Tuple[int, ...], Tuple[object, ...]]] = []
 
 
-class StrobeStyle:
+class StrobeStyle(WarehouseAlgorithm):
     """Correct multi-source maintenance for key-complete views."""
 
-    name = "strobe-style"
+    name = "strobe"
+    multi_source = True
 
     def __init__(
         self,
         view: View,
-        owners: Dict[str, str],
+        owners: Optional[Dict[str, str]] = None,
         initial: Optional[SignedBag] = None,
     ) -> None:
         if not view.contains_all_keys():
@@ -80,10 +80,9 @@ class StrobeStyle:
                 f"the Strobe-style algorithm requires view {view.name!r} to "
                 f"project a key of every base relation"
             )
-        self.view = view
-        self.owners = dict(owners)
-        self.mv = MaterializedView(view, initial)
-        self._next_query_id = 1
+        super().__init__(view, initial)
+        if owners:
+            self.owners = dict(owners)
         #: query id -> (pending insert record, its plan index)
         self._route: Dict[int, Tuple[_PendingInsert, int, str]] = {}
         self._pending: List[_PendingInsert] = []
@@ -91,10 +90,10 @@ class StrobeStyle:
         self._actions: List[Tuple] = []
 
     # ------------------------------------------------------------------ #
-    # Events (called by MultiSourceSimulation)
+    # Routed events (called by the execution kernels)
     # ------------------------------------------------------------------ #
 
-    def on_update(self, source: str, notification: UpdateNotification) -> Routed:
+    def on_update(self, source: Optional[str], notification: UpdateNotification) -> Routed:
         update = notification.update
         if not self.view.involves(update.relation):
             return []
@@ -132,7 +131,7 @@ class StrobeStyle:
             self._maybe_apply()
         return routed
 
-    def on_answer(self, source: str, answer: QueryAnswer) -> Routed:
+    def on_answer(self, source: Optional[str], answer: QueryAnswer) -> Routed:
         try:
             record, plan_index, destination = self._route.pop(answer.query_id)
         except KeyError:
@@ -194,9 +193,6 @@ class StrobeStyle:
     # State
     # ------------------------------------------------------------------ #
 
-    def view_state(self) -> SignedBag:
-        return self.mv.as_bag()
-
     def is_quiescent(self) -> bool:
         return not self._pending and not self._actions
 
@@ -211,6 +207,9 @@ class StrobeStyle:
     # ------------------------------------------------------------------ #
     # Durability hooks
     # ------------------------------------------------------------------ #
+
+    def durable_config(self):
+        return {"owners": dict(self.owners)}
 
     def pending_state(self):
         # A FragmentPlan is fully derived from (term, owners), so only the

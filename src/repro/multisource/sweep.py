@@ -47,6 +47,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.core.protocol import Routed, WarehouseAlgorithm
 from repro.errors import ProtocolError, SchemaError
 from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
 from repro.relational.bag import SignedBag
@@ -56,9 +57,7 @@ from repro.relational.schema import ProductSchema
 from repro.relational.tuples import SignedTuple
 from repro.relational.views import View
 from repro.source.updates import Update
-from repro.warehouse.state import MaterializedView
 
-Routed = List[Tuple[str, QueryRequest]]
 Row = Tuple[object, ...]
 
 
@@ -86,15 +85,16 @@ class _Sweep:
         self.in_flight: Optional[Tuple[int, int]] = None
 
 
-class SweepStyle:
+class SweepStyle(WarehouseAlgorithm):
     """Correct multi-source maintenance with no key requirement."""
 
-    name = "sweep-style"
+    name = "sweep"
+    multi_source = True
 
     def __init__(
         self,
         view: View,
-        owners: Dict[str, str],
+        owners: Optional[Dict[str, str]] = None,
         initial: Optional[SignedBag] = None,
     ) -> None:
         names = [schema.base for schema in view.relations]
@@ -103,18 +103,17 @@ class SweepStyle:
                 f"the SWEEP-style algorithm does not support self-joins "
                 f"(view {view.name!r} mentions a relation twice)"
             )
-        self.view = view
-        self.owners = dict(owners)
-        self.mv = MaterializedView(view, initial)
-        self._next_query_id = 1
+        super().__init__(view, initial)
+        if owners:
+            self.owners = dict(owners)
         self._queue: Deque[Update] = deque()
         self._current: Optional[_Sweep] = None
 
     # ------------------------------------------------------------------ #
-    # Events (called by MultiSourceSimulation)
+    # Routed events (called by the execution kernels)
     # ------------------------------------------------------------------ #
 
-    def on_update(self, source: str, notification: UpdateNotification) -> Routed:
+    def on_update(self, source: Optional[str], notification: UpdateNotification) -> Routed:
         update = notification.update
         if not self.view.involves(update.relation):
             return []
@@ -123,7 +122,7 @@ class SweepStyle:
             return self._start_next()
         return []
 
-    def on_answer(self, source: str, answer: QueryAnswer) -> Routed:
+    def on_answer(self, source: Optional[str], answer: QueryAnswer) -> Routed:
         sweep = self._current
         if sweep is None or sweep.in_flight is None:
             raise ProtocolError(f"unexpected answer {answer.query_id}")
@@ -298,15 +297,15 @@ class SweepStyle:
     # State
     # ------------------------------------------------------------------ #
 
-    def view_state(self) -> SignedBag:
-        return self.mv.as_bag()
-
     def is_quiescent(self) -> bool:
         return self._current is None and not self._queue
 
     # ------------------------------------------------------------------ #
     # Durability hooks
     # ------------------------------------------------------------------ #
+
+    def durable_config(self):
+        return {"owners": dict(self.owners)}
 
     def pending_state(self):
         current = None

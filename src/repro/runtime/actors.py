@@ -8,13 +8,14 @@ below fix the topology).  Actors reuse the existing components unchanged:
   answers warehouse queries — the decoupling-in-time that creates the
   paper's anomalies now arises from genuine concurrency instead of a
   hand-written schedule.
-- :class:`WarehouseActor` wraps any maintenance algorithm: the
-  single-source :class:`~repro.core.protocol.WarehouseAlgorithm` protocol
-  (``on_update(notification)``), including multi-view
-  :class:`~repro.warehouse.catalog.WarehouseCatalog`, and the
-  multi-source protocol (``on_update(source, notification)`` returning
-  routed pairs) of the Strobe family.  Single-protocol query requests are
-  routed to the source owning the relations they read.
+- :class:`WarehouseActor` wraps any routed
+  :class:`~repro.core.protocol.WarehouseAlgorithm` — every registry
+  family, single- or multi-source, including multi-view
+  :class:`~repro.warehouse.catalog.WarehouseCatalog` — and feeds each
+  incoming message through :func:`repro.kernel.dispatch.dispatch_event`,
+  the same atomic-event entry point the synchronous kernel and WAL
+  replay use.  Owner-routed requests (``destination=None``) go to the
+  source owning the relations they read.
 - :class:`ClientActor` issues refresh requests and reads the materialized
   view, recording what state it observed at what virtual time.
 
@@ -27,7 +28,6 @@ paper's atomic-event assumption.
 from __future__ import annotations
 
 import asyncio
-import inspect
 import random
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
@@ -38,11 +38,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs imports errors)
 from repro.durability.codec import encode_value
 from repro.durability.crash import CrashRun
 from repro.durability.wal import EVENT, RECV, SEND, WriteAheadLog
-from repro.errors import (
-    ChannelEmpty,
-    ProtocolError,
-    TransportClosed,
-    WarehouseCrashed,
+from repro.errors import ChannelEmpty, TransportClosed, WarehouseCrashed
+from repro.kernel.dispatch import (
+    dispatch_event,
+    event_kind,
+    is_duplicate_answer,
+    query_owner,
+    receive_query_request,
 )
 from repro.messaging.messages import (
     Message,
@@ -52,7 +54,6 @@ from repro.messaging.messages import (
     UpdateNotification,
 )
 from repro.relational.bag import SignedBag
-from repro.relational.expressions import Query
 from repro.runtime.transport import AsyncTransport
 from repro.source.base import Source
 from repro.source.updates import Update
@@ -66,6 +67,12 @@ def source_inbox(name: str) -> str:
 def warehouse_inbox(name: str) -> str:
     """Channel carrying source/client -> warehouse traffic."""
     return f"{name}->wh"
+
+
+def channel_label(channel: str) -> str:
+    """The source/client name behind a warehouse inbox channel."""
+    suffix = "->wh"
+    return channel[: -len(suffix)] if channel.endswith(suffix) else channel
 
 
 class ActorMetrics:
@@ -196,45 +203,15 @@ class SourceActor:
         await self.transport.send(self.outbox, UpdateNotification(update, serial))
 
     async def _answer(self, message: Message) -> None:
-        if not isinstance(message, QueryRequest):
-            raise ProtocolError(f"source {self.name} received {message!r}")
+        request = receive_query_request(self.name, message)
         self.metrics.received += 1
-        answer = self.source.evaluate(message.query)
-        self.recorder.record_query(self.name, message.query_id, answer)
+        answer = self.source.evaluate(request.query)
+        self.recorder.record_query(self.name, request.query_id, answer)
         self.metrics.bump("queries_answered")
         self.metrics.sent += 1
         if self._obs is not None:
-            self._obs.source_answer(self.name, message.query_id, answer.total_count())
-        await self.transport.send(self.outbox, QueryAnswer(message.query_id, answer))
-
-
-def _is_multi_source_protocol(algorithm: object) -> bool:
-    """True for ``on_update(source, notification)`` style algorithms."""
-    parameters = inspect.signature(algorithm.on_update).parameters
-    return len(parameters) >= 2
-
-
-def _query_owner(query: Query, owners: Dict[str, str]) -> str:
-    """The single source owning every base relation the query reads."""
-    found = set()
-    for term in query.terms:
-        for operand in term.operands:
-            if operand.is_bound:
-                continue
-            relation = operand.source_relation
-            try:
-                found.add(owners[relation])
-            except KeyError:
-                raise ProtocolError(
-                    f"no source owns relation {relation!r}"
-                ) from None
-    if len(found) != 1:
-        raise ProtocolError(
-            f"query reads relations of sources {sorted(found)!r}; "
-            f"single-source algorithms need fragment routing — use a "
-            f"multi-source algorithm (e.g. StrobeStyle) for spanning views"
-        )
-    return found.pop()
+            self._obs.source_answer(self.name, request.query_id, answer.total_count())
+        await self.transport.send(self.outbox, QueryAnswer(request.query_id, answer))
 
 
 class WarehouseActor:
@@ -242,9 +219,10 @@ class WarehouseActor:
 
     ``inboxes`` lists every channel feeding the warehouse (one per source,
     one per client); message interleaving across them is decided by the
-    transport's delivery times.  Outgoing query requests are routed to the
-    owning source (single-source protocol) or to the destination the
-    algorithm names (multi-source protocol).
+    transport's delivery times.  Outgoing query requests are routed to
+    the destination the algorithm names, or — for owner-routed
+    ``destination=None`` pairs — to the source owning the relations the
+    query reads.
 
     Durability (all optional, see ``repro.durability``):
 
@@ -292,7 +270,6 @@ class WarehouseActor:
         self.event_index = event_index
         self.metrics = metrics or ActorMetrics("warehouse", "warehouse")
         self._reissue = list(reissue or [])
-        self._multi = _is_multi_source_protocol(algorithm)
         self._obs = obs
         #: Set for the duration of one _dispatch: the event span and the
         #: UQS snapshot outgoing queries compensate against.
@@ -315,7 +292,7 @@ class WarehouseActor:
                 return
             self.metrics.received += 1
             if self.wal is not None:
-                if self._is_duplicate_answer(message):
+                if is_duplicate_answer(self.algorithm, message):
                     self.metrics.bump("duplicate_answers_dropped")
                     await asyncio.sleep(0)
                     continue
@@ -337,12 +314,7 @@ class WarehouseActor:
         obs = self._obs
         pending_before: Sequence[int] = ()
         if obs is not None:
-            if isinstance(message, UpdateNotification):
-                begin_kind = "W_up"
-            elif isinstance(message, QueryAnswer):
-                begin_kind = "W_ans"
-            else:
-                begin_kind = "W_ref"
+            begin_kind = event_kind(message)
             pending_before = tuple(self.algorithm.pending_query_ids())
             self._obs_span = obs.wh_event_begin(begin_kind, message, origin)
             # An answer event retires its own query id before any follow-up
@@ -352,20 +324,7 @@ class WarehouseActor:
                 for qid in pending_before
                 if not (begin_kind == "W_ans" and qid == message.query_id)
             )
-        if isinstance(message, UpdateNotification):
-            routed = self._on_update(origin, message)
-            detail = f"U{message.serial} from {origin}, {len(routed)} query(ies)"
-            kind = "W_up"
-        elif isinstance(message, QueryAnswer):
-            routed = self._on_answer(origin, message)
-            detail = f"A(Q{message.query_id}) from {origin}, {len(routed)} follow-up(s)"
-            kind = "W_ans"
-        elif isinstance(message, RefreshRequest):
-            routed = self._on_refresh()
-            detail = f"refresh #{message.serial} processed"
-            kind = "W_ref"
-        else:
-            raise ProtocolError(f"warehouse received unknown message: {message!r}")
+        kind, detail, routed = dispatch_event(self.algorithm, origin, message)
         self.event_index += 1
         fired = False
         if self.crash_run is not None:
@@ -375,7 +334,7 @@ class WarehouseActor:
         if not drop_sends:
             for destination, request in routed:
                 await self._send_request(destination, request)
-        self.recorder.record_warehouse_event(kind, detail)
+        self.recorder.record_warehouse_event(kind, detail, channel_label(channel))
         if self.wal is not None:
             self.wal.append(
                 EVENT, {"index": self.event_index, "kind": kind, "detail": detail}
@@ -393,7 +352,7 @@ class WarehouseActor:
     ) -> None:
         """Route one outgoing query (``destination=None`` → owner lookup)."""
         if destination is None:
-            destination = _query_owner(request.query, self.owners)
+            destination = query_owner(request.query, self.owners)
         self.metrics.sent += 1
         if reissued:
             self.metrics.bump("reissued_queries")
@@ -416,48 +375,6 @@ class WarehouseActor:
                 },
             )
         await self.transport.send(source_inbox(destination), request)
-
-    def _is_duplicate_answer(self, message: Message) -> bool:
-        return (
-            isinstance(message, QueryAnswer)
-            and message.query_id not in self.algorithm.pending_query_ids()
-        )
-
-    # ------------------------------------------------------------------ #
-    # Protocol adapters: both return routed (destination, request) pairs
-    # ------------------------------------------------------------------ #
-
-    def _on_update(
-        self, origin: Optional[str], message: UpdateNotification
-    ) -> List[Tuple[str, QueryRequest]]:
-        if origin is None:
-            raise ProtocolError("update notification arrived on a client channel")
-        if self._multi:
-            return list(self.algorithm.on_update(origin, message))
-        return self._route(self.algorithm.on_update(message))
-
-    def _on_answer(
-        self, origin: Optional[str], message: QueryAnswer
-    ) -> List[Tuple[str, QueryRequest]]:
-        if origin is None:
-            raise ProtocolError("query answer arrived on a client channel")
-        if self._multi:
-            return list(self.algorithm.on_answer(origin, message))
-        return self._route(self.algorithm.on_answer(message))
-
-    def _on_refresh(self) -> List[Tuple[str, QueryRequest]]:
-        on_refresh = getattr(self.algorithm, "on_refresh", None)
-        if on_refresh is None:
-            return []  # multi-source algorithms are all-immediate
-        return self._route(on_refresh())
-
-    def _route(
-        self, requests: Sequence[QueryRequest]
-    ) -> List[Tuple[str, QueryRequest]]:
-        return [
-            (_query_owner(request.query, self.owners), request)
-            for request in requests
-        ]
 
     # ------------------------------------------------------------------ #
     # State

@@ -29,6 +29,7 @@ from repro.durability.crash import CrashPolicy
 from repro.durability.recovery import recover
 from repro.durability.wal import WriteAheadLog
 from repro.errors import SimulationError, WarehouseCrashed
+from repro.kernel.dispatch import relation_owners
 from repro.messaging.messages import QueryRequest
 from repro.relational.bag import SignedBag
 from repro.runtime.actors import (
@@ -73,6 +74,17 @@ class _TraceRecorder:
         self.last_update_at = 0.0
         self.requests = 0
         self._warehouse: Optional["WarehouseActor | WarehouseHandle"] = None
+        #: The global order of recordable actions, as kernel action strings
+        #: (``update:<source>`` / ``answer:<source>`` /
+        #: ``warehouse:<origin>`` / ``refresh:<client>`` plus ``crash`` /
+        #: ``recover`` markers).  A concurrent run's log replays on the
+        #: synchronous kernel — see :mod:`repro.kernel.conformance`.
+        self.action_log: List[str] = []
+        #: name -> [state after i updates at that source], for the
+        #: cut-consistency checker.
+        self.per_source_states: Dict[str, List[Dict[str, SignedBag]]] = {
+            name: [source.snapshot()] for name, source in self._sources.items()
+        }
 
     def snapshot(self) -> Dict[str, SignedBag]:
         combined: Dict[str, SignedBag] = {}
@@ -89,6 +101,10 @@ class _TraceRecorder:
         self.serial += 1
         self.trace.record_event(S_UP, f"U{self.serial}@{source_name} = {update!r}")
         self.trace.record_source_state(self.snapshot())
+        self.per_source_states[source_name].append(
+            self._sources[source_name].snapshot()
+        )
+        self.action_log.append(f"update:{source_name}")
         self.last_update_at = self._transport.now()
         return self.serial
 
@@ -97,21 +113,25 @@ class _TraceRecorder:
             S_QU,
             f"{source_name}: Q{query_id} -> {answer.total_count()} tuple(s)",
         )
+        self.action_log.append(f"answer:{source_name}")
 
     def record_request(self, request: QueryRequest) -> None:
         self.requests += 1
 
     def record_refresh(self, client_name: str, serial: int) -> None:
         self.trace.record_event(C_REF, f"{client_name} refresh #{serial}")
+        self.action_log.append(f"refresh:{client_name}")
 
-    def record_warehouse_event(self, kind: str, detail: str) -> None:
+    def record_warehouse_event(self, kind: str, detail: str, origin: str) -> None:
         self.trace.record_event(kind, detail)
         self.trace.record_view_state(self._warehouse.view_state())
+        self.action_log.append(f"warehouse:{origin}")
 
     def record_crash(self, detail: str) -> None:
         # No view snapshot: the crashed process exposed nothing new, and
         # the in-memory view it held is gone.
         self.trace.record_event(W_CRASH, detail)
+        self.action_log.append("crash")
 
     def record_recovery(self, detail: str) -> None:
         # Snapshot the *recovered* view so the checker classifies what
@@ -119,6 +139,7 @@ class _TraceRecorder:
         # recovery is exact — harmless to the checker's dedup).
         self.trace.record_event(W_REC, detail)
         self.trace.record_view_state(self._warehouse.view_state())
+        self.action_log.append("recover")
 
 
 class RuntimeResult:
@@ -137,6 +158,8 @@ class RuntimeResult:
         final_view: SignedBag,
         crashes: Optional[List[Dict[str, object]]] = None,
         wal_stats: Optional[Dict[str, int]] = None,
+        action_log: Optional[List[str]] = None,
+        per_source_states: Optional[Dict[str, List[Dict[str, SignedBag]]]] = None,
     ) -> None:
         self.trace = trace
         self.metrics = metrics
@@ -157,6 +180,11 @@ class RuntimeResult:
         self.crashes = list(crashes or [])
         #: WAL totals across all incarnations (``None`` when no WAL ran).
         self.wal_stats = wal_stats
+        #: Global action order, in kernel action-string form — replayable
+        #: on the synchronous kernel (:mod:`repro.kernel.conformance`).
+        self.action_log = list(action_log or [])
+        #: Per-source state histories for the cut-consistency checker.
+        self.per_source_states = dict(per_source_states or {})
 
     def throughput(self) -> float:
         """Updates fully processed per wall-clock second."""
@@ -209,16 +237,6 @@ def _normalize_sources(sources: SourcesArg) -> Dict[str, Source]:
     return named
 
 
-def _relation_owners(sources: Mapping[str, Source]) -> Dict[str, str]:
-    owners: Dict[str, str] = {}
-    for name, source in sources.items():
-        for schema in source.schemas:
-            if schema.name in owners:
-                raise SimulationError(f"relation {schema.name!r} owned by two sources")
-            owners[schema.name] = name
-    return owners
-
-
 def _normalize_workloads(
     workload: WorkloadArg,
     sources: Mapping[str, Source],
@@ -267,10 +285,10 @@ def run_concurrent(
         One :class:`Source` or a ``name -> Source`` mapping (relation
         names must be globally unique).
     algorithm:
-        Any single-source :class:`~repro.core.protocol.WarehouseAlgorithm`
-        (or :class:`~repro.warehouse.catalog.WarehouseCatalog`), or a
-        multi-source algorithm with the routed
-        ``on_update(source, notification)`` protocol.
+        Any routed :class:`~repro.core.protocol.WarehouseAlgorithm` —
+        every registry family, single- or multi-source, including
+        :class:`~repro.warehouse.catalog.WarehouseCatalog`.  The harness
+        binds the relation-owner map before the run starts.
     workload:
         A global update sequence (routed to owning sources) or a
         ``source name -> updates`` mapping.
@@ -310,9 +328,10 @@ def run_concurrent(
         check per hook site.
     """
     named_sources = _normalize_sources(sources)
-    owners = _relation_owners(named_sources)
+    owners = relation_owners(named_sources)
     workloads = _normalize_workloads(workload, named_sources, owners)
     total_updates = sum(len(w) for w in workloads.values())
+    algorithm.bind_owners(owners)
 
     if crash is not None and wal_dir is None:
         raise SimulationError("crash injection requires wal_dir= (recovery source)")
@@ -396,6 +415,7 @@ def run_concurrent(
         if obs is not None:
             obs.crash(fault.event_index, fault.mode, fault.drop_sends)
         recovered = recover(wal_dir, obs=obs)
+        recovered.algorithm.bind_owners(owners)
         new_wal = WriteAheadLog(
             wal_dir, fsync=wal_fsync, snapshot_every=snapshot_every, obs=obs
         )
@@ -481,6 +501,8 @@ def run_concurrent(
         final_view=handle.view_state(),
         crashes=crashes,
         wal_stats=wal_stats,
+        action_log=recorder.action_log,
+        per_source_states=recorder.per_source_states,
     )
     if obs is not None:
         obs.finalize(result)

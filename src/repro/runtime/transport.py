@@ -32,7 +32,7 @@ import itertools
 import random
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Optional, Sequence, Tuple
 
 from repro.errors import ChannelEmpty, ProtocolError, TransportClosed
 from repro.messaging.channel import Sizer

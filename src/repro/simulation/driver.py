@@ -1,51 +1,40 @@
-"""The simulation driver: wires source, channels, algorithm, and schedule.
+"""The single-source simulation driver — a facade over the shared kernel.
 
-The driver is deliberately dumb — all policy lives in the algorithm (what
-to send, how to update the view) and the schedule (when things happen).
-It enforces the paper's structural assumptions: events are atomic, and
-messages on each channel are delivered and processed in order.
+Historically this module owned its own message pump; it is now a thin
+compatibility layer over :class:`repro.kernel.sync.SyncKernel` (one
+source named ``"source"``), keeping the legacy action names (``update`` /
+``answer`` / ``warehouse``), the sole-channel attributes
+(:attr:`Simulation.to_warehouse` / :attr:`Simulation.to_source`), and the
+historical unqualified trace detail strings.  All policy lives in the
+algorithm (what to send, how to update the view) and the schedule (when
+things happen); the kernel enforces the paper's structural assumptions:
+events are atomic, and messages on each channel are delivered and
+processed in order.
 """
 
 from __future__ import annotations
 
 import logging
-from collections import deque
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 logger = logging.getLogger("repro.simulation")
 
 from repro.core.protocol import WarehouseAlgorithm
 from repro.errors import SimulationError
+from repro.kernel.sync import REFRESH, SyncKernel
 from repro.messaging.channel import FifoChannel
-from repro.messaging.messages import (
-    QueryAnswer,
-    QueryRequest,
-    RefreshRequest,
-    UpdateNotification,
-)
 from repro.simulation.schedules import ANSWER, Schedule, UPDATE, WAREHOUSE
-from repro.simulation.trace import C_REF, S_QU, S_UP, Trace, W_ANS, W_REF, W_UP
+from repro.simulation.trace import Trace
 from repro.source.base import Source
 from repro.source.updates import Update
 
+__all__ = ["REFRESH", "Simulation", "run_simulation"]
 
-class _RefreshMarker:
-    """Workload sentinel: a warehouse client reads the view here.
-
-    Place :data:`REFRESH` in a workload to model deferred/periodic
-    maintenance: the driver injects a :class:`RefreshRequest` into the
-    warehouse's inbox instead of executing a source update.
-    """
-
-    def __repr__(self) -> str:
-        return "REFRESH"
+#: The kernel's name for the facade's sole source.
+_SOLE = "source"
 
 
-#: The refresh sentinel (a singleton).
-REFRESH = _RefreshMarker()
-
-
-class Simulation:
+class Simulation(SyncKernel):
     """One source, one warehouse algorithm, one workload.
 
     Parameters
@@ -70,26 +59,23 @@ class Simulation:
         workload: Sequence[Update],
         recorder: Optional[object] = None,
     ) -> None:
+        super().__init__(
+            {_SOLE: source}, algorithm, workload, recorder=recorder, qualified=False
+        )
         self.source = source
-        self.algorithm = algorithm
-        self.recorder = recorder
-        self._updates: Deque[Update] = deque(workload)
-        # A recorder that can size messages doubles as the channel sizer,
-        # so the B metric is also observable on the wire (sent_bytes).
-        sizer = getattr(recorder, "message_size", None)
-        self.to_warehouse = FifoChannel("source->warehouse", sizer=sizer)
-        self.to_source = FifoChannel("warehouse->source", sizer=sizer)
-        self.trace = Trace()
-        self._serial = 0
-        self._refresh_serial = 0
-        # ss_0 and ws_0: the initial states.
-        self.trace.record_source_state(source.snapshot())
-        self.trace.record_view_state(algorithm.view_state())
 
-    # ------------------------------------------------------------------ #
-    # Action availability
-    # ------------------------------------------------------------------ #
+    # Sole-channel views over the kernel's per-source channel maps.
+    @property
+    def to_warehouse(self) -> FifoChannel:
+        """The source -> warehouse channel."""
+        return self.inbound[_SOLE]
 
+    @property
+    def to_source(self) -> FifoChannel:
+        """The warehouse -> source channel."""
+        return self.outbound[_SOLE]
+
+    # Legacy action-name mapping (``update`` / ``answer`` / ``warehouse``).
     def available_actions(self) -> List[str]:
         actions: List[str] = []
         if self._updates:
@@ -100,128 +86,19 @@ class Simulation:
             actions.append(WAREHOUSE)
         return actions
 
-    def is_done(self) -> bool:
-        return not self.available_actions()
-
-    # ------------------------------------------------------------------ #
-    # Primitive actions
-    # ------------------------------------------------------------------ #
-
     def step(self, action: str) -> None:
         if action == UPDATE:
             self._do_update()
         elif action == ANSWER:
-            self._do_answer()
+            self._do_answer(_SOLE)
         elif action == WAREHOUSE:
-            self._do_warehouse()
+            self._do_warehouse(_SOLE)
         else:
             raise SimulationError(f"unknown action {action!r}")
 
-    def _do_update(self) -> None:
-        """``S_up``: execute the next update, then notify the warehouse.
-
-        A :data:`REFRESH` workload item is a warehouse-client read rather
-        than a source update: it skips the source entirely and enqueues a
-        refresh request on the warehouse's inbox.
-        """
-        if not self._updates:
-            raise SimulationError("no workload updates remain")
-        update = self._updates.popleft()
-        if update is REFRESH:
-            self._refresh_serial += 1
-            self.trace.record_event(C_REF, f"refresh #{self._refresh_serial}")
-            logger.debug("client refresh #%d requested", self._refresh_serial)
-            self.to_warehouse.send(RefreshRequest(self._refresh_serial))
-            return
-        self.source.apply_update(update)
-        logger.debug("source executed %r", update)
-        self._serial += 1
-        self.trace.record_event(S_UP, f"U{self._serial} = {update!r}")
-        self.trace.record_source_state(self.source.snapshot())
-        self.to_warehouse.send(UpdateNotification(update, self._serial))
-
-    def _do_answer(self) -> None:
-        """``S_qu``: receive the oldest query, evaluate, send the answer."""
-        message = self.to_source.receive()
-        if not isinstance(message, QueryRequest):
-            raise SimulationError(
-                f"source received non-query message: {message!r}"
-            )
-        answer = self.source.evaluate(message.query)
-        logger.debug(
-            "source answered Q%d with %d tuple(s)",
-            message.query_id,
-            answer.total_count(),
-        )
-        if self.recorder is not None:
-            self.recorder.record_evaluation(message.query, self.source)
-        self.trace.record_event(
-            S_QU, f"Q{message.query_id} -> {answer.total_count()} tuple(s)"
-        )
-        reply = QueryAnswer(message.query_id, answer)
-        if self.recorder is not None:
-            self.recorder.record_answer(reply)
-        self.to_warehouse.send(reply)
-
-    def _do_warehouse(self) -> None:
-        """``W_up`` or ``W_ans``: process the oldest incoming message."""
-        message = self.to_warehouse.receive()
-        if isinstance(message, UpdateNotification):
-            requests = self.algorithm.on_update(message)
-            self.trace.record_event(
-                W_UP,
-                f"U{message.serial} processed, {len(requests)} query(ies) sent",
-            )
-        elif isinstance(message, QueryAnswer):
-            requests = self.algorithm.on_answer(message)
-            self.trace.record_event(
-                W_ANS,
-                f"A for Q{message.query_id} applied, "
-                f"{len(requests)} follow-up query(ies)",
-            )
-        elif isinstance(message, RefreshRequest):
-            requests = self.algorithm.on_refresh()
-            self.trace.record_event(
-                W_REF,
-                f"refresh #{message.serial} processed, "
-                f"{len(requests)} query(ies) sent",
-            )
-        else:
-            raise SimulationError(f"warehouse received unknown message: {message!r}")
-        for request in requests:
-            if self.recorder is not None:
-                self.recorder.record_request(request)
-            self.to_source.send(request)
-        self.trace.record_view_state(self.algorithm.view_state())
-
-    # ------------------------------------------------------------------ #
-    # Run loop
-    # ------------------------------------------------------------------ #
-
     def run(self, schedule: Schedule, max_steps: int = 1_000_000) -> Trace:
         """Run to quiescence under ``schedule``; returns the trace."""
-        steps = 0
-        while True:
-            available = self.available_actions()
-            if not available:
-                break
-            if steps >= max_steps:
-                raise SimulationError(
-                    f"simulation exceeded {max_steps} steps without quiescing"
-                )
-            self.step(schedule.choose(available))
-            steps += 1
-        if not self.algorithm.is_quiescent():
-            # Channels are drained and the workload is exhausted, yet the
-            # algorithm still holds buffered work: a deadlocked algorithm
-            # (or an RV with a partial period, which callers opt into by
-            # choosing a non-dividing period).
-            if self.algorithm.uqs:
-                raise SimulationError(
-                    f"algorithm {self.algorithm.name!r} still has pending "
-                    f"queries after quiescence: {sorted(self.algorithm.uqs)}"
-                )
-        return self.trace
+        return super().run(schedule, max_steps=max_steps)
 
 
 def run_simulation(

@@ -29,26 +29,29 @@ view on its own timeline.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Mapping, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ProtocolError
 from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
 from repro.relational.bag import SignedBag
 
 if TYPE_CHECKING:  # avoid a package-level import cycle with repro.core
-    from repro.core.protocol import WarehouseAlgorithm
+    from repro.core.protocol import Routed, WarehouseAlgorithm
 
 
 class WarehouseCatalog:
     """Several views maintained side by side behind one protocol."""
 
     name = "catalog"
+    multi_source = False
+    codec_tag = "algo.catalog"
 
     def __init__(self, algorithms: "Mapping[str, WarehouseAlgorithm]") -> None:
         if not algorithms:
             raise ProtocolError("a warehouse catalog needs at least one view")
         self.algorithms: "Dict[str, WarehouseAlgorithm]" = dict(algorithms)
         self._next_query_id = 1
+        self.owners: Dict[str, str] = {}
         #: global query id -> (view name, that view's local query id)
         self._routes: Dict[int, Tuple[str, int]] = {}
         #: Per-view state history, one snapshot per warehouse event (the
@@ -63,18 +66,26 @@ class WarehouseCatalog:
             self._history[name].append(algorithm.view_state())
 
     # ------------------------------------------------------------------ #
-    # Protocol events
+    # Routed protocol events
     # ------------------------------------------------------------------ #
 
-    def on_update(self, notification: UpdateNotification) -> List[QueryRequest]:
-        out: List[QueryRequest] = []
+    def bind_owners(self, owners: Dict[str, str]) -> None:
+        if not self.owners:
+            self.owners = dict(owners)
+        for algorithm in self.algorithms.values():
+            algorithm.bind_owners(owners)
+
+    def on_update(
+        self, source: Optional[str], notification: UpdateNotification
+    ) -> "Routed":
+        out: "Routed" = []
         for view_name, algorithm in self.algorithms.items():
-            for request in algorithm.on_update(notification):
-                out.append(self._remap(view_name, request))
+            for destination, request in algorithm.on_update(source, notification):
+                out.append((destination, self._remap(view_name, request)))
         self._record()
         return out
 
-    def on_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
+    def on_answer(self, source: Optional[str], answer: QueryAnswer) -> "Routed":
         try:
             view_name, local_id = self._routes.pop(answer.query_id)
         except KeyError:
@@ -82,17 +93,19 @@ class WarehouseCatalog:
                 f"catalog received answer for unknown query {answer.query_id}"
             ) from None
         algorithm = self.algorithms[view_name]
-        out: List[QueryRequest] = []
-        for request in algorithm.on_answer(QueryAnswer(local_id, answer.answer)):
-            out.append(self._remap(view_name, request))
+        out: "Routed" = []
+        for destination, request in algorithm.on_answer(
+            source, QueryAnswer(local_id, answer.answer)
+        ):
+            out.append((destination, self._remap(view_name, request)))
         self._record()
         return out
 
-    def on_refresh(self) -> List[QueryRequest]:
-        out: List[QueryRequest] = []
+    def on_refresh(self) -> "Routed":
+        out: "Routed" = []
         for view_name, algorithm in self.algorithms.items():
-            for request in algorithm.on_refresh():
-                out.append(self._remap(view_name, request))
+            for destination, request in algorithm.on_refresh():
+                out.append((destination, self._remap(view_name, request)))
         self._record()
         return out
 
@@ -179,12 +192,19 @@ class WarehouseCatalog:
             for name, algorithm in self.algorithms.items()
         }
 
-    def pending_requests(self) -> List[Tuple[None, QueryRequest]]:
-        out: List[Tuple[None, QueryRequest]] = []
-        for global_id in sorted(self._routes):
-            view_name, local_id = self._routes[global_id]
-            query = self.algorithms[view_name].uqs[local_id]
-            out.append((None, QueryRequest(global_id, query)))
+    def pending_requests(self) -> "Routed":
+        # Members report their own in-flight requests (with destinations);
+        # remap local ids back to this catalog's global id space.
+        local_to_global = {
+            (view_name, local_id): global_id
+            for global_id, (view_name, local_id) in self._routes.items()
+        }
+        out: "Routed" = []
+        for view_name, algorithm in self.algorithms.items():
+            for destination, request in algorithm.pending_requests():
+                global_id = local_to_global[(view_name, request.query_id)]
+                out.append((destination, QueryRequest(global_id, request.query)))
+        out.sort(key=lambda pair: pair[1].query_id)
         return out
 
     def pending_query_ids(self) -> List[int]:

@@ -8,8 +8,6 @@ sides: the verbatim-paper variant (``inflight_filter=False``) violates
 convergence on that race, and the corrected default never does.
 """
 
-import pytest
-
 from repro.consistency import check_trace
 from repro.core.eca_key import ECAKey
 from repro.relational.engine import evaluate_view

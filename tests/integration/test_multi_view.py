@@ -6,11 +6,8 @@ separately."  We run several warehouses (one algorithm instance per view)
 against the same source stream and check each converges independently.
 """
 
-from typing import List
-
 from repro.consistency import check_trace
 from repro.core.eca import ECA
-from repro.core.protocol import WarehouseAlgorithm
 from repro.relational.conditions import Attr, Comparison, Const
 from repro.relational.engine import evaluate_view
 from repro.relational.schema import RelationSchema

@@ -9,6 +9,8 @@ cut-consistent because they never query the sources.
 import pytest
 
 from repro.consistency import check_trace
+from repro.core.registry import create_algorithm
+from repro.kernel import REFRESH
 from repro.multisource import (
     FragmentingIncremental,
     MultiSourceSimulation,
@@ -23,6 +25,7 @@ from repro.relational.schema import RelationSchema
 from repro.relational.tuples import SignedTuple
 from repro.relational.views import View
 from repro.simulation.schedules import RandomSchedule
+from repro.simulation.trace import C_REF, W_REF
 from repro.source.memory import MemorySource
 from repro.workloads.random_gen import random_workload
 
@@ -163,6 +166,65 @@ class TestStoredCopiesAcrossSources:
         assert check_cut_convergence(
             view, sim.per_source_states, trace.final_view_state
         )
+
+    def test_refresh_markers_flow_through_the_client_channel(self):
+        """REFRESH in a multi-source workload rides the implicit client
+        channel: a ``C_ref`` request, a ``W_ref`` atomic event, and the
+        run stays cut-consistent."""
+        updates = random_workload([R1, R2, R3], 6, seed=3, initial=INITIAL)
+        workload = list(updates[:3]) + [REFRESH] + list(updates[3:]) + [REFRESH]
+        view, sources, algorithm = build("sc")
+        sim = MultiSourceSimulation(sources, algorithm, workload)
+        trace = sim.run(RandomSchedule(11))
+        refreshes = [event for event in trace.events if event.kind == C_REF]
+        assert [event.detail for event in refreshes] == [
+            "client refresh #1",
+            "client refresh #2",
+        ]
+        assert sum(1 for event in trace.events if event.kind == W_REF) == 2
+        assert check_cut_consistency(view, sim.per_source_states, trace.view_states)
+
+    def test_refresh_flushes_deferred_maintenance_across_sources(self):
+        """Deferred maintenance in a multi-source topology: source A owns
+        every view relation, B's presence forces the multi-source path, and
+        only the client refresh makes the buffered updates visible."""
+
+        class DrainSourcesFirst:
+            # Deliver and answer everything on the source channels before
+            # the warehouse reads the client refresh.
+            def choose(self, available):
+                for action in ("update", "warehouse:A", "answer:A"):
+                    if action in available:
+                        return action
+                return available[0]
+
+        pair_view = View.natural_join("V2", [R1, R2], ["W", "Y"])
+        a = MemorySource([R1, R2], {"r1": INITIAL["r1"], "r2": INITIAL["r2"]})
+        b = MemorySource([R3], {"r3": INITIAL["r3"]})
+        stale_view = evaluate_view(pair_view, a.snapshot())
+        algorithm = create_algorithm("deferred-eca", pair_view, stale_view)
+        updates = random_workload(
+            [R1, R2], 5, seed=7, initial={"r1": INITIAL["r1"], "r2": INITIAL["r2"]}
+        )
+        sim = MultiSourceSimulation(
+            {"A": a, "B": b}, algorithm, list(updates) + [REFRESH]
+        )
+        trace = sim.run(DrainSourcesFirst())
+        # One view state is recorded per atomic warehouse event; all of
+        # them before the refresh still show the stale initial view ...
+        warehouse_events = [
+            event for event in trace.events if event.kind.startswith("W_")
+        ]
+        kinds = [event.kind for event in warehouse_events]
+        assert W_REF in kinds
+        for kind, state in zip(kinds, trace.view_states[1:]):
+            if kind == W_REF:
+                break
+            assert state == stale_view
+        # ... and the refresh flushes the buffer to full convergence.
+        assert algorithm.is_quiescent()
+        merged = {**a.snapshot(), **b.snapshot()}
+        assert trace.final_view_state == evaluate_view(pair_view, merged)
 
     def test_global_order_consistency_can_fail_even_for_sc(self):
         """SC tracks *a* consistent cut, not the actual global order: on

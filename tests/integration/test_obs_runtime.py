@@ -8,8 +8,6 @@ metrics must reconcile exactly with ``RuntimeResult.metrics_table()``.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.eca import ECA
 from repro.durability.crash import CrashPolicy
 from repro.relational.engine import evaluate_view

@@ -12,7 +12,6 @@ from repro.consistency import check_trace
 from repro.experiments.runner import run_scenario
 from repro.relational.engine import evaluate_view
 from repro.simulation.schedules import BestCaseSchedule
-from repro.source.memory import MemorySource
 from repro.workloads.paper_examples import PAPER_EXAMPLES
 
 

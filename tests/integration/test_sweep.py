@@ -45,7 +45,7 @@ class TestApplicability:
     def test_no_keys_needed(self):
         view, _, algorithm = build()
         assert not view.contains_all_keys()
-        assert algorithm.name == "sweep-style"
+        assert algorithm.name == "sweep"
 
     def test_self_joins_rejected(self):
         emp = RelationSchema("emp", ("name", "dept"))
@@ -83,7 +83,7 @@ class TestCorrectness:
             insert("r1", (1, 2)),   # second copy -> view multiplicities 2x
         ]
         sim = MultiSourceSimulation(sources, algorithm, workload)
-        trace = sim.run(RandomSchedule(3))
+        sim.run(RandomSchedule(3))
         merged = {}
         for source in sources.values():
             merged.update(source.snapshot())

@@ -13,7 +13,7 @@ from repro.core.registry import create_algorithm
 from repro.core.stored_copies import StoredCopies
 from repro.errors import ExpressionError, SchemaError
 from repro.relational.bag import SignedBag
-from repro.relational.conditions import Attr, Comparison, Const
+from repro.relational.conditions import Const
 from repro.relational.engine import evaluate_view
 from repro.relational.schema import RelationSchema
 from repro.relational.unions import UnionView

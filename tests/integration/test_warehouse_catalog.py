@@ -59,7 +59,7 @@ class TestCatalog:
         source = MemorySource([ACCOUNTS, MOVES], INITIAL)
         catalog = build_catalog(source)
         with pytest.raises(ProtocolError):
-            catalog.on_answer(QueryAnswer(99, SignedBag()))
+            catalog.on_answer(None, QueryAnswer(99, SignedBag()))
 
     @pytest.mark.parametrize("seed", range(6))
     def test_every_view_strongly_consistent_on_its_own_timeline(self, seed):

@@ -73,9 +73,9 @@ def drive_with_wal(directory, name, workload_seed, pace_seed, cadence, max_event
             {"channel": "source->wh", "origin": "source", "message": encode_value(message)},
         )
         if isinstance(message, UpdateNotification):
-            requests = algorithm.on_update(message)
+            requests = algorithm.handle_update(message)
         else:
-            requests = algorithm.on_answer(message)
+            requests = algorithm.handle_answer(message)
         pending.extend((r.query_id, r.query) for r in requests)
         events += 1
         wal.maybe_snapshot(algorithm)

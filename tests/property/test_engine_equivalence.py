@@ -9,7 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.relational.bag import SignedBag
-from repro.relational.conditions import Attr, Comparison, Const
+from repro.relational.conditions import Attr, Comparison
 from repro.relational.engine import evaluate_query
 from repro.relational.schema import RelationSchema
 from repro.relational.tuples import MINUS, PLUS, SignedTuple

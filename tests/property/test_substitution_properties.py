@@ -18,7 +18,7 @@ from repro.relational.conditions import Attr, Comparison
 from repro.relational.schema import RelationSchema
 from repro.relational.tuples import MINUS, PLUS, SignedTuple
 from repro.relational.views import View
-from repro.source.updates import Update, delete, insert
+from repro.source.updates import delete, insert
 
 SCHEMAS = [
     RelationSchema("r1", ("W", "X")),

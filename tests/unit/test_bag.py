@@ -3,7 +3,7 @@
 import pytest
 
 from repro.relational.bag import SignedBag
-from repro.relational.tuples import MINUS, PLUS, SignedTuple
+from repro.relational.tuples import MINUS, SignedTuple
 
 
 class TestConstruction:

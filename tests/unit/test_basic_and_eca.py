@@ -21,26 +21,26 @@ def notify(update, serial=1):
 class TestBasicAlgorithm:
     def test_update_emits_incremental_query(self, view_w):
         algo = BasicAlgorithm(view_w)
-        requests = algo.on_update(notify(insert("r2", (2, 3))))
+        requests = algo.handle_update(notify(insert("r2", (2, 3))))
         assert len(requests) == 1
         term = requests[0].query.terms[0]
         assert term.free_relations() == ("r1",)
 
     def test_irrelevant_update_ignored(self, view_w):
         algo = BasicAlgorithm(view_w)
-        assert algo.on_update(notify(insert("zzz", (1,)))) == []
+        assert algo.handle_update(notify(insert("zzz", (1,)))) == []
 
     def test_answer_applied_immediately(self, view_w):
         algo = BasicAlgorithm(view_w)
-        request = algo.on_update(notify(insert("r2", (2, 3))))[0]
-        algo.on_answer(QueryAnswer(request.query_id, SignedBag.from_rows([(1,)])))
+        request = algo.handle_update(notify(insert("r2", (2, 3))))[0]
+        algo.handle_answer(QueryAnswer(request.query_id, SignedBag.from_rows([(1,)])))
         assert algo.view_state() == SignedBag.from_rows([(1,)])
 
     def test_negative_overshoot_clamped_not_raised(self, view_w):
         # The anomalous baseline may double-delete; it must not crash.
         algo = BasicAlgorithm(view_w, SignedBag.from_rows([(1,)]))
-        request = algo.on_update(notify(delete("r1", (1, 2))))[0]
-        algo.on_answer(
+        request = algo.handle_update(notify(delete("r1", (1, 2))))[0]
+        algo.handle_answer(
             QueryAnswer(request.query_id, SignedBag({(1,): -2}))
         )
         assert algo.view_state().is_empty()
@@ -49,22 +49,22 @@ class TestBasicAlgorithm:
 class TestECACompensation:
     def test_no_compensation_when_uqs_empty(self, view_w):
         algo = ECA(view_w)
-        request = algo.on_update(notify(insert("r2", (2, 3))))[0]
+        request = algo.handle_update(notify(insert("r2", (2, 3))))[0]
         assert request.query.term_count() == 1
 
     def test_compensation_added_per_pending_query(self, view_w3):
         algo = ECA(view_w3)
-        algo.on_update(notify(insert("r1", (4, 2)), 1))
-        second = algo.on_update(notify(insert("r3", (5, 3)), 2))[0]
+        algo.handle_update(notify(insert("r1", (4, 2)), 1))
+        second = algo.handle_update(notify(insert("r3", (5, 3)), 2))[0]
         # Q2 = V<U2> - Q1<U2>: two source terms (paper, Example 4 step 2).
         assert second.query.term_count() == 2
         assert [t.coefficient for t in second.query.terms] == [1, -1]
 
     def test_example4_third_query_shape(self, view_w3):
         algo = ECA(view_w3)
-        algo.on_update(notify(insert("r1", (4, 2)), 1))
-        algo.on_update(notify(insert("r3", (5, 3)), 2))
-        third = algo.on_update(notify(insert("r2", (2, 5)), 3))[0]
+        algo.handle_update(notify(insert("r1", (4, 2)), 1))
+        algo.handle_update(notify(insert("r3", (5, 3)), 2))
+        third = algo.handle_update(notify(insert("r2", (2, 5)), 3))[0]
         # V<U3> - Q1<U3> - Q2<U3>; the doubly-bound part of Q2<U3> is
         # fully bound and evaluated locally, leaving 3 source terms.
         assert third.query.term_count() == 3
@@ -76,18 +76,18 @@ class TestECACompensation:
         # fully-bound compensation term -pi([4,2]|x|[2,3]) was evaluated
         # locally at W_up2 time, and Q2's remote part answers [4].
         algo = ECA(view_w)
-        first = algo.on_update(notify(insert("r2", (2, 3)), 1))[0]
-        second = algo.on_update(notify(insert("r1", (4, 2)), 2))[0]
+        first = algo.handle_update(notify(insert("r2", (2, 3)), 1))[0]
+        second = algo.handle_update(notify(insert("r1", (4, 2)), 2))[0]
         assert algo.collect == SignedBag({(4,): -1})  # local compensation
-        algo.on_answer(QueryAnswer(first.query_id, SignedBag.from_rows([(1,), (4,)])))
+        algo.handle_answer(QueryAnswer(first.query_id, SignedBag.from_rows([(1,), (4,)])))
         assert algo.view_state().is_empty()  # still buffered
-        algo.on_answer(QueryAnswer(second.query_id, SignedBag.from_rows([(4,)])))
+        algo.handle_answer(QueryAnswer(second.query_id, SignedBag.from_rows([(4,)])))
         assert algo.view_state() == SignedBag.from_rows([(1,), (4,)])
 
     def test_collect_reset_after_install(self, view_w):
         algo = ECA(view_w)
-        request = algo.on_update(notify(insert("r2", (2, 3))))[0]
-        algo.on_answer(QueryAnswer(request.query_id, SignedBag.from_rows([(1,)])))
+        request = algo.handle_update(notify(insert("r2", (2, 3))))[0]
+        algo.handle_answer(QueryAnswer(request.query_id, SignedBag.from_rows([(1,)])))
         assert algo.collect.is_empty()
         assert algo.is_quiescent()
 
@@ -96,19 +96,19 @@ class TestECACompensation:
         # the view as they arrive, passing through invalid intermediate
         # states — here a negative replication count — before converging.
         algo = ECA(view_w, buffer_answers=False)
-        first = algo.on_update(notify(insert("r2", (2, 3)), 1))[0]
-        second = algo.on_update(notify(insert("r1", (4, 2)), 2))[0]
+        first = algo.handle_update(notify(insert("r2", (2, 3)), 1))[0]
+        second = algo.handle_update(notify(insert("r1", (4, 2)), 2))[0]
         assert algo.view_state() == SignedBag({(4,): -1})  # local compensation
-        algo.on_answer(
+        algo.handle_answer(
             QueryAnswer(first.query_id, SignedBag.from_rows([(1,), (4,)]))
         )
         assert algo.view_state() == SignedBag.from_rows([(1,)])
-        algo.on_answer(QueryAnswer(second.query_id, SignedBag.from_rows([(4,)])))
+        algo.handle_answer(QueryAnswer(second.query_id, SignedBag.from_rows([(4,)])))
         assert algo.view_state() == SignedBag.from_rows([(1,), (4,)])
 
     def test_irrelevant_update_no_compensation_state(self, view_w):
         algo = ECA(view_w)
-        assert algo.on_update(notify(insert("zzz", (1,)))) == []
+        assert algo.handle_update(notify(insert("zzz", (1,)))) == []
         assert algo.is_quiescent()
 
     def test_strictness_of_final_install(self, view_w):
@@ -117,8 +117,8 @@ class TestECACompensation:
         from repro.errors import ViewStateError
 
         algo = ECA(view_w)
-        request = algo.on_update(notify(delete("r1", (1, 2))))[0]
+        request = algo.handle_update(notify(delete("r1", (1, 2))))[0]
         with pytest.raises(ViewStateError):
-            algo.on_answer(
+            algo.handle_answer(
                 QueryAnswer(request.query_id, SignedBag({(9,): -1}))
             )

@@ -15,10 +15,10 @@ def notify(update, serial=1):
 class TestBatching:
     def test_buffers_until_batch_size(self, view_w):
         algo = BatchECA(view_w, batch_size=3)
-        assert algo.on_update(notify(insert("r1", (1, 2)), 1)) == []
-        assert algo.on_update(notify(insert("r1", (2, 2)), 2)) == []
+        assert algo.handle_update(notify(insert("r1", (1, 2)), 1)) == []
+        assert algo.handle_update(notify(insert("r1", (2, 2)), 2)) == []
         assert algo.buffered_updates() == 2
-        requests = algo.on_update(notify(insert("r2", (2, 3)), 3))
+        requests = algo.handle_update(notify(insert("r2", (2, 3)), 3))
         assert len(requests) == 1
         assert algo.buffered_updates() == 0
 
@@ -26,13 +26,13 @@ class TestBatching:
         algo = BatchECA(view_w, batch_size=2)
         sent = []
         for i in range(6):
-            sent.extend(algo.on_update(notify(insert("r1", (i, 0)), i + 1)))
+            sent.extend(algo.handle_update(notify(insert("r1", (i, 0)), i + 1)))
         # 6 updates, batch_size 2 -> 3 query messages (ECA would send 6).
         assert len(sent) == 3
 
     def test_batch_size_one_sends_per_update(self, view_w):
         algo = BatchECA(view_w, batch_size=1)
-        assert len(algo.on_update(notify(insert("r1", (1, 2))))) == 1
+        assert len(algo.handle_update(notify(insert("r1", (1, 2))))) == 1
 
     def test_invalid_batch_size(self, view_w):
         with pytest.raises(ValueError):
@@ -40,12 +40,12 @@ class TestBatching:
 
     def test_irrelevant_updates_not_buffered(self, view_w):
         algo = BatchECA(view_w, batch_size=2)
-        assert algo.on_update(notify(insert("zzz", (1,)))) == []
+        assert algo.handle_update(notify(insert("zzz", (1,)))) == []
         assert algo.buffered_updates() == 0
 
     def test_manual_flush(self, view_w):
         algo = BatchECA(view_w, batch_size=10)
-        algo.on_update(notify(insert("r1", (1, 2))))
+        algo.handle_update(notify(insert("r1", (1, 2))))
         requests = algo.flush()
         assert len(requests) == 1
         assert algo.buffered_updates() == 0
@@ -55,8 +55,8 @@ class TestBatching:
 
     def test_batch_query_backdates_within_batch(self, view_w):
         algo = BatchECA(view_w, batch_size=2)
-        algo.on_update(notify(insert("r2", (2, 3)), 1))
-        requests = algo.on_update(notify(insert("r1", (4, 2)), 2))
+        algo.handle_update(notify(insert("r2", (2, 3)), 1))
+        requests = algo.handle_update(notify(insert("r1", (4, 2)), 2))
         # sum_j D(V<U_j>, rest): V<U1> - V<U1,U2> + V<U2>; the fully
         # bound V<U1,U2> term evaluates locally, leaving 2 remote terms
         # and +/- bookkeeping in COLLECT.
@@ -69,16 +69,16 @@ class TestBatching:
         # after one update of batch 2 arrived -> the answer is
         # contaminated and the view must not install until batch 2's
         # flush compensates it.
-        algo.on_update(notify(insert("r1", (1, 9)), 1))
-        first = algo.on_update(notify(insert("r2", (5, 5)), 2))[0]
-        algo.on_update(notify(insert("r2", (2, 3)), 3))  # batch 2 begins
-        algo.on_answer(QueryAnswer(first.query_id, SignedBag()))
+        algo.handle_update(notify(insert("r1", (1, 9)), 1))
+        first = algo.handle_update(notify(insert("r2", (5, 5)), 2))[0]
+        algo.handle_update(notify(insert("r2", (2, 3)), 3))  # batch 2 begins
+        algo.handle_answer(QueryAnswer(first.query_id, SignedBag()))
         assert algo.view_state().is_empty()  # blocked: contamination
-        second = algo.on_update(notify(insert("r1", (4, 2)), 4))[0]
+        second = algo.handle_update(notify(insert("r1", (4, 2)), 4))[0]
         # Source answer for batch 2's flush: pi(r1 |x| [2,3]) = [4] and
         # pi([4,2] |x| r2) = [4]; the doubly-bound -pi([4,2]|x|[2,3])
         # term was evaluated locally as -[4].
-        algo.on_answer(
+        algo.handle_answer(
             QueryAnswer(second.query_id, SignedBag.from_rows([(4,), (4,)]))
         )
         assert algo.view_state() == SignedBag.from_rows([(4,)])
@@ -86,11 +86,11 @@ class TestBatching:
     def test_quiescence(self, view_w):
         algo = BatchECA(view_w, batch_size=2)
         assert algo.is_quiescent()
-        algo.on_update(notify(insert("r1", (1, 2))))
+        algo.handle_update(notify(insert("r1", (1, 2))))
         assert not algo.is_quiescent()  # buffered update
         request = algo.flush()[0]
         assert not algo.is_quiescent()  # pending query
-        algo.on_answer(QueryAnswer(request.query_id, SignedBag()))
+        algo.handle_answer(QueryAnswer(request.query_id, SignedBag()))
         assert algo.is_quiescent()
 
 
@@ -98,18 +98,18 @@ class TestDeferred:
     def test_never_flushes_on_updates(self, view_w):
         algo = DeferredECA(view_w)
         for i in range(20):
-            assert algo.on_update(notify(insert("r1", (i, 0)), i + 1)) == []
+            assert algo.handle_update(notify(insert("r1", (i, 0)), i + 1)) == []
         assert algo.buffered_updates() == 20
 
     def test_refresh_flushes(self, view_w):
         algo = DeferredECA(view_w)
-        algo.on_update(notify(insert("r1", (1, 2)), 1))
-        requests = algo.on_refresh()
+        algo.handle_update(notify(insert("r1", (1, 2)), 1))
+        requests = algo.handle_refresh()
         assert len(requests) == 1
         assert algo.buffered_updates() == 0
 
     def test_refresh_with_empty_buffer(self, view_w):
-        assert DeferredECA(view_w).on_refresh() == []
+        assert DeferredECA(view_w).handle_refresh() == []
 
     def test_registry_entries(self, view_w):
         from repro.core.registry import create_algorithm
@@ -123,4 +123,4 @@ class TestImmediateAlgorithmsIgnoreRefresh(object):
         from repro.core.eca import ECA
 
         algo = ECA(view_w)
-        assert algo.on_refresh() == []
+        assert algo.handle_refresh() == []

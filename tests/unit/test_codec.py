@@ -129,11 +129,15 @@ def algorithm_mid_protocol(name):
     initial_view = evaluate_view(view, source.snapshot())
     if name == "stored-copies":
         algorithm = StoredCopies(view, initial_view, source.snapshot())
+    elif getattr(ALGORITHMS[name], "multi_source", False):
+        algorithm = create_algorithm(
+            name, view, initial_view, owners={"r1": "source", "r2": "source"}
+        )
     else:
         algorithm = create_algorithm(name, view, initial_view)
     update = insert("r1", (7, 2))
     source.apply_update(update)
-    algorithm.on_update(UpdateNotification(update, 1))
+    algorithm.on_update("source", UpdateNotification(update, 1))
     return algorithm
 
 
@@ -157,7 +161,7 @@ class TestAlgorithmRoundTrips:
         algorithm = algorithm_mid_protocol("eca")
         twin = loads_algorithm(dumps_algorithm(algorithm))
         qid = algorithm.pending_query_ids()[0]
-        algorithm.on_answer(QueryAnswer(qid, SignedBag()))
+        algorithm.on_answer("source", QueryAnswer(qid, SignedBag()))
         # Draining the original leaves the twin's UQS untouched.
         assert qid in twin.pending_query_ids()
         assert qid not in algorithm.pending_query_ids()

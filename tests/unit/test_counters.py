@@ -7,7 +7,6 @@ from repro.costmodel.io_scenarios import Scenario2Estimator
 from repro.costmodel.parameters import PaperParameters
 from repro.messaging.messages import QueryAnswer, QueryRequest
 from repro.relational.bag import SignedBag
-from repro.relational.tuples import SignedTuple
 from repro.source.memory import MemorySource
 from repro.workloads.example6 import example6_schemas, example6_view
 

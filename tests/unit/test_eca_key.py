@@ -31,20 +31,20 @@ class TestApplicability:
 class TestDeletes:
     def test_delete_handled_locally_no_query(self, keyed_view):
         algo = ECAKey(keyed_view, SignedBag.from_rows([(1, 3)]))
-        requests = algo.on_update(notify(delete("r1", (1, 2))))
+        requests = algo.handle_update(notify(delete("r1", (1, 2))))
         assert requests == []
         # UQS was empty, so the view is installed immediately.
         assert algo.view_state().is_empty()
 
     def test_delete_by_second_relation_key(self, keyed_view):
         algo = ECAKey(keyed_view, SignedBag.from_rows([(1, 3), (2, 4)]))
-        algo.on_update(notify(delete("r2", (9, 3))))
+        algo.handle_update(notify(delete("r2", (9, 3))))
         assert algo.view_state() == SignedBag.from_rows([(2, 4)])
 
     def test_delete_while_queries_pending_defers_install(self, keyed_view):
         algo = ECAKey(keyed_view, SignedBag.from_rows([(1, 3)]))
-        algo.on_update(notify(insert("r2", (2, 4)), 1))
-        algo.on_update(notify(delete("r1", (1, 2)), 2))
+        algo.handle_update(notify(insert("r2", (2, 4)), 1))
+        algo.handle_update(notify(delete("r1", (1, 2)), 2))
         # COLLECT updated, but MV not replaced while UQS is non-empty.
         assert algo.collect.is_empty()
         assert algo.view_state() == SignedBag.from_rows([(1, 3)])
@@ -53,27 +53,27 @@ class TestDeletes:
 class TestInserts:
     def test_insert_sends_uncompensated_query(self, keyed_view):
         algo = ECAKey(keyed_view)
-        algo.on_update(notify(insert("r2", (2, 4)), 1))
-        second = algo.on_update(notify(insert("r1", (3, 2)), 2))
+        algo.handle_update(notify(insert("r2", (2, 4)), 1))
+        second = algo.handle_update(notify(insert("r1", (3, 2)), 2))
         # No compensating terms even with a pending query.
         assert second[0].query.term_count() == 1
 
     def test_duplicate_answer_tuples_dropped(self, keyed_view):
         algo = ECAKey(keyed_view, SignedBag.from_rows([(1, 3)]))
-        q1 = algo.on_update(notify(insert("r2", (2, 4)), 1))[0]
-        q2 = algo.on_update(notify(insert("r1", (3, 2)), 2))[0]
-        algo.on_answer(QueryAnswer(q1.query_id, SignedBag.from_rows([(3, 4)])))
+        q1 = algo.handle_update(notify(insert("r2", (2, 4)), 1))[0]
+        q2 = algo.handle_update(notify(insert("r1", (3, 2)), 2))[0]
+        algo.handle_answer(QueryAnswer(q1.query_id, SignedBag.from_rows([(3, 4)])))
         # A2 repeats [3,4]; the duplicate must be ignored (paper step 5).
-        algo.on_answer(
+        algo.handle_answer(
             QueryAnswer(q2.query_id, SignedBag.from_rows([(3, 3), (3, 4)]))
         )
         assert sorted(algo.view_state().expand_rows()) == [(1, 3), (3, 3), (3, 4)]
 
     def test_negative_answer_tuple_rejected(self, keyed_view):
         algo = ECAKey(keyed_view)
-        q1 = algo.on_update(notify(insert("r2", (2, 4))))[0]
+        q1 = algo.handle_update(notify(insert("r2", (2, 4))))[0]
         with pytest.raises(ValueError):
-            algo.on_answer(QueryAnswer(q1.query_id, SignedBag({(1, 4): -1})))
+            algo.handle_answer(QueryAnswer(q1.query_id, SignedBag({(1, 4): -1})))
 
 
 class TestDeleteInsertRace:
@@ -82,50 +82,50 @@ class TestDeleteInsertRace:
         is in flight.  The answer still carries the key (it is bound into
         the query), and must be filtered out."""
         algo = ECAKey(keyed_view)
-        q1 = algo.on_update(notify(insert("r2", (2, 4)), 1))[0]
-        algo.on_update(notify(delete("r2", (2, 4)), 2))
+        q1 = algo.handle_update(notify(insert("r2", (2, 4)), 1))[0]
+        algo.handle_update(notify(delete("r2", (2, 4)), 2))
         # Source evaluated Q1 after the delete; r1 = ([1,2]) say:
-        algo.on_answer(QueryAnswer(q1.query_id, SignedBag.from_rows([(1, 4)])))
+        algo.handle_answer(QueryAnswer(q1.query_id, SignedBag.from_rows([(1, 4)])))
         assert algo.view_state().is_empty()
 
     def test_filter_does_not_outlive_its_query(self, keyed_view):
         algo = ECAKey(keyed_view)
-        q1 = algo.on_update(notify(insert("r2", (2, 4)), 1))[0]
-        algo.on_update(notify(delete("r2", (2, 4)), 2))
-        algo.on_answer(QueryAnswer(q1.query_id, SignedBag.from_rows([(1, 4)])))
+        q1 = algo.handle_update(notify(insert("r2", (2, 4)), 1))[0]
+        algo.handle_update(notify(delete("r2", (2, 4)), 2))
+        algo.handle_answer(QueryAnswer(q1.query_id, SignedBag.from_rows([(1, 4)])))
         # Re-insert the same key: its own query's answer must NOT be
         # filtered by the stale delete.
-        q3 = algo.on_update(notify(insert("r2", (2, 4)), 3))[0]
-        algo.on_answer(QueryAnswer(q3.query_id, SignedBag.from_rows([(1, 4)])))
+        q3 = algo.handle_update(notify(insert("r2", (2, 4)), 3))[0]
+        algo.handle_answer(QueryAnswer(q3.query_id, SignedBag.from_rows([(1, 4)])))
         assert algo.view_state() == SignedBag.from_rows([(1, 4)])
 
     def test_other_relation_delete_filters_pending_answer(self, keyed_view):
         algo = ECAKey(keyed_view, SignedBag())
-        q1 = algo.on_update(notify(insert("r2", (2, 4)), 1))[0]
-        algo.on_update(notify(delete("r1", (1, 2)), 2))
+        q1 = algo.handle_update(notify(insert("r2", (2, 4)), 1))[0]
+        algo.handle_update(notify(delete("r1", (1, 2)), 2))
         # Answer evaluated before the r1 delete would normally have
         # arrived first (FIFO); if it does arrive after, dropping the
         # deleted key is exactly what key-delete would have done.
-        algo.on_answer(QueryAnswer(q1.query_id, SignedBag.from_rows([(1, 4)])))
+        algo.handle_answer(QueryAnswer(q1.query_id, SignedBag.from_rows([(1, 4)])))
         assert algo.view_state().is_empty()
 
 
 class TestInstallSemantics:
     def test_collect_is_working_copy_not_reset(self, keyed_view):
         algo = ECAKey(keyed_view, SignedBag.from_rows([(1, 3)]))
-        q1 = algo.on_update(notify(insert("r1", (5, 2))))[0]
-        algo.on_answer(QueryAnswer(q1.query_id, SignedBag.from_rows([(5, 3)])))
+        q1 = algo.handle_update(notify(insert("r1", (5, 2))))[0]
+        algo.handle_answer(QueryAnswer(q1.query_id, SignedBag.from_rows([(5, 3)])))
         assert algo.collect == SignedBag.from_rows([(1, 3), (5, 3)])
         assert algo.view_state() == algo.collect
 
     def test_quiescence(self, keyed_view):
         algo = ECAKey(keyed_view)
         assert algo.is_quiescent()
-        q1 = algo.on_update(notify(insert("r1", (5, 2))))[0]
+        q1 = algo.handle_update(notify(insert("r1", (5, 2))))[0]
         assert not algo.is_quiescent()
-        algo.on_answer(QueryAnswer(q1.query_id, SignedBag()))
+        algo.handle_answer(QueryAnswer(q1.query_id, SignedBag()))
         assert algo.is_quiescent()
 
     def test_irrelevant_update_ignored(self, keyed_view):
         algo = ECAKey(keyed_view)
-        assert algo.on_update(notify(insert("zzz", (1,)))) == []
+        assert algo.handle_update(notify(insert("zzz", (1,)))) == []

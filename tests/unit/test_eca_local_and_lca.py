@@ -28,28 +28,28 @@ def half_keyed_view():
 class TestECALocal:
     def test_keyed_delete_with_empty_uqs_is_local(self, half_keyed_view):
         algo = ECALocal(half_keyed_view, SignedBag.from_rows([(1, 3)]))
-        requests = algo.on_update(notify(delete("r1", (1, 2))))
+        requests = algo.handle_update(notify(delete("r1", (1, 2))))
         assert requests == []
         assert algo.view_state().is_empty()
         assert algo.local_updates_handled == 1
 
     def test_unkeyed_delete_goes_to_source(self, half_keyed_view):
         algo = ECALocal(half_keyed_view, SignedBag.from_rows([(1, 3)]))
-        requests = algo.on_update(notify(delete("r2", (2, 3))))
+        requests = algo.handle_update(notify(delete("r2", (2, 3))))
         assert len(requests) == 1
         assert algo.local_updates_handled == 0
 
     def test_insert_is_never_local(self, half_keyed_view):
         algo = ECALocal(half_keyed_view)
-        requests = algo.on_update(notify(insert("r1", (1, 2))))
+        requests = algo.handle_update(notify(insert("r1", (1, 2))))
         assert len(requests) == 1
 
     def test_keyed_delete_with_pending_query_uses_compensation(
         self, half_keyed_view
     ):
         algo = ECALocal(half_keyed_view, SignedBag.from_rows([(1, 3)]))
-        algo.on_update(notify(insert("r2", (2, 5)), 1))
-        requests = algo.on_update(notify(delete("r1", (1, 2)), 2))
+        algo.handle_update(notify(insert("r2", (2, 5)), 1))
+        requests = algo.handle_update(notify(delete("r1", (1, 2)), 2))
         assert len(requests) == 1
         # Compensated like plain ECA: V<U2> - Q1<U2>.  The compensation
         # term -pi(-[1,2] |x| [2,5]) is fully bound and evaluated locally
@@ -66,26 +66,26 @@ class TestECALocal:
 
     def test_view_without_any_keys_degenerates_to_eca(self, view_wy):
         algo = ECALocal(view_wy, SignedBag.from_rows([(1, 3)]))
-        requests = algo.on_update(notify(delete("r1", (1, 2))))
+        requests = algo.handle_update(notify(delete("r1", (1, 2))))
         assert len(requests) == 1
 
 
 class TestLCASerialProcessing:
     def test_single_update_delta_applied_on_answer(self, view_w):
         algo = LCA(view_w)
-        request = algo.on_update(notify(insert("r2", (2, 3))))[0]
+        request = algo.handle_update(notify(insert("r2", (2, 3))))[0]
         assert algo.view_state().is_empty()
-        algo.on_answer(QueryAnswer(request.query_id, SignedBag.from_rows([(1,)])))
+        algo.handle_answer(QueryAnswer(request.query_id, SignedBag.from_rows([(1,)])))
         assert algo.view_state() == SignedBag.from_rows([(1,)])
         assert algo.is_quiescent()
 
     def test_second_update_queued_and_compensates_inflight(self, view_w):
         algo = LCA(view_w)
-        first = algo.on_update(notify(insert("r2", (2, 3)), 1))
+        first = algo.handle_update(notify(insert("r2", (2, 3)), 1))
         assert len(first) == 1
         # U2 arrives while Q1 is in flight: the compensation -Q1<U2> is
         # fully bound, so no new message is sent; U2 itself is queued.
-        second = algo.on_update(notify(insert("r1", (4, 2)), 2))
+        second = algo.handle_update(notify(insert("r1", (4, 2)), 2))
         assert second == []
         assert not algo.is_quiescent()
 
@@ -93,17 +93,17 @@ class TestLCASerialProcessing:
         # Example 2's race, processed by LCA: the view must pass through
         # V[ss1] = ([1]) before reaching V[ss2] = ([1],[4]).
         algo = LCA(view_w)
-        q1 = algo.on_update(notify(insert("r2", (2, 3)), 1))[0]
-        algo.on_update(notify(insert("r1", (4, 2)), 2))
+        q1 = algo.handle_update(notify(insert("r2", (2, 3)), 1))[0]
+        algo.handle_update(notify(insert("r1", (4, 2)), 2))
         # Source evaluates Q1 after both updates: A1 = ([1],[4]).
-        follow_ups = algo.on_answer(
+        follow_ups = algo.handle_answer(
             QueryAnswer(q1.query_id, SignedBag.from_rows([(1,), (4,)]))
         )
         # Delta for U1 = A1 - [4] (local compensation) = ([1]).
         assert algo.view_state() == SignedBag.from_rows([(1,)])
         # U2's query goes out next.
         assert len(follow_ups) == 1
-        algo.on_answer(
+        algo.handle_answer(
             QueryAnswer(follow_ups[0].query_id, SignedBag.from_rows([(4,)]))
         )
         assert algo.view_state() == SignedBag.from_rows([(1,), (4,)])
@@ -137,13 +137,13 @@ class TestLCASerialProcessing:
 
     def test_irrelevant_update_ignored(self, view_w):
         algo = LCA(view_w)
-        assert algo.on_update(notify(insert("zzz", (1,)))) == []
+        assert algo.handle_update(notify(insert("zzz", (1,)))) == []
         assert algo.is_quiescent()
 
     def test_fully_local_update_chain_completes(self, view_w):
         # Deletions whose compensations are all fully bound still finish.
         algo = LCA(view_w, SignedBag.from_rows([(1,)]))
-        q1 = algo.on_update(notify(delete("r1", (1, 2)), 1))[0]
-        algo.on_answer(QueryAnswer(q1.query_id, SignedBag({(1,): -1})))
+        q1 = algo.handle_update(notify(delete("r1", (1, 2)), 1))[0]
+        algo.handle_answer(QueryAnswer(q1.query_id, SignedBag({(1,): -1})))
         assert algo.view_state().is_empty()
         assert algo.is_quiescent()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ProtocolError, SimulationError, ViewStateError
+from repro.errors import ProtocolError, SimulationError
 from repro.relational.bag import SignedBag
 from repro.relational.conditions import (
     And,

@@ -1,7 +1,5 @@
 """Unit tests for the experiment harness (figures, tables, reports)."""
 
-import pytest
-
 from repro.costmodel.parameters import PaperParameters
 from repro.experiments.figures import (
     ALL_FIGURES,

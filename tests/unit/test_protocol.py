@@ -14,10 +14,10 @@ class Probe(WarehouseAlgorithm):
 
     name = "probe"
 
-    def on_update(self, notification):
+    def handle_update(self, notification):
         return [self._make_request(self.view.as_query())]
 
-    def on_answer(self, answer):
+    def handle_answer(self, answer):
         self._retire(answer)
         return []
 
@@ -25,28 +25,28 @@ class Probe(WarehouseAlgorithm):
 class TestProtocol:
     def test_query_ids_are_sequential(self, view_w):
         probe = Probe(view_w)
-        first = probe.on_update(UpdateNotification(insert("r1", (1, 2)), 1))[0]
-        second = probe.on_update(UpdateNotification(insert("r1", (2, 2)), 2))[0]
+        first = probe.handle_update(UpdateNotification(insert("r1", (1, 2)), 1))[0]
+        second = probe.handle_update(UpdateNotification(insert("r1", (2, 2)), 2))[0]
         assert (first.query_id, second.query_id) == (1, 2)
 
     def test_uqs_tracks_pending(self, view_w):
         probe = Probe(view_w)
-        request = probe.on_update(UpdateNotification(insert("r1", (1, 2)), 1))[0]
+        request = probe.handle_update(UpdateNotification(insert("r1", (1, 2)), 1))[0]
         assert not probe.is_quiescent()
         assert probe.uqs_queries() == [request.query]
-        probe.on_answer(QueryAnswer(request.query_id, SignedBag()))
+        probe.handle_answer(QueryAnswer(request.query_id, SignedBag()))
         assert probe.is_quiescent()
 
     def test_uqs_queries_in_send_order(self, view_w):
         probe = Probe(view_w)
-        probe.on_update(UpdateNotification(insert("r1", (1, 2)), 1))
-        probe.on_update(UpdateNotification(insert("r1", (2, 2)), 2))
+        probe.handle_update(UpdateNotification(insert("r1", (1, 2)), 1))
+        probe.handle_update(UpdateNotification(insert("r1", (2, 2)), 2))
         assert len(probe.uqs_queries()) == 2
 
     def test_answer_for_unknown_query_raises(self, view_w):
         probe = Probe(view_w)
         with pytest.raises(ProtocolError):
-            probe.on_answer(QueryAnswer(99, SignedBag()))
+            probe.handle_answer(QueryAnswer(99, SignedBag()))
 
     def test_relevant_checks_view_relations(self, view_w):
         probe = Probe(view_w)

@@ -18,26 +18,26 @@ def notify(update, serial=1):
 class TestRecomputeView:
     def test_period_one_recomputes_every_update(self, view_w):
         algo = RecomputeView(view_w, period=1)
-        assert len(algo.on_update(notify(insert("r1", (1, 2))))) == 1
-        assert len(algo.on_update(notify(insert("r1", (2, 2))))) == 1
+        assert len(algo.handle_update(notify(insert("r1", (1, 2))))) == 1
+        assert len(algo.handle_update(notify(insert("r1", (2, 2))))) == 1
 
     def test_period_counts_relevant_updates_only(self, view_w):
         algo = RecomputeView(view_w, period=2)
-        assert algo.on_update(notify(insert("zzz", (1,)))) == []
-        assert algo.on_update(notify(insert("r1", (1, 2)))) == []
-        assert len(algo.on_update(notify(insert("r1", (2, 2))))) == 1
+        assert algo.handle_update(notify(insert("zzz", (1,)))) == []
+        assert algo.handle_update(notify(insert("r1", (1, 2)))) == []
+        assert len(algo.handle_update(notify(insert("r1", (2, 2))))) == 1
 
     def test_query_is_full_view(self, view_w):
         algo = RecomputeView(view_w, period=1)
-        request = algo.on_update(notify(insert("r1", (1, 2))))[0]
+        request = algo.handle_update(notify(insert("r1", (1, 2))))[0]
         assert request.query == view_w.as_query()
         term = request.query.terms[0]
         assert term.free_relations() == ("r1", "r2")
 
     def test_answer_replaces_view(self, view_w):
         algo = RecomputeView(view_w, SignedBag.from_rows([(9,)]), period=1)
-        request = algo.on_update(notify(insert("r1", (1, 2))))[0]
-        algo.on_answer(QueryAnswer(request.query_id, SignedBag.from_rows([(1,)])))
+        request = algo.handle_update(notify(insert("r1", (1, 2))))[0]
+        algo.handle_answer(QueryAnswer(request.query_id, SignedBag.from_rows([(1,)])))
         assert algo.view_state() == SignedBag.from_rows([(1,)])
 
     def test_invalid_period_rejected(self, view_w):
@@ -46,22 +46,22 @@ class TestRecomputeView:
 
     def test_counter_resets_after_recompute(self, view_w):
         algo = RecomputeView(view_w, period=2)
-        algo.on_update(notify(insert("r1", (1, 2))))
-        algo.on_update(notify(insert("r1", (2, 2))))
-        assert algo.on_update(notify(insert("r1", (3, 2)))) == []
-        assert len(algo.on_update(notify(insert("r1", (4, 2))))) == 1
+        algo.handle_update(notify(insert("r1", (1, 2))))
+        algo.handle_update(notify(insert("r1", (2, 2))))
+        assert algo.handle_update(notify(insert("r1", (3, 2)))) == []
+        assert len(algo.handle_update(notify(insert("r1", (4, 2))))) == 1
 
 
 class TestStoredCopies:
     def test_no_queries_ever(self, view_w):
         algo = StoredCopies(view_w)
-        assert algo.on_update(notify(insert("r1", (1, 2)))) == []
+        assert algo.handle_update(notify(insert("r1", (1, 2)))) == []
         assert algo.is_quiescent()
 
     def test_insert_updates_view_locally(self, view_w):
         algo = StoredCopies(view_w)
-        algo.on_update(notify(insert("r1", (1, 2)), 1))
-        algo.on_update(notify(insert("r2", (2, 3)), 2))
+        algo.handle_update(notify(insert("r1", (1, 2)), 1))
+        algo.handle_update(notify(insert("r2", (2, 3)), 2))
         assert algo.view_state() == SignedBag.from_rows([(1,)])
 
     def test_delete_updates_view_locally(self, view_w):
@@ -70,14 +70,14 @@ class TestStoredCopies:
             "r2": SignedBag.from_rows([(2, 3)]),
         }
         algo = StoredCopies(view_w, SignedBag.from_rows([(1,)]), copies)
-        algo.on_update(notify(delete("r2", (2, 3))))
+        algo.handle_update(notify(delete("r2", (2, 3))))
         assert algo.view_state().is_empty()
         assert algo.copies["r2"].is_empty()
 
     def test_delete_of_missing_copy_tuple_raises(self, view_w):
         algo = StoredCopies(view_w)
         with pytest.raises(UpdateError):
-            algo.on_update(notify(delete("r1", (9, 9))))
+            algo.handle_update(notify(delete("r1", (9, 9))))
 
     def test_storage_cost(self, view_w):
         copies = {
@@ -89,7 +89,7 @@ class TestStoredCopies:
 
     def test_irrelevant_update_ignored(self, view_w):
         algo = StoredCopies(view_w)
-        assert algo.on_update(notify(insert("zzz", (1,)))) == []
+        assert algo.handle_update(notify(insert("zzz", (1,)))) == []
 
     def test_irrelevant_initial_copies_dropped(self, view_w):
         algo = StoredCopies(
@@ -107,9 +107,13 @@ class TestRegistry:
             "eca",
             "eca-key",
             "eca-local",
+            "fragmenting-incremental",
             "lca",
+            "multi-stored-copies",
             "recompute",
             "stored-copies",
+            "strobe",
+            "sweep",
         ]
 
     def test_create_by_name(self, view_w):

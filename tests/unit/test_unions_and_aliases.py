@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ExpressionError, SchemaError
+from repro.errors import SchemaError
 from repro.relational.bag import SignedBag
 from repro.relational.conditions import Attr, Comparison
 from repro.relational.engine import evaluate_query

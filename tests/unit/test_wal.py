@@ -201,7 +201,7 @@ class TestRecoverFromWal:
             RECV,
             {"channel": "source->wh", "origin": "source", "message": encode_value(notification)},
         )
-        algorithm.on_update(notification)
+        algorithm.handle_update(notification)
         wal.close()
 
         result = recover(str(tmp_path))

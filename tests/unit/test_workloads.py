@@ -1,7 +1,5 @@
 """Unit tests for workload generators and the canned paper scenarios."""
 
-import math
-
 import pytest
 
 from repro.costmodel.parameters import PaperParameters
