@@ -1,0 +1,53 @@
+"""Static invariant checking for the repro codebase.
+
+PR 4 collapsed every maintenance algorithm onto one routed protocol and
+one execution kernel; what keeps that kernel correct is now a handful of
+*conventions* — routed ``(destination, QueryRequest)`` returns, seeded
+RNGs only, ``obs is not None`` guards, no blocking calls inside actor
+coroutines, all I/O through :mod:`repro.kernel.dispatch`.  The paper's
+central observation is that decoupled components violate invariants
+silently (Section 2, Examples 2-3); this package is the machine-checked
+version of our conventions, so refactors cannot silently re-introduce
+anomaly-shaped bugs.
+
+Entry points
+------------
+- ``python -m repro.analysis <paths> [--format text|json]`` for CI;
+- ``python -m repro lint <paths>`` as the CLI frontend;
+- :func:`run_analysis` / :func:`lint_paths` programmatically.
+
+Rules are registered in :mod:`repro.analysis.rules`; each carries a
+stable ``RPR###`` id.  A finding on a specific line can be suppressed
+with a ``# repro: ignore[RPR###]`` pragma on that line (see
+:mod:`repro.analysis.pragmas`) — documented in ``docs/ANALYSIS.md``.
+"""
+
+from repro.analysis.engine import (
+    FileContext,
+    Rule,
+    all_rules,
+    iter_python_files,
+    lint_paths,
+    register,
+    run_analysis,
+)
+from repro.analysis.findings import ERROR, WARNING, Finding
+from repro.analysis.report import render_json, render_text
+
+# Importing the rule modules registers every built-in rule.
+from repro.analysis import rules as _rules  # noqa: F401
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "iter_python_files",
+    "lint_paths",
+    "register",
+    "render_json",
+    "render_text",
+    "run_analysis",
+]

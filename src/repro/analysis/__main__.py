@@ -1,0 +1,62 @@
+"""``python -m repro.analysis`` — the CI entry point for the linter.
+
+Usage::
+
+    python -m repro.analysis src tests benchmarks --format json
+    python -m repro.analysis src/repro/runtime/actors.py
+    python -m repro.analysis --list-rules
+
+Exit status: 0 when no error-severity finding survives pragma
+suppression, 1 otherwise.  ``repro lint`` is the same engine behind the
+main CLI (see ``docs/ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import all_rules, lint_paths, render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant checker for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            kind = "project" if rule.project_rule else "file"
+            print(f"{rule.rule_id}  [{kind:>7}]  {rule.title}")
+        return 0
+    reporter = render_json if args.format == "json" else render_text
+    report, status = lint_paths(args.paths or ["src"], reporter)
+    print(report)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,249 @@
+"""The analysis driver: collect files, parse once, run every rule.
+
+Two rule shapes exist:
+
+- **file rules** implement :meth:`Rule.check` and run once per analyzed
+  file, over its parsed AST (:class:`FileContext`);
+- **project rules** implement :meth:`Rule.check_project` and run once
+  per invocation, over the whole file set — used by import-and-inspect
+  rules like RPR006 that reason about the live registry rather than one
+  file's syntax.
+
+Scoping: each rule declares :meth:`Rule.applies_to` over the file's
+normalized (posix, repo-relative) path.  Files under a ``fixtures/``
+directory are special-cased twice: directory walks skip them (so linting
+``tests`` does not flag the deliberately-broken rule fixtures), and when
+named explicitly every rule applies to them regardless of its scope (so
+one fixture file per rule can prove the rule fires).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path, PurePosixPath
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import ERROR, Finding
+from repro.analysis.pragmas import collect_pragmas, suppressed
+
+#: Rule id reserved for files the driver cannot parse.
+PARSE_ERROR = "RPR000"
+
+#: Directory names never descended into while walking.
+SKIPPED_DIRS = frozenset({"__pycache__", ".git", "fixtures", ".egg-info"})
+
+
+class FileContext:
+    """One analyzed file: source, AST, pragmas, and finding helpers."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.pragmas = collect_pragmas(source)
+        #: Path split into posix parts, for scope predicates.
+        self.parts: Tuple[str, ...] = PurePosixPath(path).parts
+
+    @classmethod
+    def load(cls, path: Path, display: str) -> "FileContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=display)
+        return cls(display, source, tree)
+
+    def finding(
+        self,
+        node: ast.AST,
+        rule_id: str,
+        message: str,
+        severity: str = ERROR,
+    ) -> Finding:
+        """Build a finding anchored at ``node``'s location."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            message=message,
+            severity=severity,
+        )
+
+
+class Rule:
+    """Base class for every registered rule.
+
+    Subclasses set :attr:`rule_id` (stable ``RPR###`` identifier),
+    :attr:`title` (one-line summary for ``--list-rules``), and override
+    either :meth:`check` (file rule) or :meth:`check_project` (project
+    rule).
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    severity: str = ERROR
+    #: Project rules run once per invocation instead of once per file.
+    project_rule: bool = False
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this (file) rule runs over ``path``."""
+        return True
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file (file rules override this)."""
+        return iter(())
+
+    def check_project(self, contexts: Sequence[FileContext]) -> Iterator[Finding]:
+        """Yield findings for the whole run (project rules override)."""
+        return iter(())
+
+
+#: rule id -> rule instance, in registration order.
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    rule = cls()
+    if not rule.rule_id:
+        raise ValueError(f"{cls.__name__} must set rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by rule id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+# --------------------------------------------------------------------- #
+# Path handling
+# --------------------------------------------------------------------- #
+
+
+def repro_module(path: str) -> Optional[Tuple[str, ...]]:
+    """Dotted-module parts for a file inside the ``repro`` package.
+
+    ``src/repro/runtime/actors.py`` -> ``("repro", "runtime", "actors")``;
+    ``None`` for paths outside any ``repro`` package directory.
+    """
+    parts = PurePosixPath(path).parts
+    if "repro" not in parts:
+        return None
+    index = parts.index("repro")
+    module = list(parts[index:])
+    leaf = module[-1]
+    if leaf.endswith(".py"):
+        module[-1] = leaf[: -len(".py")]
+    if module[-1] == "__init__":
+        module.pop()
+    return tuple(module)
+
+
+def is_fixture(path: str) -> bool:
+    """Whether ``path`` sits under a ``fixtures/`` directory."""
+    return "fixtures" in PurePosixPath(path).parts
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Tuple[Path, str]]:
+    """``(filesystem path, display path)`` for every ``.py`` under ``paths``.
+
+    Directories are walked recursively, skipping :data:`SKIPPED_DIRS`;
+    explicitly named files are always yielded, fixtures included.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            yield path, raw.replace("\\", "/")
+            continue
+        for found in sorted(path.rglob("*.py")):
+            relative = found.relative_to(path)
+            if any(
+                part in SKIPPED_DIRS or part.endswith(".egg-info")
+                for part in relative.parts[:-1]
+            ):
+                continue
+            display = (PurePosixPath(raw) / PurePosixPath(*relative.parts)).as_posix()
+            yield found, display
+
+
+# --------------------------------------------------------------------- #
+# Running
+# --------------------------------------------------------------------- #
+
+
+def run_analysis(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[FrozenSet[str]] = None,
+) -> List[Finding]:
+    """Analyze every Python file under ``paths`` with every rule.
+
+    ``rules`` overrides the registry (used by the self-tests);
+    ``select`` keeps only the named rule ids.  Findings come back sorted
+    and pragma-suppressed.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    if select is not None:
+        active = [rule for rule in active if rule.rule_id in select]
+    file_rules = [rule for rule in active if not rule.project_rule]
+    project_rules = [rule for rule in active if rule.project_rule]
+
+    findings: List[Finding] = []
+    contexts: List[FileContext] = []
+    for path, display in iter_python_files(paths):
+        try:
+            context = FileContext.load(path, display)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule_id=PARSE_ERROR,
+                    message=f"cannot parse file: {exc.msg}",
+                )
+            )
+            continue
+        contexts.append(context)
+        fixture = is_fixture(display)
+        for rule in file_rules:
+            if not fixture and not rule.applies_to(display):
+                continue
+            findings.extend(rule.check(context))
+    for rule in project_rules:
+        findings.extend(rule.check_project(contexts))
+
+    kept = [
+        finding
+        for finding in findings
+        for context in [_context_for(contexts, finding.path)]
+        if context is None
+        or not suppressed(context.pragmas, finding.line, finding.rule_id)
+    ]
+    return sorted(kept)
+
+
+def _context_for(
+    contexts: Sequence[FileContext], path: str
+) -> Optional[FileContext]:
+    for context in contexts:
+        if context.path == path:
+            return context
+    return None
+
+
+def lint_paths(
+    paths: Sequence[str],
+    reporter: Callable[[Sequence[Finding]], str],
+) -> Tuple[str, int]:
+    """Run the full analysis and render it: ``(report text, exit code)``.
+
+    Exit code 1 when any error-severity finding survives suppression,
+    0 otherwise — warnings never fail the build.
+    """
+    findings = run_analysis(paths)
+    text = reporter(findings)
+    failed = any(finding.severity == ERROR for finding in findings)
+    return text, 1 if failed else 0

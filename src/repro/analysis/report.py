@@ -1,0 +1,37 @@
+"""Reporters: render a finding list for humans (text) or CI (JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Sequence
+
+from repro.analysis.findings import ERROR, Finding
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One line per finding plus a summary line (empty-input friendly)."""
+    lines = [finding.render() for finding in findings]
+    errors = sum(1 for finding in findings if finding.severity == ERROR)
+    warnings = len(findings) - errors
+    if findings:
+        lines.append(f"{errors} error(s), {warnings} warning(s)")
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """A JSON document: per-finding records plus rule/severity totals."""
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    payload = {
+        "findings": [finding.as_dict() for finding in findings],
+        "summary": {
+            "total": len(findings),
+            "errors": sum(1 for f in findings if f.severity == ERROR),
+            "warnings": sum(1 for f in findings if f.severity != ERROR),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,22 @@
+"""Built-in rules; importing this package registers all of them.
+
+===========  ==========================================================
+RPR001       routed-protocol: ``on_*`` overrides return routed pairs
+RPR002       determinism: no wall-clock / unseeded randomness in repro
+RPR003       async-safety: no blocking calls inside actor coroutines
+RPR004       dispatch-bypass: algorithms never touch channels directly
+RPR005       obs-guard: observability hooks dominated by None checks
+RPR006       registry-completeness: every algorithm honors codec v2
+===========  ==========================================================
+
+Rationale and per-rule examples live in ``docs/ANALYSIS.md``.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (import = register)
+    async_safety,
+    determinism,
+    dispatch_bypass,
+    obs_guard,
+    registry_complete,
+    routed,
+)

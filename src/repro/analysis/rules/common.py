@@ -1,0 +1,56 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.engine import repro_module
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, None for anything else."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        if base is not None:
+            return f"{base}.{node.attr}"
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The dotted callee of a call, e.g. ``time.sleep`` or ``open``."""
+    return dotted_name(node.func)
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def iter_functions(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, "ast.FunctionDef | ast.AsyncFunctionDef"]]:
+    """Every (parent, function) pair in the tree, classes included."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield parent, child
+
+
+def in_repro_package(path: str) -> bool:
+    """Whether the file is part of the installed ``repro`` package."""
+    return repro_module(path) is not None
+
+
+def module_of(path: str) -> Tuple[str, ...]:
+    """The dotted-module parts, or an empty tuple outside the package."""
+    return repro_module(path) or ()
+
+
+def is_cli_module(path: str) -> bool:
+    """The CLI surface: ``repro/cli.py`` and any ``__main__.py``."""
+    module = module_of(path)
+    return bool(module) and module[-1] in ("cli", "__main__")

@@ -1,0 +1,115 @@
+"""RPR002 — determinism: no wall clock, no unseeded randomness.
+
+The whole reproduction rests on runs being replayable: virtual-time
+transports, ``conformance.replay_concurrent``, and WAL recovery all
+assume that the same seeds and inputs reproduce the identical event
+sequence.  One ``time.time()`` in a scheduling decision or one
+module-level ``random.random()`` breaks all three at once — and does so
+silently, which is precisely the anomaly shape the paper warns about.
+
+Banned inside ``src/repro/`` (outside the CLI surface):
+
+- ``time.time`` / ``time.time_ns`` / ``time.monotonic`` /
+  ``time.monotonic_ns`` (``time.perf_counter`` stays legal: the harness
+  uses it for the wall-seconds *metric*, which never feeds scheduling);
+- ``datetime.now`` / ``datetime.utcnow`` / ``datetime.today`` /
+  ``date.today``;
+- the module-level ``random.*`` functions (shared, unseeded state) —
+  construct a seeded ``random.Random(seed)`` instead; ``SystemRandom``
+  and ``os.urandom`` are banned for the same reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Rule, register
+from repro.analysis.findings import Finding
+from repro.analysis.rules.common import (
+    call_name,
+    in_repro_package,
+    is_cli_module,
+    iter_calls,
+)
+
+_BANNED_CALLS = {
+    "time.time": "wall-clock time breaks virtual-time replay",
+    "time.time_ns": "wall-clock time breaks virtual-time replay",
+    "time.monotonic": "wall-clock time breaks virtual-time replay",
+    "time.monotonic_ns": "wall-clock time breaks virtual-time replay",
+    "os.urandom": "OS entropy is unseedable",
+    "random.SystemRandom": "OS entropy is unseedable",
+}
+
+_DATETIME_ATTRS = ("now", "utcnow", "today")
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "RPR002"
+    title = "no wall-clock or unseeded randomness inside src/repro"
+
+    def applies_to(self, path: str) -> bool:
+        return in_repro_package(path) and not is_cli_module(path)
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        yield from self._check_imports(context)
+        for call in iter_calls(context.tree):
+            name = call_name(call)
+            if name is None:
+                continue
+            reason = _BANNED_CALLS.get(name)
+            if reason is not None:
+                yield context.finding(
+                    call,
+                    self.rule_id,
+                    f"{name}() is nondeterministic ({reason}); virtual-time "
+                    f"runs, replay_concurrent, and WAL recovery all require "
+                    f"seeded determinism",
+                )
+                continue
+            parts = name.split(".")
+            if (
+                len(parts) >= 2
+                and parts[-1] in _DATETIME_ATTRS
+                and parts[-2] in ("datetime", "date")
+            ):
+                yield context.finding(
+                    call,
+                    self.rule_id,
+                    f"{name}() reads the wall clock; deterministic code "
+                    f"must take timestamps from the virtual clock or its "
+                    f"caller",
+                )
+            elif parts[0] == "random" and len(parts) == 2 and parts[1] != "Random":
+                yield context.finding(
+                    call,
+                    self.rule_id,
+                    f"module-level {name}() uses the shared unseeded RNG; "
+                    f"derive a private random.Random(seed) instead",
+                )
+
+    def _check_imports(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            if node.module == "random":
+                for alias in node.names:
+                    if alias.name != "Random":
+                        yield context.finding(
+                            node,
+                            self.rule_id,
+                            f"from random import {alias.name} pulls in the "
+                            f"shared unseeded RNG; import random.Random and "
+                            f"seed it",
+                        )
+            elif node.module == "os":
+                for alias in node.names:
+                    if alias.name == "urandom":
+                        yield context.finding(
+                            node,
+                            self.rule_id,
+                            "from os import urandom is unseedable OS "
+                            "entropy; derive randomness from the run seed",
+                        )

@@ -1,0 +1,65 @@
+"""RPR004 — dispatch-bypass: algorithms never touch channels directly.
+
+PR 4's contract is that :func:`repro.kernel.dispatch.dispatch_event` is
+the *one* place messages meet algorithms, and the kernels own all
+channel I/O.  An algorithm that constructs a ``FifoChannel`` or calls
+``.send()`` / ``.receive()`` itself bypasses the per-source FIFO
+bookkeeping, the WAL's logged-before-dispatched ordering, and the trace
+records every checker consumes — the resulting run *looks* fine and
+replays differently, the exact silent-divergence failure mode the
+conformance suite exists to rule out.
+
+Scope: the algorithm-implementation layers ``repro.core``,
+``repro.multisource``, and ``repro.warehouse``.  (The kernels, the
+transports, and the messaging package itself are the channel owners and
+stay out of scope.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Rule, register
+from repro.analysis.findings import Finding
+from repro.analysis.rules.common import call_name, iter_calls, module_of
+
+#: Packages holding algorithm implementations (no channel I/O allowed).
+_ALGORITHM_PACKAGES = ("core", "multisource", "warehouse")
+
+_CHANNEL_METHODS = ("send", "receive", "recv", "receive_nowait")
+
+
+@register
+class DispatchBypassRule(Rule):
+    rule_id = "RPR004"
+    title = "algorithm modules route all I/O through repro.kernel.dispatch"
+
+    def applies_to(self, path: str) -> bool:
+        module = module_of(path)
+        return len(module) >= 2 and module[1] in _ALGORITHM_PACKAGES
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for call in iter_calls(context.tree):
+            name = call_name(call)
+            if name is None:
+                continue
+            leaf = name.split(".")[-1]
+            if leaf == "FifoChannel":
+                yield context.finding(
+                    call,
+                    self.rule_id,
+                    "algorithm code must not construct channels; the "
+                    "execution kernels own all FifoChannel pairs",
+                )
+            elif (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in _CHANNEL_METHODS
+            ):
+                yield context.finding(
+                    call,
+                    self.rule_id,
+                    f".{call.func.attr}() is channel I/O; algorithms return "
+                    f"routed (destination, request) pairs and let "
+                    f"repro.kernel.dispatch ship them",
+                )

@@ -513,6 +513,15 @@ def cmd_crossovers(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import lint_paths, render_json, render_text
+
+    reporter = render_json if args.format == "json" else render_text
+    report, status = lint_paths(args.paths, reporter)
+    print(report)
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -656,6 +665,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="filter by span kind (repeatable: update, wh_event, query, ...)",
     )
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "lint", help="AST-based invariant checker (see docs/ANALYSIS.md)"
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("crossovers", help="headline crossover points")
     _add_param_arguments(p)

@@ -40,7 +40,7 @@ call :meth:`BatchECA.flush`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.compensation import batch_delta_query, staged_compensation
 from repro.core.protocol import WarehouseAlgorithm
@@ -170,7 +170,7 @@ class BatchECA(WarehouseAlgorithm):
     def is_quiescent(self) -> bool:
         return not self.uqs and not self._buffer and self.collect.is_empty()
 
-    def gauges(self):
+    def gauges(self) -> Dict[str, int]:
         out = super().gauges()
         out["collect_tuples"] = self.collect.total_count()
         out["buffered_updates"] = len(self._buffer)
@@ -180,7 +180,7 @@ class BatchECA(WarehouseAlgorithm):
     # Durability hooks
     # ------------------------------------------------------------------ #
 
-    def pending_state(self):
+    def pending_state(self) -> Dict[str, Any]:
         state = super().pending_state()
         state["collect"] = self.collect.copy()
         state["buffer"] = list(self._buffer)
@@ -188,14 +188,14 @@ class BatchECA(WarehouseAlgorithm):
         state["seen"] = dict(self._seen)
         return state
 
-    def restore_pending_state(self, state) -> None:
+    def restore_pending_state(self, state: Dict[str, Any]) -> None:
         super().restore_pending_state(state)
         self.collect = state["collect"].copy()
         self._buffer = list(state["buffer"])
         self._sent = dict(state["sent"])
         self._seen = dict(state["seen"])
 
-    def durable_config(self):
+    def durable_config(self) -> Dict[str, Any]:
         return {"batch_size": self.batch_size}
 
 
@@ -207,6 +207,6 @@ class DeferredECA(BatchECA):
     def __init__(self, view: View, initial: Optional[SignedBag] = None) -> None:
         super().__init__(view, initial, batch_size=None)
 
-    def durable_config(self):
+    def durable_config(self) -> Dict[str, Any]:
         # batch_size is pinned by the constructor, not a ctor parameter.
         return {}

@@ -21,7 +21,7 @@ into ``COLLECT``.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.protocol import WarehouseAlgorithm
 from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
@@ -119,7 +119,7 @@ class ECA(WarehouseAlgorithm):
     def is_quiescent(self) -> bool:
         return not self.uqs and self.collect.is_empty()
 
-    def gauges(self):
+    def gauges(self) -> Dict[str, int]:
         out = super().gauges()
         out["collect_tuples"] = self.collect.total_count()
         return out
@@ -128,14 +128,14 @@ class ECA(WarehouseAlgorithm):
     # Durability hooks
     # ------------------------------------------------------------------ #
 
-    def pending_state(self):
+    def pending_state(self) -> Dict[str, Any]:
         state = super().pending_state()
         state["collect"] = self.collect.copy()
         return state
 
-    def restore_pending_state(self, state) -> None:
+    def restore_pending_state(self, state: Dict[str, Any]) -> None:
         super().restore_pending_state(state)
         self.collect = state["collect"].copy()
 
-    def durable_config(self):
+    def durable_config(self) -> Dict[str, Any]:
         return {"buffer_answers": self.buffer_answers}

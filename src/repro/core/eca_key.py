@@ -33,7 +33,7 @@ unfiltered, query).  Randomized interleaving tests exercise this path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.protocol import WarehouseAlgorithm
 from repro.errors import SchemaError
@@ -142,7 +142,7 @@ class ECAKey(WarehouseAlgorithm):
     # Durability hooks
     # ------------------------------------------------------------------ #
 
-    def pending_state(self):
+    def pending_state(self) -> Dict[str, Any]:
         state = super().pending_state()
         state["collect"] = self.collect.copy()
         state["filters"] = {
@@ -150,7 +150,7 @@ class ECAKey(WarehouseAlgorithm):
         }
         return state
 
-    def restore_pending_state(self, state) -> None:
+    def restore_pending_state(self, state: Dict[str, Any]) -> None:
         super().restore_pending_state(state)
         self.collect = state["collect"].copy()
         self._filters = {
@@ -158,5 +158,5 @@ class ECAKey(WarehouseAlgorithm):
             for query_id, filters in state["filters"].items()
         }
 
-    def durable_config(self):
+    def durable_config(self) -> Dict[str, Any]:
         return {"inflight_filter": self.inflight_filter}

@@ -23,7 +23,7 @@ ECA_K's behaviour without requiring keys for *all* relations.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.eca import ECA
 from repro.errors import SchemaError
@@ -67,15 +67,15 @@ class ECALocal(ECA):
     # Durability hooks
     # ------------------------------------------------------------------ #
 
-    def pending_state(self):
+    def pending_state(self) -> Dict[str, Any]:
         state = super().pending_state()
         state["local_updates_handled"] = self.local_updates_handled
         return state
 
-    def restore_pending_state(self, state) -> None:
+    def restore_pending_state(self, state: Dict[str, Any]) -> None:
         super().restore_pending_state(state)
         self.local_updates_handled = state["local_updates_handled"]
 
-    def durable_config(self):
+    def durable_config(self) -> Dict[str, Any]:
         # buffer_answers is pinned by the constructor, not a ctor parameter.
         return {}

@@ -38,7 +38,7 @@ processing — Section 5.3's remark that it is "less efficient than ECA".
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.core.compensation import backdate
 from repro.core.protocol import WarehouseAlgorithm
@@ -131,7 +131,7 @@ class LCA(WarehouseAlgorithm):
     def is_quiescent(self) -> bool:
         return not self.uqs and self._current is None and not self._pending
 
-    def gauges(self):
+    def gauges(self) -> Dict[str, int]:
         out = super().gauges()
         out["queued_updates"] = len(self._pending) + (
             1 if self._current is not None else 0
@@ -142,7 +142,7 @@ class LCA(WarehouseAlgorithm):
     # Durability hooks
     # ------------------------------------------------------------------ #
 
-    def pending_state(self):
+    def pending_state(self) -> Dict[str, Any]:
         state = super().pending_state()
         state["queued"] = [(index, update) for index, update in self._pending]
         state["seen"] = list(self._seen)
@@ -152,7 +152,7 @@ class LCA(WarehouseAlgorithm):
         state["delta"] = self._delta.to_pairs()
         return state
 
-    def restore_pending_state(self, state) -> None:
+    def restore_pending_state(self, state: Dict[str, Any]) -> None:
         super().restore_pending_state(state)
         self._pending = deque(
             (index, update) for index, update in state["queued"]

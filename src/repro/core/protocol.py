@@ -22,7 +22,7 @@ inside the algorithm; kernels treat query ids as opaque.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, cast
 
 from repro.errors import ProtocolError
 from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
@@ -152,7 +152,7 @@ class WarehouseAlgorithm:
     # Durability hooks (used by repro.durability)
     # ------------------------------------------------------------------ #
 
-    def pending_state(self) -> Dict[str, object]:
+    def pending_state(self) -> Dict[str, Any]:
         """Everything beyond the view contents needed to resume this
         algorithm mid-protocol.
 
@@ -167,12 +167,12 @@ class WarehouseAlgorithm:
             "uqs": dict(self.uqs),
         }
 
-    def restore_pending_state(self, state: Dict[str, object]) -> None:
+    def restore_pending_state(self, state: Dict[str, Any]) -> None:
         """Inverse of :meth:`pending_state` on a freshly built instance."""
-        self._next_query_id = state["next_query_id"]
-        self.uqs = dict(state["uqs"])
+        self._next_query_id = cast(int, state["next_query_id"])
+        self.uqs = dict(cast(Dict[int, Query], state["uqs"]))
 
-    def durable_config(self) -> Dict[str, object]:
+    def durable_config(self) -> Dict[str, Any]:
         """Constructor options needed to rebuild this instance by name.
 
         Forwarded to :func:`repro.core.registry.create_algorithm` during

@@ -14,7 +14,7 @@ accordingly, matching the paper's analysis.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.protocol import WarehouseAlgorithm
 from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
@@ -66,14 +66,14 @@ class RecomputeView(WarehouseAlgorithm):
     # Durability hooks
     # ------------------------------------------------------------------ #
 
-    def pending_state(self):
+    def pending_state(self) -> Dict[str, Any]:
         state = super().pending_state()
         state["count"] = self._count
         return state
 
-    def restore_pending_state(self, state) -> None:
+    def restore_pending_state(self, state: Dict[str, Any]) -> None:
         super().restore_pending_state(state)
         self._count = state["count"]
 
-    def durable_config(self):
+    def durable_config(self) -> Dict[str, Any]:
         return {"period": self.period}

@@ -10,7 +10,7 @@ name via :func:`create_algorithm`.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional, cast
 
 from repro.core.basic import BasicAlgorithm
 from repro.core.batch import BatchECA, DeferredECA
@@ -52,7 +52,7 @@ def create_algorithm(
     name: str,
     view: View,
     initial: Optional[SignedBag] = None,
-    **options: object,
+    **options: Any,
 ) -> WarehouseAlgorithm:
     """Instantiate the named algorithm.
 
@@ -65,4 +65,4 @@ def create_algorithm(
         raise KeyError(
             f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
         ) from None
-    return cls(view, initial=initial, **options)
+    return cast(WarehouseAlgorithm, cls(view, initial=initial, **options))

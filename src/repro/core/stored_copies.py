@@ -12,7 +12,7 @@ base relations, kept current on every update.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.protocol import WarehouseAlgorithm
 from repro.errors import UpdateError
@@ -86,11 +86,11 @@ class StoredCopies(WarehouseAlgorithm):
     # Durability hooks
     # ------------------------------------------------------------------ #
 
-    def pending_state(self):
+    def pending_state(self) -> Dict[str, Any]:
         state = super().pending_state()
         state["copies"] = {name: bag.copy() for name, bag in self.copies.items()}
         return state
 
-    def restore_pending_state(self, state) -> None:
+    def restore_pending_state(self, state: Dict[str, Any]) -> None:
         super().restore_pending_state(state)
         self.copies = {name: bag.copy() for name, bag in state["copies"].items()}

@@ -22,7 +22,7 @@ guessing at their layout.
 from __future__ import annotations
 
 import json
-from typing import Callable, Dict, List
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, cast
 
 from repro.errors import CodecError
 from repro.messaging.messages import (
@@ -50,6 +50,10 @@ from repro.relational.tuples import SignedTuple
 from repro.relational.views import View
 from repro.source.updates import Update
 from repro.warehouse.state import MaterializedView
+
+if TYPE_CHECKING:
+    from repro.core.protocol import WarehouseAlgorithm
+    from repro.warehouse.catalog import WarehouseCatalog
 
 #: Bumped whenever the encoded layout changes incompatibly.  v2: the
 #: routed-protocol unification folded the ``algo.multi`` envelope into
@@ -232,13 +236,13 @@ def decode_value(data: object) -> object:
         raise CodecError(f"malformed {tag!r} payload: {exc}") from exc
 
 
-def _decode_pairs(pairs: List[object]) -> SignedBag:
+def _decode_pairs(pairs: List[Any]) -> SignedBag:
     return SignedBag.from_pairs(
         [(decode_value(row), count) for row, count in pairs]
     )
 
 
-_DECODERS: Dict[str, Callable[[Dict[str, object]], object]] = {
+_DECODERS: Dict[str, Callable[[Dict[str, Any]], object]] = {
     "tuple": lambda d: tuple(decode_value(v) for v in d["items"]),
     "dict": lambda d: {decode_value(k): decode_value(v) for k, v in d["items"]},
     "bag": lambda d: _decode_pairs(d["pairs"]),
@@ -328,7 +332,7 @@ def loads(text: str) -> object:
 # --------------------------------------------------------------------- #
 
 
-def encode_algorithm(algorithm: object) -> Dict[str, object]:
+def encode_algorithm(algorithm: WarehouseAlgorithm) -> Dict[str, object]:
     """Encode a live warehouse algorithm (any protocol family) to tagged
     JSON data: the view definition(s), the materialized contents, the
     constructor options, and the full pending protocol state.
@@ -339,13 +343,14 @@ def encode_algorithm(algorithm: object) -> Dict[str, object]:
     constructor options carried by ``durable_config()``.
     """
     if getattr(algorithm, "codec_tag", "algo") == "algo.catalog":
+        catalog = cast("WarehouseCatalog", algorithm)
         return {
             "$": "algo.catalog",
             "members": [
                 [name, encode_algorithm(member)]
-                for name, member in algorithm.algorithms.items()
+                for name, member in catalog.algorithms.items()
             ],
-            "pending": encode_value(algorithm.pending_state()),
+            "pending": encode_value(catalog.pending_state()),
         }
     return {
         "$": "algo",
@@ -357,7 +362,7 @@ def encode_algorithm(algorithm: object) -> Dict[str, object]:
     }
 
 
-def decode_algorithm(data: Dict[str, object]) -> object:
+def decode_algorithm(data: Dict[str, Any]) -> WarehouseAlgorithm:
     """Rebuild a live algorithm from :func:`encode_algorithm` output."""
     from repro.core.registry import create_algorithm
     from repro.warehouse.catalog import WarehouseCatalog
@@ -368,25 +373,29 @@ def decode_algorithm(data: Dict[str, object]) -> object:
             name: decode_algorithm(payload) for name, payload in data["members"]
         }
         catalog = WarehouseCatalog(members)
-        catalog.restore_pending_state(decode_value(data["pending"]))
+        catalog.restore_pending_state(
+            cast(Dict[str, Any], decode_value(data["pending"]))
+        )
         return catalog
     if tag == "algo":
-        config = decode_value(data["config"])
+        config = cast(Dict[str, Any], decode_value(data["config"]))
         try:
             algorithm = create_algorithm(
                 data["name"],
-                decode_value(data["view"]),
-                decode_value(data["mv"]),
+                cast(View, decode_value(data["view"])),
+                cast(SignedBag, decode_value(data["mv"])),
                 **config,
             )
         except KeyError as exc:
             raise CodecError(f"cannot rebuild algorithm: {exc}") from None
-        algorithm.restore_pending_state(decode_value(data["pending"]))
+        algorithm.restore_pending_state(
+            cast(Dict[str, Any], decode_value(data["pending"]))
+        )
         return algorithm
     raise CodecError(f"unknown algorithm payload tag {tag!r}")
 
 
-def dumps_algorithm(algorithm: object, validate: bool = True) -> str:
+def dumps_algorithm(algorithm: WarehouseAlgorithm, validate: bool = True) -> str:
     """Canonical string form of a live algorithm, round-trip validated.
 
     Validation here is structural *and* behavioral: the decoded twin must
@@ -403,7 +412,7 @@ def dumps_algorithm(algorithm: object, validate: bool = True) -> str:
     return text
 
 
-def loads_algorithm(text: str) -> object:
+def loads_algorithm(text: str) -> WarehouseAlgorithm:
     """Decode a string produced by :func:`dumps_algorithm`."""
     try:
         envelope = json.loads(text)

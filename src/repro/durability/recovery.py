@@ -24,13 +24,17 @@ answers whose id is no longer pending (see ``runtime/actors.py``).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, cast
 
 from repro.durability.codec import decode_algorithm, decode_value
-from repro.durability.wal import RECV, read_latest_snapshot, read_records
+from repro.durability.wal import RECV, _lsn_of, read_latest_snapshot, read_records
 from repro.errors import ProtocolError, RecoveryError
 from repro.kernel.dispatch import dispatch_event, event_kind
-from repro.messaging.messages import QueryRequest
+from repro.messaging.messages import Message, QueryRequest
+
+if TYPE_CHECKING:
+    from repro.core.protocol import WarehouseAlgorithm
+    from repro.obs.instrument import Observability
 
 
 class RecoveryResult:
@@ -47,7 +51,7 @@ class RecoveryResult:
 
     def __init__(
         self,
-        algorithm: object,
+        algorithm: WarehouseAlgorithm,
         snapshot_lsn: int,
         last_lsn: int,
         replayed: int,
@@ -69,7 +73,9 @@ class RecoveryResult:
         )
 
 
-def _replay_one(algorithm: object, origin: Optional[str], message: object) -> None:
+def _replay_one(
+    algorithm: WarehouseAlgorithm, origin: Optional[str], message: Message
+) -> None:
     """Feed one logged message through the algorithm, discarding requests.
 
     Replay goes through the same :func:`dispatch_event` the live kernels
@@ -84,7 +90,9 @@ def _replay_one(algorithm: object, origin: Optional[str], message: object) -> No
     dispatch_event(algorithm, origin, message)
 
 
-def recover(directory: str, obs: Optional[object] = None) -> RecoveryResult:
+def recover(
+    directory: str, obs: Optional[Observability] = None
+) -> RecoveryResult:
     """Rebuild the warehouse algorithm persisted in ``directory``.
 
     ``obs`` (an :class:`repro.obs.instrument.Observability`) records the
@@ -98,13 +106,13 @@ def recover(directory: str, obs: Optional[object] = None) -> RecoveryResult:
     replayed = 0
     last_lsn = snapshot_lsn
     for record in records:
-        last_lsn = max(last_lsn, record["lsn"])
-        if record["lsn"] <= snapshot_lsn or record["type"] != RECV:
+        last_lsn = max(last_lsn, _lsn_of(record))
+        if _lsn_of(record) <= snapshot_lsn or record["type"] != RECV:
             continue
-        data = record["data"]
+        data = cast(Dict[str, Any], record["data"])
         try:
-            origin = data["origin"]
-            message = decode_value(data["message"])
+            origin = cast(Optional[str], data["origin"])
+            message = cast(Message, decode_value(data["message"]))
         except (TypeError, KeyError) as exc:
             raise RecoveryError(
                 f"malformed recv record at LSN {record['lsn']}: {exc}"

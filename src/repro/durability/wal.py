@@ -34,10 +34,14 @@ from __future__ import annotations
 import json
 import os
 import zlib
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, cast
 
 from repro.durability.codec import canonical_json, encode_algorithm
 from repro.errors import RecoveryError, WalCorruption
+
+if TYPE_CHECKING:
+    from repro.core.protocol import WarehouseAlgorithm
+    from repro.obs.instrument import Observability
 
 WAL_FILENAME = "wal.jsonl"
 SNAPSHOT_PREFIX = "snapshot-"
@@ -72,6 +76,11 @@ def _unseal(text: str) -> Optional[Dict[str, object]]:
     if _crc(record) != crc:
         return None
     return record
+
+
+def _lsn_of(record: Dict[str, object]) -> int:
+    """The record's LSN (every sealed record carries an int ``lsn``)."""
+    return cast(int, record["lsn"])
 
 
 def _snapshot_name(lsn: int) -> str:
@@ -122,7 +131,7 @@ class WriteAheadLog:
         fsync: bool = False,
         snapshot_every: Optional[int] = None,
         keep_snapshots: int = 2,
-        obs: Optional[object] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if snapshot_every is not None and snapshot_every < 1:
             raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
@@ -142,7 +151,7 @@ class WriteAheadLog:
         if os.path.exists(self._path):
             records, torn = read_records(directory)
             if records:
-                self._lsn = records[-1]["lsn"]
+                self._lsn = _lsn_of(records[-1])
             if torn:
                 # Drop the torn tail now: appending after a partial line
                 # would weld the new record onto the damaged bytes.
@@ -178,7 +187,7 @@ class WriteAheadLog:
     # Snapshots + compaction
     # ------------------------------------------------------------------ #
 
-    def snapshot(self, algorithm: object) -> int:
+    def snapshot(self, algorithm: WarehouseAlgorithm) -> int:
         """Snapshot the algorithm as of the current LSN, then compact.
 
         The snapshot captures everything (view contents + pending state),
@@ -204,7 +213,7 @@ class WriteAheadLog:
             self.obs.wal_snapshot(lsn)
         return lsn
 
-    def maybe_snapshot(self, algorithm: object) -> Optional[int]:
+    def maybe_snapshot(self, algorithm: WarehouseAlgorithm) -> Optional[int]:
         """Snapshot when ``snapshot_every`` appends have accumulated."""
         if self.snapshot_every is None:
             return None
@@ -214,7 +223,7 @@ class WriteAheadLog:
 
     def _compact(self, snapshot_lsn: int) -> None:
         records, _ = read_records(self.directory)
-        live = [r for r in records if r["lsn"] > snapshot_lsn]
+        live = [r for r in records if _lsn_of(r) > snapshot_lsn]
         self._file.close()
         self._rewrite(live)
         self._file = open(self._path, "a", encoding="utf-8")
@@ -283,7 +292,7 @@ def read_records(directory: str) -> Tuple[List[Dict[str, object]], int]:
                     f"{path}:{line_number}: valid record after {torn} "
                     f"corrupt line(s) — log is damaged beyond a torn tail"
                 )
-            if records and record["lsn"] <= records[-1]["lsn"]:
+            if records and _lsn_of(record) <= _lsn_of(records[-1]):
                 raise WalCorruption(
                     f"{path}:{line_number}: LSN {record['lsn']} does not "
                     f"advance past {records[-1]['lsn']}"
@@ -311,5 +320,5 @@ def read_latest_snapshot(directory: str) -> Tuple[int, Dict[str, object]]:
             body = None
         if body is None or body.get("lsn") != lsn:
             continue
-        return lsn, body["algo"]
+        return lsn, cast(Dict[str, object], body["algo"])
     raise WalCorruption(f"every snapshot in {directory!r} failed validation")

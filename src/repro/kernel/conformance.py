@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Mapping, Sequence
 
+from repro.core.protocol import WarehouseAlgorithm
 from repro.errors import SimulationError
 from repro.kernel.sync import SyncKernel
 from repro.source.base import Source
@@ -31,7 +32,7 @@ __all__ = ["replay_concurrent"]
 def replay_concurrent(
     action_log: Sequence[str],
     sources: Mapping[str, Source],
-    algorithm: object,
+    algorithm: WarehouseAlgorithm,
     workloads: Mapping[str, Sequence[Update]],
 ) -> SyncKernel:
     """Replay a concurrent run's action log on the synchronous kernel.

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.core.protocol import WarehouseAlgorithm
 from repro.errors import ProtocolError
 from repro.messaging.messages import (
     Message,
@@ -26,6 +27,7 @@ from repro.messaging.messages import (
 )
 from repro.relational.expressions import Query
 from repro.simulation.trace import W_ANS, W_REF, W_UP
+from repro.source.base import Source
 
 #: What dispatch returns: the trace kind, the detail string, and the
 #: routed ``(destination, request)`` pairs the algorithm emitted.
@@ -43,8 +45,50 @@ def event_kind(message: Message) -> str:
     raise ProtocolError(f"warehouse received unknown message: {message!r}")
 
 
+def validate_routed(
+    algorithm: WarehouseAlgorithm,
+    method: str,
+    routed: List[Tuple[Optional[str], QueryRequest]],
+) -> List[Tuple[Optional[str], QueryRequest]]:
+    """Reject protocol violations before they reach a channel.
+
+    Every kernel unpacks routed results as ``(destination, request)``
+    pairs; an algorithm returning bare :class:`QueryRequest` objects
+    would otherwise surface as an opaque unpacking ``TypeError`` deep in
+    the kernel loop.  Failing here names the algorithm, the method, and
+    the offending value instead.
+    """
+    name = getattr(algorithm, "name", type(algorithm).__name__)
+    for item in routed:
+        if isinstance(item, QueryRequest):
+            raise ProtocolError(
+                f"algorithm {name!r}: {method} returned a bare QueryRequest "
+                f"(query_id={item.query_id}); the routed protocol requires "
+                f"(destination, request) pairs — use destination=None for "
+                f"owner routing"
+            )
+        if not (isinstance(item, tuple) and len(item) == 2):
+            raise ProtocolError(
+                f"algorithm {name!r}: {method} returned {item!r}; the "
+                f"routed protocol requires (destination, request) pairs"
+            )
+        destination, request = item
+        if destination is not None and not isinstance(destination, str):
+            raise ProtocolError(
+                f"algorithm {name!r}: {method} routed a request to "
+                f"{destination!r}; destinations are source names (str) or "
+                f"None for owner routing"
+            )
+        if not isinstance(request, QueryRequest):
+            raise ProtocolError(
+                f"algorithm {name!r}: {method} routed {request!r}; only "
+                f"QueryRequest messages may be sent to sources"
+            )
+    return routed
+
+
 def dispatch_event(
-    algorithm: object,
+    algorithm: WarehouseAlgorithm,
     origin: Optional[str],
     message: Message,
     qualified: bool = True,
@@ -58,18 +102,22 @@ def dispatch_event(
     keeps its historical unqualified strings.
     """
     kind = event_kind(message)
-    if kind == W_UP:
+    if isinstance(message, UpdateNotification):
         if origin is None:
             raise ProtocolError("update notification arrived on a client channel")
-        routed = list(algorithm.on_update(origin, message))
+        routed = validate_routed(
+            algorithm, "on_update", list(algorithm.on_update(origin, message))
+        )
         if qualified:
             detail = f"U{message.serial} from {origin}, {len(routed)} query(ies)"
         else:
             detail = f"U{message.serial} processed, {len(routed)} query(ies) sent"
-    elif kind == W_ANS:
+    elif isinstance(message, QueryAnswer):
         if origin is None:
             raise ProtocolError("query answer arrived on a client channel")
-        routed = list(algorithm.on_answer(origin, message))
+        routed = validate_routed(
+            algorithm, "on_answer", list(algorithm.on_answer(origin, message))
+        )
         if qualified:
             detail = (
                 f"A(Q{message.query_id}) from {origin}, "
@@ -80,11 +128,15 @@ def dispatch_event(
                 f"A for Q{message.query_id} applied, "
                 f"{len(routed)} follow-up query(ies)"
             )
-    else:
-        routed = list(algorithm.on_refresh())
+    elif isinstance(message, RefreshRequest):
+        routed = validate_routed(
+            algorithm, "on_refresh", list(algorithm.on_refresh())
+        )
         detail = (
             f"refresh #{message.serial} processed, {len(routed)} query(ies) sent"
         )
+    else:  # pragma: no cover - event_kind already rejected it
+        raise ProtocolError(f"warehouse received unknown message: {message!r}")
     return kind, detail, routed
 
 
@@ -132,7 +184,7 @@ def receive_query_request(name: str, message: Message) -> QueryRequest:
     return message
 
 
-def is_duplicate_answer(algorithm: object, message: Message) -> bool:
+def is_duplicate_answer(algorithm: WarehouseAlgorithm, message: Message) -> bool:
     """An answer whose query id is no longer pending (post-recovery race)."""
     return (
         isinstance(message, QueryAnswer)
@@ -140,7 +192,7 @@ def is_duplicate_answer(algorithm: object, message: Message) -> bool:
     )
 
 
-def relation_owners(sources: Mapping[str, object]) -> Dict[str, str]:
+def relation_owners(sources: Mapping[str, Source]) -> Dict[str, str]:
     """Map each relation to its owning source; reject shared relations."""
     from repro.errors import SimulationError
 

@@ -25,8 +25,18 @@ from __future__ import annotations
 
 import logging
 from collections import deque
-from typing import Deque, Dict, List, Mapping, Optional, Sequence
+from typing import (
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Union,
+)
 
+from repro.core.protocol import WarehouseAlgorithm
 from repro.errors import SimulationError
 from repro.kernel.dispatch import (
     dispatch_event,
@@ -41,6 +51,7 @@ from repro.messaging.messages import (
     UpdateNotification,
 )
 from repro.relational.bag import SignedBag
+from repro.relational.expressions import Query
 from repro.simulation.trace import C_REF, S_QU, S_UP, Trace
 from repro.source.base import Source
 from repro.source.updates import Update
@@ -67,6 +78,26 @@ class _RefreshMarker:
 
 #: The refresh sentinel (a singleton).
 REFRESH = _RefreshMarker()
+
+#: What a kernel workload may contain: source updates interleaved with
+#: client refresh markers.
+WorkloadItem = Union[Update, _RefreshMarker]
+
+
+class Schedule(Protocol):
+    """Structural interface of the simulation schedules driving :meth:`run`."""
+
+    def choose(self, available: Sequence[str]) -> str: ...
+
+
+class Recorder(Protocol):
+    """Structural interface of the cost recorders the kernel reports to."""
+
+    def record_request(self, request: QueryRequest) -> None: ...
+
+    def record_answer(self, answer: QueryAnswer) -> None: ...
+
+    def record_evaluation(self, query: Query, source: Source) -> None: ...
 
 
 class SyncKernel:
@@ -96,9 +127,9 @@ class SyncKernel:
     def __init__(
         self,
         sources: Mapping[str, Source],
-        algorithm: object,
-        workload: Sequence[Update],
-        recorder: Optional[object] = None,
+        algorithm: WarehouseAlgorithm,
+        workload: Sequence[WorkloadItem],
+        recorder: Optional[Recorder] = None,
         qualified: bool = True,
     ) -> None:
         self.sources = dict(sources)
@@ -109,7 +140,7 @@ class SyncKernel:
         self.algorithm = algorithm
         self.recorder = recorder
         self._qualified = qualified
-        self._updates: Deque[Update] = deque(workload)
+        self._updates: Deque[WorkloadItem] = deque(workload)
         self.owners = relation_owners(self.sources)
         algorithm.bind_owners(self.owners)
         #: The sole source's name in single-source runs (owner routing
@@ -204,7 +235,7 @@ class SyncKernel:
         if not self._updates:
             raise SimulationError("no workload updates remain")
         update = self._updates.popleft()
-        if update is REFRESH:
+        if isinstance(update, _RefreshMarker):
             self._refresh_serial += 1
             logger.debug("client refresh #%d requested", self._refresh_serial)
             if self._sole is not None:
@@ -290,7 +321,7 @@ class SyncKernel:
     # Run loop
     # ------------------------------------------------------------------ #
 
-    def run(self, schedule: object, max_steps: int = 1_000_000) -> Trace:
+    def run(self, schedule: Schedule, max_steps: int = 1_000_000) -> Trace:
         """Run to quiescence under ``schedule``; returns the trace."""
         steps = 0
         while True:

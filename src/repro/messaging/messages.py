@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from repro.relational.bag import SignedBag
 from repro.relational.expressions import Query
 from repro.source.updates import Update
@@ -18,11 +20,11 @@ class Message:
 
     __slots__ = ()
 
-    def _fields(self) -> tuple:
+    def _fields(self) -> Tuple[object, ...]:
         return tuple(getattr(self, name) for name in self.__slots__)
 
     def __eq__(self, other: object) -> bool:
-        if type(other) is not type(self):
+        if not isinstance(other, Message) or type(other) is not type(self):
             return NotImplemented
         return self._fields() == other._fields()
 

@@ -17,7 +17,7 @@ missing cross-source ordering is irrelevant — it stays complete.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.protocol import Routed, WarehouseAlgorithm
 from repro.errors import ProtocolError, UpdateError
@@ -125,10 +125,10 @@ class FragmentingIncremental(WarehouseAlgorithm):
     # Durability hooks
     # ------------------------------------------------------------------ #
 
-    def durable_config(self):
+    def durable_config(self) -> Dict[str, Any]:
         return {"owners": dict(self.owners)}
 
-    def pending_state(self):
+    def pending_state(self) -> Dict[str, Any]:
         # A _PendingTerm may be shared by several query ids (one per
         # fragment); persist each unique record once, in first-seen order,
         # and let routes point at records by index.
@@ -153,7 +153,7 @@ class FragmentingIncremental(WarehouseAlgorithm):
             "spanning_queries": self.spanning_queries,
         }
 
-    def restore_pending_state(self, state) -> None:
+    def restore_pending_state(self, state: Dict[str, Any]) -> None:
         self._next_query_id = state["next_query_id"]
         self.spanning_queries = state["spanning_queries"]
         records: List[_PendingTerm] = []
@@ -238,14 +238,14 @@ class MultiSourceStoredCopies(WarehouseAlgorithm):
     # Durability hooks
     # ------------------------------------------------------------------ #
 
-    def durable_config(self):
+    def durable_config(self) -> Dict[str, Any]:
         return {"owners": dict(self.owners)}
 
-    def pending_state(self):
+    def pending_state(self) -> Dict[str, Any]:
         state = super().pending_state()
         state["copies"] = {name: bag.copy() for name, bag in self.copies.items()}
         return state
 
-    def restore_pending_state(self, state) -> None:
+    def restore_pending_state(self, state: Dict[str, Any]) -> None:
         super().restore_pending_state({k: state[k] for k in ("next_query_id", "uqs")})
         self.copies = {name: bag.copy() for name, bag in state["copies"].items()}

@@ -38,7 +38,7 @@ transplant fails on roughly half of them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.protocol import Routed, WarehouseAlgorithm
 from repro.errors import ProtocolError, SchemaError
@@ -196,7 +196,7 @@ class StrobeStyle(WarehouseAlgorithm):
     def is_quiescent(self) -> bool:
         return not self._pending and not self._actions
 
-    def gauges(self):
+    def gauges(self) -> Dict[str, int]:
         """Strobe's in-flight state: open queries, pending inserts, AL size."""
         return {
             "uqs": len(self.pending_query_ids()),
@@ -208,10 +208,10 @@ class StrobeStyle(WarehouseAlgorithm):
     # Durability hooks
     # ------------------------------------------------------------------ #
 
-    def durable_config(self):
+    def durable_config(self) -> Dict[str, Any]:
         return {"owners": dict(self.owners)}
 
-    def pending_state(self):
+    def pending_state(self) -> Dict[str, Any]:
         # A FragmentPlan is fully derived from (term, owners), so only the
         # term persists; routes refer to pending records by list index.
         pending = [
@@ -233,7 +233,7 @@ class StrobeStyle(WarehouseAlgorithm):
             "route": route,
         }
 
-    def restore_pending_state(self, state) -> None:
+    def restore_pending_state(self, state: Dict[str, Any]) -> None:
         self._next_query_id = state["next_query_id"]
         self._actions = [tuple(action) for action in state["actions"]]
         self._pending = []

@@ -45,7 +45,7 @@ sweep's per-relation corrections assume a single occurrence.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.core.protocol import Routed, WarehouseAlgorithm
 from repro.errors import ProtocolError, SchemaError
@@ -304,10 +304,10 @@ class SweepStyle(WarehouseAlgorithm):
     # Durability hooks
     # ------------------------------------------------------------------ #
 
-    def durable_config(self):
+    def durable_config(self) -> Dict[str, Any]:
         return {"owners": dict(self.owners)}
 
-    def pending_state(self):
+    def pending_state(self) -> Dict[str, Any]:
         current = None
         if self._current is not None:
             sweep = self._current
@@ -324,7 +324,7 @@ class SweepStyle(WarehouseAlgorithm):
             "current": current,
         }
 
-    def restore_pending_state(self, state) -> None:
+    def restore_pending_state(self, state: Dict[str, Any]) -> None:
         self._next_query_id = state["next_query_id"]
         self._queue = deque(state["queue"])
         entry = state["current"]
@@ -356,7 +356,7 @@ class SweepStyle(WarehouseAlgorithm):
             return []
         return [sweep.in_flight[0]]
 
-    def gauges(self):
+    def gauges(self) -> Dict[str, int]:
         """Sweep's in-flight state: the open hop plus queued updates."""
         return {
             "uqs": len(self.pending_query_ids()),

@@ -29,7 +29,7 @@ view on its own timeline.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ProtocolError
 from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
@@ -171,7 +171,7 @@ class WarehouseCatalog:
     # Durability hooks
     # ------------------------------------------------------------------ #
 
-    def pending_state(self) -> Dict[str, object]:
+    def pending_state(self) -> Dict[str, Any]:
         """Catalog-level bookkeeping only; member algorithms persist
         their own state through the durability codec."""
         return {
@@ -179,7 +179,7 @@ class WarehouseCatalog:
             "routes": dict(self._routes),
         }
 
-    def restore_pending_state(self, state) -> None:
+    def restore_pending_state(self, state: Dict[str, Any]) -> None:
         self._next_query_id = state["next_query_id"]
         self._routes = {
             global_id: (view_name, local_id)

@@ -1,0 +1,68 @@
+"""Fixture: RPR001 routed-protocol violations (deliberately broken).
+
+Lives under a ``fixtures/`` directory, which the engine skips during
+directory walks — it is only analyzed when named explicitly by the
+self-tests, and then every rule applies regardless of its scope.
+"""
+
+
+class QueryRequest:
+    def __init__(self, query_id, query):
+        self.query_id = query_id
+        self.query = query
+
+
+class WarehouseAlgorithm:
+    def handle_update(self, notification):
+        return []
+
+
+class BareReturn(WarehouseAlgorithm):
+    """on_update returns bare requests instead of routed pairs."""
+
+    name = "bare-return"
+
+    def on_update(self, source, notification):
+        return [QueryRequest(1, None)]  # RPR001: bare request
+
+
+class BareAppend(WarehouseAlgorithm):
+    name = "bare-append"
+
+    def on_answer(self, source, answer):
+        requests = []
+        requests.append(self._make_request(None))  # RPR001: bare append
+        return requests
+
+
+class RoutedHook(WarehouseAlgorithm):
+    """handle_* hooks are unrouted; pairs belong in on_* methods."""
+
+    name = "routed-hook"
+
+    def handle_update(self, notification):
+        return [("source", QueryRequest(2, None))]  # RPR001: routed pair
+
+
+class ShadowedHook(WarehouseAlgorithm):
+    """Overrides on_update without delegating to its handle_update."""
+
+    name = "shadowed-hook"
+
+    def on_update(self, source, notification):
+        return []  # RPR001: handle_update below is silently dead
+
+    def handle_update(self, notification):
+        return [QueryRequest(3, None)]
+
+
+class WellBehaved(WarehouseAlgorithm):
+    """Correct on both counts — must produce no findings."""
+
+    name = "well-behaved"
+
+    def on_update(self, source, notification):
+        return [(None, request) for request in self.handle_update(notification)]
+
+    def handle_update(self, notification):
+        return [QueryRequest(4, None)]

@@ -1,0 +1,23 @@
+"""Fixture: RPR004 dispatch-bypass violations (deliberately broken)."""
+
+
+class FifoChannel:
+    def __init__(self, name):
+        self.name = name
+
+    def send(self, message):
+        pass
+
+
+class ChannelGrabber:
+    """Algorithm code that owns and drives a channel directly."""
+
+    def __init__(self):
+        self.channel = FifoChannel("rogue")  # RPR004: constructs a channel
+
+    def push(self, message):
+        self.channel.send(message)  # RPR004: direct channel I/O
+
+    def legal(self, notification):
+        # Returning routed pairs is the sanctioned way to emit messages.
+        return [(None, notification)]

@@ -1,0 +1,33 @@
+"""Fixture: RPR002 determinism violations (deliberately broken)."""
+
+import os
+import random
+import time
+from datetime import datetime
+
+
+def wall_clock_stamp():
+    return time.time()  # RPR002: wall clock
+
+
+def wall_clock_now():
+    return datetime.now()  # RPR002: wall clock
+
+
+def shared_rng():
+    return random.random()  # RPR002: unseeded module-level RNG
+
+
+def entropy():
+    return os.urandom(8)  # RPR002: OS entropy
+
+
+def legal_seeded(seed):
+    # Seeded private RNG and the wall-metric counter are both allowed.
+    rng = random.Random(seed)
+    started = time.perf_counter()
+    return rng.randint(0, 10), started
+
+
+def suppressed():
+    return time.time()  # repro: ignore[RPR002] -- fixture demonstrates pragmas

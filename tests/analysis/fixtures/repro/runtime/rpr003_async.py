@@ -1,0 +1,23 @@
+"""Fixture: RPR003 async-safety violations (deliberately broken)."""
+
+import asyncio
+import subprocess
+import time
+
+
+async def blocking_actor(path):
+    time.sleep(0.1)  # RPR003: blocks the event loop
+    data = open(path).read()  # RPR003: sync file I/O in a coroutine
+    subprocess.run(["true"])  # RPR003: process spawn in a coroutine
+    await asyncio.sleep(0)
+    return data
+
+
+async def well_behaved():
+    await asyncio.sleep(0)
+
+
+def sync_helper(path):
+    # Synchronous helpers may do blocking I/O; only coroutines may not.
+    with open(path) as handle:
+        return handle.read()

@@ -1,0 +1,30 @@
+"""Fixture: RPR005 obs-guard violations (deliberately broken)."""
+
+
+class Actor:
+    def __init__(self, obs=None):
+        self._obs = obs
+
+    def unguarded(self, serial):
+        self._obs.source_update(serial)  # RPR005: no dominating check
+
+    def unguarded_alias(self, serial):
+        obs = self._obs
+        obs.source_update(serial)  # RPR005: alias still unproven
+
+    def guarded(self, serial):
+        if self._obs is not None:
+            self._obs.source_update(serial)
+
+    def guarded_alias(self, serial):
+        obs = self._obs
+        if obs is not None:
+            obs.source_update(serial)
+
+    def early_exit(self, serial):
+        if self._obs is None:
+            return
+        self._obs.source_update(serial)
+
+    def short_circuit(self, serial):
+        return self._obs is not None and self._obs.enabled

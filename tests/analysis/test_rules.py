@@ -1,0 +1,152 @@
+"""Golden self-tests: each rule vs its deliberately broken fixture.
+
+The fixtures under ``tests/analysis/fixtures/`` are skipped by directory
+walks (so ``repro lint src tests benchmarks`` stays clean) but analyzed
+in full when named explicitly — which is what these tests do.  Each test
+pins the exact ``(line, rule_id)`` set a fixture must produce: a rule
+that stops firing *or* starts over-firing fails the golden comparison.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import run_analysis
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "repro")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+REGISTRY = os.path.join(REPO_ROOT, "src", "repro", "core", "registry.py")
+
+
+def findings_for(relpath):
+    return run_analysis([os.path.join(FIXTURES, relpath)])
+
+
+def golden(findings):
+    return sorted((f.line, f.rule_id) for f in findings)
+
+
+class TestRoutedProtocolRule:
+    def test_fixture_produces_exactly_the_expected_findings(self):
+        findings = findings_for("core/rpr001_routed.py")
+        assert golden(findings) == [
+            (26, "RPR001"),  # bare QueryRequest returned from on_update
+            (34, "RPR001"),  # bare request appended to a routed result
+            (44, "RPR001"),  # routed pair returned from handle_update
+            (55, "RPR001"),  # handle_update shadowed by a non-delegating on_update
+        ]
+
+    def test_messages_name_the_class_and_method(self):
+        findings = findings_for("core/rpr001_routed.py")
+        messages = {f.line: f.message for f in findings}
+        assert "BareReturn.on_update" in messages[26]
+        assert "RoutedHook.handle_update" in messages[44]
+        assert "shadowed" in messages[55]
+
+
+class TestDeterminismRule:
+    def test_fixture_produces_exactly_the_expected_findings(self):
+        findings = findings_for("runtime/rpr002_determinism.py")
+        assert golden(findings) == [
+            (10, "RPR002"),  # time.time()
+            (14, "RPR002"),  # datetime.now()
+            (18, "RPR002"),  # unseeded random.random()
+            (22, "RPR002"),  # os.urandom()
+        ]
+
+    def test_seeded_rng_and_perf_counter_are_allowed(self):
+        findings = findings_for("runtime/rpr002_determinism.py")
+        flagged = {f.line for f in findings}
+        assert not flagged & {28, 29, 30}  # the legal_seeded body
+
+    def test_pragma_suppresses_the_final_violation(self):
+        findings = findings_for("runtime/rpr002_determinism.py")
+        assert 34 not in {f.line for f in findings}
+
+
+class TestAsyncSafetyRule:
+    def test_fixture_produces_exactly_the_expected_findings(self):
+        findings = findings_for("runtime/rpr003_async.py")
+        assert golden(findings) == [
+            (9, "RPR003"),  # time.sleep in a coroutine
+            (10, "RPR003"),  # open().read() in a coroutine
+            (11, "RPR003"),  # subprocess.run in a coroutine
+        ]
+
+    def test_sync_helpers_may_block(self):
+        findings = findings_for("runtime/rpr003_async.py")
+        assert all(f.line <= 11 for f in findings)
+
+
+class TestDispatchBypassRule:
+    def test_fixture_produces_exactly_the_expected_findings(self):
+        findings = findings_for("core/rpr004_bypass.py")
+        assert golden(findings) == [
+            (16, "RPR004"),  # FifoChannel(...) construction
+            (19, "RPR004"),  # .send(...) channel I/O
+        ]
+
+
+class TestObsGuardRule:
+    def test_fixture_produces_exactly_the_expected_findings(self):
+        findings = findings_for("runtime/rpr005_obs.py")
+        assert golden(findings) == [
+            (9, "RPR005"),  # unguarded self._obs deref
+            (13, "RPR005"),  # unguarded alias deref
+        ]
+
+    def test_guarded_idioms_are_clean(self):
+        findings = findings_for("runtime/rpr005_obs.py")
+        assert all(f.line <= 13 for f in findings)
+
+
+class TestRegistryCompletenessRule:
+    """RPR006 inspects the live registry, so it is exercised directly."""
+
+    def test_live_registry_is_complete(self):
+        findings = [
+            f
+            for f in run_analysis([REGISTRY])
+            if f.rule_id == "RPR006"
+        ]
+        assert findings == []
+
+    def test_broken_entry_is_reported(self, monkeypatch):
+        import repro.core.registry as registry_module
+
+        class Broken:
+            name = "mismatched"
+            multi_source = "yes"
+
+            def pending_state(self, extra):
+                return {}
+
+        monkeypatch.setattr(
+            registry_module, "ALGORITHMS", {"broken": Broken}
+        )
+        findings = [
+            f
+            for f in run_analysis([REGISTRY])
+            if f.rule_id == "RPR006"
+        ]
+        messages = "\n".join(f.message for f in findings)
+        assert "whose .name is 'mismatched'" in messages
+        assert "multi_source must be a plain bool" in messages
+        assert "pending_state() takes 1 required argument" in messages
+        assert "missing the codec-v2 hook durable_config()" in messages
+        assert "missing restore_pending_state" in messages
+
+
+class TestSeverityAndOrdering:
+    def test_findings_are_sorted_and_error_severity(self):
+        findings = findings_for("runtime/rpr002_determinism.py")
+        assert findings == sorted(findings)
+        assert all(f.severity == "error" for f in findings)
+
+
+@pytest.mark.parametrize("tree", ["src", "tests", "benchmarks", "tools"])
+def test_repository_lints_clean(tree):
+    """The acceptance bar: the final tree carries zero violations."""
+    assert run_analysis([os.path.join(REPO_ROOT, tree)]) == []

@@ -17,8 +17,11 @@ import pytest
 from repro.consistency import check_trace
 from repro.core.registry import ALGORITHMS, create_algorithm
 from repro.core.stored_copies import StoredCopies
-from repro.errors import SimulationError
+from repro.errors import ProtocolError, SimulationError
 from repro.kernel import replay_concurrent
+from repro.kernel.dispatch import dispatch_event
+from repro.kernel.sync import SyncKernel
+from repro.messaging.messages import UpdateNotification
 from repro.multisource.consistency import cut_report
 from repro.relational.engine import evaluate_view
 from repro.relational.schema import RelationSchema
@@ -217,6 +220,64 @@ class TestMultiSourceConformance:
     @pytest.mark.parametrize("name", MULTI_SOURCE)
     def test_every_multi_family_is_registered(self, name):
         assert getattr(ALGORITHMS[name], "multi_source", False)
+
+
+class NonRoutedAlgorithm(ALGORITHMS["basic"]):
+    """Deliberate protocol violation: returns bare QueryRequests.
+
+    The pre-unification single-source protocol returned plain request
+    lists from ``on_update``; the routed protocol wraps each request in a
+    ``(destination, request)`` pair.  The kernel must reject the legacy
+    shape with an error naming the algorithm and the fix, not an
+    unpacking ``TypeError`` deep inside the channel loop.
+    """
+
+    name = "non-routed"
+
+    def on_update(self, source, notification):
+        return [
+            request
+            for _destination, request in super().on_update(source, notification)
+        ]
+
+
+class TestProtocolRejection:
+    def test_bare_query_requests_are_rejected_with_a_clear_error(self):
+        scenario = PAPER_EXAMPLES["example-2"]
+        source = MemorySource(scenario.schemas, scenario.initial)
+        algo = NonRoutedAlgorithm(
+            scenario.view, evaluate_view(scenario.view, source.snapshot())
+        )
+        kernel = SyncKernel({"source": source}, algo, scenario.updates)
+        kernel.step("update")
+        with pytest.raises(ProtocolError) as excinfo:
+            kernel.step("warehouse:source")
+        message = str(excinfo.value)
+        assert "non-routed" in message
+        assert "on_update" in message
+        assert "bare QueryRequest" in message
+        assert "(destination, request)" in message
+
+    def test_dispatch_event_rejects_non_pair_items(self):
+        scenario = PAPER_EXAMPLES["example-2"]
+        source = MemorySource(scenario.schemas, scenario.initial)
+
+        class WrongShape(ALGORITHMS["basic"]):
+            name = "wrong-shape"
+
+            def on_update(self, origin, notification):
+                return ["not a pair"]
+
+        algo = WrongShape(
+            scenario.view, evaluate_view(scenario.view, source.snapshot())
+        )
+        algo.bind_owners({schema.name: "source" for schema in scenario.schemas})
+        with pytest.raises(ProtocolError, match="routed protocol requires"):
+            dispatch_event(
+                algo,
+                "source",
+                UpdateNotification(scenario.updates[0], 1),
+            )
 
 
 class TestReplayRefusals:

@@ -11,7 +11,17 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
-from check_doc_links import anchors_of, check_file, check_tree, slugify  # noqa: E402
+from check_doc_links import (  # noqa: E402
+    ANALYSIS_CLI,
+    ANALYSIS_DOC,
+    anchors_of,
+    check_file,
+    check_lint_flags,
+    check_tree,
+    lint_cli_flags,
+    lint_flag_references,
+    slugify,
+)
 
 
 class TestSlugify:
@@ -63,6 +73,48 @@ class TestCheckFile:
         doc.write_text("[out](../../etc/passwd)\n")
         (broken,) = check_file(doc, tmp_path)
         assert broken.reason == "escapes the repository"
+
+
+class TestLintFlags:
+    """docs/ANALYSIS.md's `repro lint` flag references must resolve."""
+
+    def _tree(self, tmp_path, doc_text):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / Path(ANALYSIS_DOC).name).write_text(doc_text)
+        cli = tmp_path / ANALYSIS_CLI
+        cli.parent.mkdir(parents=True)
+        cli.write_text((REPO_ROOT / ANALYSIS_CLI).read_text(encoding="utf-8"))
+        return tmp_path
+
+    def test_parser_flags_read_without_import(self):
+        assert lint_cli_flags(REPO_ROOT) == {"--format", "--list-rules"}
+
+    def test_references_extracted_from_spans_and_fences(self):
+        refs = list(
+            lint_flag_references(
+                "Run `python -m repro.analysis --list-rules` or pass\n"
+                "`--format json`.\n"
+                "```bash\n"
+                "python -m repro.analysis src --format text\n"
+                "ruff check --fix src  # unrelated tool: not scanned\n"
+                "```\n"
+            )
+        )
+        assert refs == [(1, "--list-rules"), (2, "--format"), (4, "--format")]
+
+    def test_dangling_flag_is_reported(self, tmp_path):
+        root = self._tree(
+            tmp_path, "Pass `--frobnicate` to `repro lint` for extra frob.\n"
+        )
+        (broken,) = check_lint_flags(root)
+        assert broken.target == "--frobnicate"
+        assert "no such repro lint flag" in broken.reason
+
+    def test_real_analysis_doc_references_are_live_and_nonempty(self):
+        doc = (REPO_ROOT / ANALYSIS_DOC).read_text(encoding="utf-8")
+        refs = list(lint_flag_references(doc))
+        assert refs, "ANALYSIS.md documents no CLI flags — scan is vacuous"
+        assert check_lint_flags(REPO_ROOT) == []
 
 
 class TestRealRepository:

@@ -7,7 +7,12 @@ every markdown link, and verifies:
 - **relative paths** resolve to an existing file or directory (relative
   to the file containing the link);
 - **anchors** (``#fragment``, alone or after a path) match a heading in
-  the target document, using GitHub's heading-to-anchor slug rules.
+  the target document, using GitHub's heading-to-anchor slug rules;
+- **lint CLI flags**: every ``--flag`` that ``docs/ANALYSIS.md``
+  attributes to ``repro lint`` / ``python -m repro.analysis`` exists in
+  the linter's argument parser (``src/repro/analysis/__main__.py``,
+  read via ``ast`` — never imported), so the analysis docs cannot
+  drift from the CLI.
 
 External schemes (http/https/mailto) are skipped — CI must not depend
 on the network.  Fenced code blocks and inline code spans are ignored
@@ -23,15 +28,23 @@ link: ``file:line: target — reason``).
 
 from __future__ import annotations
 
+import ast
 import re
 import sys
 from pathlib import Path
-from typing import Iterator, List, NamedTuple, Optional
+from typing import Iterator, List, NamedTuple, Optional, Set, Tuple
 
 #: Files checked, relative to the repo root (globs allowed).
 DOC_GLOBS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/*.md")
 
+#: The document whose ``--flag`` references are validated, and the
+#: argparse module they must resolve against.
+ANALYSIS_DOC = "docs/ANALYSIS.md"
+ANALYSIS_CLI = "src/repro/analysis/__main__.py"
+
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FLAG = re.compile(r"(--[A-Za-z0-9][\w-]*)")
+_LINT_INVOCATION = re.compile(r"repro\.analysis|repro lint")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$")
 _FENCE = re.compile(r"^(```|~~~)")
 _CODE_SPAN = re.compile(r"`[^`]*`")
@@ -125,11 +138,91 @@ def check_file(path: Path, root: Path) -> List[Broken]:
     return broken
 
 
+def lint_cli_flags(root: Path) -> Set[str]:
+    """The ``--flags`` the lint CLI's argparse actually defines.
+
+    Read from the source with ``ast`` rather than imported: the checker
+    must work without ``src`` on ``sys.path`` and must not execute
+    library code.
+    """
+
+    flags: Set[str] = set()
+    tree = ast.parse((root / ANALYSIS_CLI).read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_argument"
+        ):
+            for arg in node.args:
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    if arg.value.startswith("--"):
+                        flags.add(arg.value)
+    return flags
+
+
+def lint_flag_references(text: str) -> Iterator[Tuple[int, str]]:
+    """``(lineno, flag)`` for every lint-CLI flag the document mentions.
+
+    Two reference shapes count:
+
+    - inside fenced code blocks, flags on lines that invoke the linter
+      (``python -m repro.analysis ...`` / ``repro lint ...``);
+    - inline code spans that either contain such an invocation or *are*
+      a flag (``` `--format json` ```, ``` `--list-rules` ```) — by
+      this document's convention a span starting with ``--`` refers to
+      the lint CLI.
+    """
+
+    fence: Optional[str] = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _FENCE.match(line.strip())
+        if match:
+            marker = match.group(1)
+            if fence is None:
+                fence = marker
+            elif marker == fence:
+                fence = None
+            continue
+        if fence is not None:
+            if _LINT_INVOCATION.search(line):
+                for flag in _FLAG.findall(line):
+                    yield lineno, flag
+            continue
+        for span in _CODE_SPAN.findall(line):
+            content = span.strip("`")
+            if _LINT_INVOCATION.search(content) or content.startswith("--"):
+                for flag in _FLAG.findall(content):
+                    yield lineno, flag
+
+
+def check_lint_flags(root: Path) -> List[Broken]:
+    """Dangling ``repro lint`` flag references in ``docs/ANALYSIS.md``."""
+
+    doc = root / ANALYSIS_DOC
+    if not doc.exists() or not (root / ANALYSIS_CLI).exists():
+        return []
+    known = lint_cli_flags(root)
+    broken: List[Broken] = []
+    for lineno, flag in lint_flag_references(doc.read_text(encoding="utf-8")):
+        if flag not in known:
+            broken.append(
+                Broken(
+                    doc,
+                    lineno,
+                    flag,
+                    f"no such repro lint flag (parser defines: {sorted(known)})",
+                )
+            )
+    return broken
+
+
 def check_tree(root: Path) -> List[Broken]:
     broken: List[Broken] = []
     for pattern in DOC_GLOBS:
         for path in sorted(root.glob(pattern)):
             broken.extend(check_file(path, root))
+    broken.extend(check_lint_flags(root))
     return broken
 
 
