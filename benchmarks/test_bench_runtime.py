@@ -175,3 +175,112 @@ def test_bench_throughput_vs_topology(benchmark):
     rows = benchmark(sweep)
     assert all(row["updates/s"] > 0 for row in rows)
     emit(render_table("Runtime throughput vs topology", rows))
+
+
+def test_bench_sharded_scaling(benchmark):
+    """Update throughput as the warehouse is partitioned over N shards.
+
+    The workload is deliberately catalog-heavy: 8 sources each own 32
+    keyed join views (256 members), and every update is a keyed delete
+    that ECA-Key handles locally with no compensating query.  Per-event
+    bookkeeping in a catalog snapshots every member view — O(views on
+    the shard) — and the unsharded warehouse pays it for all 256 views
+    on every event, while relation-level routing sends each event to
+    exactly one shard.  Sharding therefore divides the dominant cost;
+    what remains fixed is the keyed-delete scan, transport hops, and
+    event-loop overhead.
+
+    Measurement: CPU seconds (``time.process_time``), best of 3
+    interleaved cycles per shard count, with the collector paused during
+    the timed region — wall clock and GC placement are far noisier than
+    the effect under test.  Every shard count must converge to the same
+    merged view; 4 shards must at least double 1-shard throughput.
+    """
+    import gc
+    import time
+
+    from repro.core.registry import create_algorithm
+    from repro.sharding import ExplicitPartitioner
+    from repro.source.updates import delete
+
+    n_sources = 8
+    views_per_source = 32
+    n_rows = 24
+    cycles = 3
+    shard_counts = (1, 2, 4, 8)
+    names = [
+        "V%d_%d" % (s, j)
+        for s in range(n_sources)
+        for j in range(views_per_source)
+    ]
+
+    def build():
+        sources, algorithms, updates = {}, {}, []
+        for s in range(n_sources):
+            prefix = "s%d" % s
+            schemas, initial = [], {}
+            for j in range(views_per_source):
+                r1, r2 = "%sa%d" % (prefix, j), "%sb%d" % (prefix, j)
+                schemas += [
+                    RelationSchema(r1, ("W", "X"), key=("W",)),
+                    RelationSchema(r2, ("X", "Y"), key=("Y",)),
+                ]
+                initial[r1] = [(i, i + 1) for i in range(n_rows)]
+                initial[r2] = [(i + 1, i + 100) for i in range(n_rows)]
+            source = MemorySource(schemas, initial)
+            sources[prefix] = source
+            for j in range(views_per_source):
+                pair = [schemas[2 * j], schemas[2 * j + 1]]
+                view = View.natural_join("V%d_%d" % (s, j), pair, ["W", "Y"])
+                algorithms[view.name] = create_algorithm(
+                    "eca-key", view, evaluate_view(view, source.snapshot())
+                )
+                updates.append(delete("%sa%d" % (prefix, j), (0, 1)))
+        return sources, WarehouseCatalog(algorithms), updates
+
+    def sweep():
+        best = {shards: None for shards in shard_counts}
+        n_updates = 0
+        finals = []
+        # Interleave the shard counts within each cycle so slow drifts
+        # (CPU frequency, cache state) hit every configuration alike.
+        for _ in range(cycles):
+            for shards in shard_counts:
+                sources, catalog, updates = build()
+                placement = ExplicitPartitioner(
+                    {(name,): i % shards for i, name in enumerate(names)},
+                    shards=shards,
+                )
+                gc.collect()
+                gc.disable()
+                started = time.process_time()
+                result = run_concurrent(
+                    sources, catalog, updates, clients=0, seed=3,
+                    shards=shards, partitioner=placement, record_trace=False,
+                )
+                cpu = time.process_time() - started
+                gc.enable()
+                if best[shards] is None or cpu < best[shards]:
+                    best[shards] = cpu
+                n_updates = result.updates
+                finals.append(result.final_view)
+        assert all(final == finals[0] for final in finals[1:])
+        return [
+            {
+                "shards": shards,
+                "updates": n_updates,
+                "updates/cpu-s": round(n_updates / best[shards]),
+            }
+            for shards in shard_counts
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_shards = {row["shards"]: row["updates/cpu-s"] for row in rows}
+    assert by_shards[4] >= 2 * by_shards[1], (
+        "4-shard throughput %d < 2x 1-shard %d" % (by_shards[4], by_shards[1])
+    )
+    emit(
+        render_table(
+            "Sharded warehouse throughput (%d views)" % len(names), rows
+        )
+    )

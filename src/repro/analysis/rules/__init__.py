@@ -7,6 +7,7 @@ RPR003       async-safety: no blocking calls inside actor coroutines
 RPR004       dispatch-bypass: algorithms never touch channels directly
 RPR005       obs-guard: observability hooks dominated by None checks
 RPR006       registry-completeness: every algorithm honors codec v2
+RPR007       partitioner-purity: ``shard_of`` is pure in the key
 ===========  ==========================================================
 
 Rationale and per-rule examples live in ``docs/ANALYSIS.md``.
@@ -17,6 +18,7 @@ from repro.analysis.rules import (  # noqa: F401  (import = register)
     determinism,
     dispatch_bypass,
     obs_guard,
+    purity,
     registry_complete,
     routed,
 )

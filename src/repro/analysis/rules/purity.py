@@ -1,0 +1,140 @@
+"""RPR007 — partitioner purity: ``shard_of`` is a pure function of the key.
+
+Sharding correctness leans on one static property: a partitioner maps a
+view key to the same shard every time it is asked, in every process.
+The plan is computed once per run, but *recovery re-plans from the same
+catalog* and must land every view on the shard whose WAL holds its
+history, and the conformance suite replays merged shard logs against a
+baseline that assumes stable ownership.  A partitioner that consults a
+clock, an RNG, process-salted ``hash()``, or its own mutable state
+breaks all of that silently — the run still completes, just with views
+maintained against the wrong shard's log.
+
+Checked inside any class whose name (or base class) ends with
+``Partitioner``, in the body of ``shard_of``:
+
+- no wall-clock or randomness calls (``time.*``, ``datetime.now`` and
+  friends, ``random.*`` — *including* seeded RNGs, whose output depends
+  on call order, and ``os.urandom``);
+- no builtin ``hash()``: Python salts string hashing per process, so the
+  same catalog scatters differently on every run (use a content hash
+  such as ``zlib.crc32`` over a canonical encoding);
+- no assignments to ``self`` attributes (a ``shard_of`` that mutates its
+  partitioner is a function of history, not of the key);
+- no ``global`` / ``nonlocal`` declarations (captured mutable state).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.engine import FileContext, Rule, register
+from repro.analysis.findings import Finding
+from repro.analysis.rules.common import call_name, dotted_name, in_repro_package
+
+_METHOD = "shard_of"
+
+_DATETIME_ATTRS = ("now", "utcnow", "today")
+
+
+def _is_partitioner(node: ast.ClassDef) -> bool:
+    if node.name.endswith("Partitioner"):
+        return True
+    for base in node.bases:
+        name = dotted_name(base)
+        if name is not None and name.split(".")[-1].endswith("Partitioner"):
+            return True
+    return False
+
+
+def _impurity(name: str) -> Optional[str]:
+    """Why a called name is impure, or None when it is fine."""
+    parts = name.split(".")
+    if name == "hash":
+        return "builtin hash() is salted per process, so the same key lands on different shards across runs"
+    if parts[0] == "time":
+        return "a clock makes placement a function of when it is asked, not of the key"
+    if len(parts) >= 2 and parts[-1] in _DATETIME_ATTRS and parts[-2] in (
+        "datetime",
+        "date",
+    ):
+        return "a clock makes placement a function of when it is asked, not of the key"
+    if parts[0] == "random" or name == "os.urandom":
+        return (
+            "randomness (even seeded — its output depends on call order) "
+            "makes placement unstable across re-planning"
+        )
+    return None
+
+
+@register
+class PartitionerPurityRule(Rule):
+    rule_id = "RPR007"
+    title = "Partitioner.shard_of is a deterministic pure function of the key"
+
+    def applies_to(self, path: str) -> bool:
+        return in_repro_package(path)
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef) and _is_partitioner(node):
+                yield from self._check_class(context, node)
+
+    def _check_class(
+        self, context: FileContext, klass: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for child in klass.body:
+            if (
+                isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and child.name == _METHOD
+            ):
+                yield from self._check_shard_of(context, klass, child)
+
+    def _check_shard_of(
+        self,
+        context: FileContext,
+        klass: ast.ClassDef,
+        func: "ast.FunctionDef | ast.AsyncFunctionDef",
+    ) -> Iterator[Finding]:
+        where = f"{klass.name}.{func.name}"
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is None:
+                    continue
+                reason = _impurity(name)
+                if reason is not None:
+                    yield context.finding(
+                        node,
+                        self.rule_id,
+                        f"{where} calls {name}(): {reason}; recovery "
+                        f"re-plans from the same catalog and must reproduce "
+                        f"the identical assignment",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        yield context.finding(
+                            node,
+                            self.rule_id,
+                            f"{where} assigns self.{target.attr}: a "
+                            f"partitioner that mutates its own state places "
+                            f"keys by history, not by value",
+                        )
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                kind = "global" if isinstance(node, ast.Global) else "nonlocal"
+                yield context.finding(
+                    node,
+                    self.rule_id,
+                    f"{where} declares {kind} {', '.join(node.names)}: "
+                    f"captured mutable state makes placement call-order "
+                    f"dependent",
+                )

@@ -270,6 +270,14 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     from repro.workloads.random_gen import random_workload
 
     multi = getattr(ALGORITHMS[args.algorithm], "multi_source", False)
+    if multi and args.shards:
+        print(
+            "--shards places whole views on shards; a view spanning several "
+            "sources cannot be partitioned — drop --shards or pick a "
+            "single-source algorithm",
+            file=sys.stderr,
+        )
+        return 2
     sources = {}
     workload = []
     spanning_view = None
@@ -350,10 +358,12 @@ def cmd_runtime(args: argparse.Namespace) -> int:
                     respect_keys=True,
                 )
             )
-        if len(algorithms) == 1:
+        if len(algorithms) == 1 and not args.shards:
             warehouse = next(iter(algorithms.values()))
             checkable = warehouse.view
         else:
+            # Sharded runs always go through a catalog: shards merge into
+            # one tagged global view, so the oracle must be tagged too.
             warehouse = WarehouseCatalog(algorithms)
             checkable = warehouse
 
@@ -369,7 +379,9 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     if args.trace_out or args.metrics_out or args.prom_out:
         from repro.obs import Observability
 
-        obs = Observability(trace=bool(args.trace_out))
+        obs = Observability(
+            trace=bool(args.trace_out), sharded=bool(args.shards)
+        )
 
     crash = None
     wal_dir = args.wal_dir
@@ -405,6 +417,9 @@ def cmd_runtime(args: argparse.Namespace) -> int:
             snapshot_every=args.snapshot_every,
             crash=crash,
             obs=obs,
+            shards=args.shards,
+            partitioner=args.partitioner,
+            crash_shard=args.crash_shard,
         )
     finally:
         if temp_wal is not None:
@@ -414,6 +429,16 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         # against monotone consistent cuts of the per-source histories.
         report = cut_report(
             spanning_view,
+            result.per_source_states,
+            result.trace.view_states,
+            result.final_view,
+        )
+    elif args.shards:
+        # Shards interleave independently, so the merged trace likewise
+        # has no single source-state sequence; the catalog stands in as
+        # the tagged oracle over consistent cuts.
+        report = cut_report(
+            checkable,
             result.per_source_states,
             result.trace.view_states,
             result.final_view,
@@ -431,6 +456,15 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     print()
     print(f"updates executed:   {result.updates}")
     print(f"warehouse events:   {len(result.trace.events)}")
+    if result.shard_info is not None:
+        info = result.shard_info
+        placement = ", ".join(
+            f"{name}->s{shard}" for name, shard in sorted(info["assignment"].items())
+        )
+        print(
+            f"sharding:           {info['shards']} shard(s), "
+            f"{info['partitioner']} partitioner ({placement})"
+        )
     print(f"consistency:        {report.level()}")
     print(f"quiesce latency:    {result.quiesce_latency:.2f} (virtual)")
     print(f"virtual duration:   {result.virtual_duration:.2f}")
@@ -473,6 +507,13 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         if args.prom_out:
             write_prometheus(obs.registry, args.prom_out)
             print(f"prometheus:         -> {args.prom_out}")
+    if args.require_consistent and not (report.consistent and report.convergent):
+        print(
+            f"FAIL: run is {report.level()}, --require-consistent demands "
+            "a consistent and convergent execution",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -634,6 +675,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--drop-sends",
         action="store_true",
         help="crash before the event's outgoing queries reach the transport",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        help="partition the warehouse over N shards behind a router actor",
+    )
+    p.add_argument(
+        "--partitioner",
+        default="hash",
+        choices=["hash", "range"],
+        help="view-to-shard placement strategy for --shards",
+    )
+    p.add_argument(
+        "--crash-shard",
+        type=int,
+        default=0,
+        help="shard id the --crash policy attaches to in a sharded run",
+    )
+    p.add_argument(
+        "--require-consistent",
+        action="store_true",
+        help="exit nonzero unless the run is consistent and convergent",
     )
     p.add_argument(
         "--trace-out",

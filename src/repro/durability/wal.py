@@ -11,6 +11,9 @@ Layout of a WAL directory:
   record with that LSN, same CRC scheme, written atomically (temp file +
   rename) so a crash mid-snapshot can never leave a half-written file
   under the final name.
+- ``wal.lock`` — exclusive-ownership marker holding the writer's pid.
+  Opening a directory another live process has open raises
+  :class:`~repro.errors.WalLocked`; stale locks (owner dead) are stolen.
 
 Record types the warehouse writes (see ``runtime/actors.py``):
 
@@ -37,13 +40,14 @@ import zlib
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, cast
 
 from repro.durability.codec import canonical_json, encode_algorithm
-from repro.errors import RecoveryError, WalCorruption
+from repro.errors import RecoveryError, WalCorruption, WalLocked
 
 if TYPE_CHECKING:
     from repro.core.protocol import WarehouseAlgorithm
     from repro.obs.instrument import Observability
 
 WAL_FILENAME = "wal.jsonl"
+LOCK_FILENAME = "wal.lock"
 SNAPSHOT_PREFIX = "snapshot-"
 SNAPSHOT_SUFFIX = ".json"
 
@@ -81,6 +85,22 @@ def _unseal(text: str) -> Optional[Dict[str, object]]:
 def _lsn_of(record: Dict[str, object]) -> int:
     """The record's LSN (every sealed record carries an int ``lsn``)."""
     return cast(int, record["lsn"])
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a lock-holding process."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        # Alive, owned by someone else — we may not signal it, but it runs.
+        return True
+    except OSError:
+        return False
+    return True
 
 
 def _snapshot_name(lsn: int) -> str:
@@ -142,7 +162,12 @@ class WriteAheadLog:
         self.snapshot_every = snapshot_every
         self.keep_snapshots = keep_snapshots
         self.obs = obs
+        # Parent directories included: sharded runs hand each shard a
+        # nested ``wal_dir/shard-<i>`` that does not exist yet.
         os.makedirs(directory, exist_ok=True)
+        self._lock_path = os.path.join(directory, LOCK_FILENAME)
+        self._locked = False
+        self._acquire_lock()
         self._path = os.path.join(directory, WAL_FILENAME)
         self._lsn = 0
         self._since_snapshot = 0
@@ -160,6 +185,56 @@ class WriteAheadLog:
         if lsns:
             self._lsn = max(self._lsn, lsns[-1])
         self._file = open(self._path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------ #
+    # Locking
+    # ------------------------------------------------------------------ #
+
+    def _acquire_lock(self) -> None:
+        """Take exclusive ownership of the directory, or raise WalLocked.
+
+        ``O_CREAT | O_EXCL`` makes creation the atomic test-and-set; the
+        file body records the owner's pid.  A lock whose owner is no
+        longer alive is stale (the process died without :meth:`close`)
+        and is stolen — recovery after a real crash must be able to
+        reopen the directory it owns.
+        """
+        for _ in range(2):
+            try:
+                fd = os.open(self._lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                owner = self._lock_owner()
+                if owner is not None and _pid_alive(owner):
+                    raise WalLocked(
+                        f"WAL directory {self.directory!r} is already open "
+                        f"in live process {owner} — two writers would "
+                        f"interleave an unreplayable log"
+                    )
+                try:  # Stale: the owner is gone. Remove and retry once.
+                    os.remove(self._lock_path)
+                except FileNotFoundError:
+                    pass
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(str(os.getpid()))
+            self._locked = True
+            return
+        raise WalLocked(f"could not acquire {self._lock_path!r} after stale steal")
+
+    def _lock_owner(self) -> Optional[int]:
+        try:
+            with open(self._lock_path, "r", encoding="utf-8") as handle:
+                return int(handle.read().strip())
+        except (OSError, ValueError):
+            return None
+
+    def _release_lock(self) -> None:
+        if self._locked:
+            self._locked = False
+            try:
+                os.remove(self._lock_path)
+            except FileNotFoundError:
+                pass
 
     # ------------------------------------------------------------------ #
     # Appending
@@ -257,6 +332,7 @@ class WriteAheadLog:
         if not self._file.closed:
             self._file.flush()
             self._file.close()
+        self._release_lock()
 
 
 # --------------------------------------------------------------------- #

@@ -113,6 +113,17 @@ class WalCorruption(DurabilityError):
     """
 
 
+class WalLocked(DurabilityError):
+    """Another live process already owns this WAL directory.
+
+    Two warehouse actors appending to the same log would interleave their
+    records into an unreplayable history; the lock file makes the second
+    opener fail fast instead.  A lock whose owning process is gone (a
+    stale lock left by a crash) is stolen silently — crash recovery must
+    be able to reopen its own directory.
+    """
+
+
 class RecoveryError(DurabilityError):
     """Crash recovery could not rebuild a live warehouse.
 

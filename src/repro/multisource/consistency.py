@@ -19,6 +19,7 @@ import itertools
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.relational.bag import SignedBag
+from repro.relational.engine import evaluate_view
 from repro.relational.views import View
 
 Cut = Tuple[int, ...]
@@ -66,8 +67,12 @@ def check_cut_consistency(
 
     # Precompute the view value at every cut (lattices here are tiny:
     # (k_A+1) * (k_B+1) * ...).
+    # evaluate_view dispatches through ``evaluate_oracle`` when present,
+    # so ``view`` may also be a WarehouseCatalog (or a merged sharded
+    # catalog's stand-in) posing as one big tagged view.
     value_at: Dict[Cut, SignedBag] = {
-        cut: view.evaluate(_merge(per_source_states, names, cut)) for cut in all_cuts
+        cut: evaluate_view(view, _merge(per_source_states, names, cut))
+        for cut in all_cuts
     }
 
     frontier: List[Cut] = [tuple(0 for _ in names)]
@@ -127,4 +132,6 @@ def check_cut_convergence(
     """The final view matches the view over every source's final state."""
     names = sorted(per_source_states)
     final_cut = tuple(len(per_source_states[name]) - 1 for name in names)
-    return view.evaluate(_merge(per_source_states, names, final_cut)) == final_view
+    return (
+        evaluate_view(view, _merge(per_source_states, names, final_cut)) == final_view
+    )

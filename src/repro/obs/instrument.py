@@ -42,7 +42,8 @@ exported JSON reconciles exactly with ``RuntimeResult.metrics_table()``.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+import copy
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.consistency.staleness import LiveStaleness
 from repro.obs.metrics import Registry, ingest_mapping
@@ -69,27 +70,51 @@ class Observability:
         Record spans (disable to keep metrics only).
     capacity:
         Tracer ring-buffer size in spans.
+    sharded:
+        Declare every warehouse-side instrument with an extra ``shard``
+        label so per-shard series never collide.  The warehouse hooks are
+        then only valid on :meth:`shard_view` copies (which carry the
+        label value); source/client hooks stay on this root object.
+        ``False`` (the default) produces byte-identical series names and
+        label sets to the pre-sharding exporter.
     """
 
-    def __init__(self, trace: bool = True, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(
+        self,
+        trace: bool = True,
+        capacity: int = DEFAULT_CAPACITY,
+        sharded: bool = False,
+    ) -> None:
         self.trace_enabled = trace
+        self.sharded = sharded
         self.tracer = Tracer(capacity=capacity)
         self.registry = Registry()
         registry = self.registry
+        #: Extra label dimension on warehouse-side instruments; empty in
+        #: the unsharded layout, so every existing series is unchanged.
+        shard_dim: Tuple[str, ...] = ("shard",) if sharded else ()
+        #: Label *values* every warehouse-side inc/set passes along —
+        #: empty on the root, ``{"shard": "<i>"}`` on a shard view.
+        self._shard_labels: Dict[str, str] = {}
+        #: Tracer-key namespace separating shard-local query ids.
+        self._trace_ns: Tuple[object, ...] = ()
         self._events = registry.counter(
-            "repro_warehouse_events_total", "atomic warehouse events", ("kind",)
+            "repro_warehouse_events_total",
+            "atomic warehouse events",
+            ("kind",) + shard_dim,
         )
         self._queries = registry.counter(
             "repro_queries_sent_total",
             "query requests shipped to sources",
-            ("reissued",),
+            ("reissued",) + shard_dim,
         )
         self._compensations = registry.counter(
             "repro_compensating_terms_total",
             "UQS entries compensated against across all queries (Section 5.2)",
+            shard_dim,
         )
         self._installs = registry.counter(
-            "repro_collect_installs_total", "COLLECT flushes into the view"
+            "repro_collect_installs_total", "COLLECT flushes into the view", shard_dim
         )
         self._updates = registry.counter(
             "repro_source_updates_total", "updates executed", ("source",)
@@ -107,34 +132,59 @@ class Observability:
             "repro_client_reads_total", "view reads", ("client",)
         )
         self._wal_appends = registry.counter(
-            "repro_wal_append_total", "WAL records appended", ("type",)
+            "repro_wal_append_total", "WAL records appended", ("type",) + shard_dim
         )
         self._wal_snapshots = registry.counter(
-            "repro_wal_snapshot_total", "compacting snapshots taken"
+            "repro_wal_snapshot_total", "compacting snapshots taken", shard_dim
         )
         self._crashes = registry.counter(
-            "repro_warehouse_crashes_total", "injected warehouse crashes", ("mode",)
+            "repro_warehouse_crashes_total",
+            "injected warehouse crashes",
+            ("mode",) + shard_dim,
         )
         self._recoveries = registry.counter(
-            "repro_warehouse_recoveries_total", "successful WAL recoveries"
+            "repro_warehouse_recoveries_total", "successful WAL recoveries", shard_dim
         )
         self._replayed = registry.counter(
-            "repro_recovery_replayed_total", "recv records replayed during recovery"
+            "repro_recovery_replayed_total",
+            "recv records replayed during recovery",
+            shard_dim,
         )
         self._uqs_gauge = registry.gauge(
-            "repro_uqs_size", "unanswered query set size after the last event"
+            "repro_uqs_size",
+            "unanswered query set size after the last event",
+            shard_dim,
         )
         self._staleness_gauge = registry.gauge(
             "repro_staleness_lag_updates",
             "source updates executed but not yet reflected at the warehouse",
+            shard_dim,
         )
         self._algo_gauges = registry.gauge(
             "repro_algorithm_gauge",
             "algorithm-reported in-flight state (see WarehouseAlgorithm.gauges)",
-            ("gauge",),
+            ("gauge",) + shard_dim,
         )
         self._staleness = LiveStaleness()
         self._last_crash_span: Optional[Span] = None
+
+    def shard_view(self, shard: int) -> "Observability":
+        """A per-shard facade over the same tracer and registry.
+
+        The copy shares every instrument but stamps ``shard=<i>`` on all
+        warehouse-side series and tracks its *own* staleness basis (the
+        per-shard lag between routed and processed updates — meaningful
+        even though each shard sees only a sparse subset of the global
+        serial order, because :class:`LiveStaleness` is max-serial based).
+        """
+        if not self.sharded:
+            raise ValueError("shard_view() requires Observability(sharded=True)")
+        view = copy.copy(self)
+        view._shard_labels = {"shard": str(shard)}
+        view._trace_ns = (f"shard{shard}",)
+        view._staleness = LiveStaleness()
+        view._last_crash_span = None
+        return view
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -156,8 +206,11 @@ class Observability:
     def source_update(self, source: str, relation: str, serial: int) -> None:
         """A source executed update ``serial`` against ``relation``."""
         self._updates.inc(source=source)
-        self._staleness.executed(serial)
-        self._staleness_gauge.set(self._staleness.lag())
+        if not self.sharded:
+            # Sharded runs track staleness per shard (see update_routed);
+            # a single global basis would mix shards into one gauge.
+            self._staleness.executed(serial)
+            self._staleness_gauge.set(self._staleness.lag())
         if self.trace_enabled:
             span = self.tracer.instant(
                 "source.update", "update", source=source, relation=relation, serial=serial
@@ -183,6 +236,17 @@ class Observability:
     # Warehouse hooks
     # ------------------------------------------------------------------ #
 
+    def update_routed(self, serial: int) -> None:
+        """The router forwarded update ``serial`` to this shard.
+
+        Shard views only: marks the update *executed* on the shard's own
+        staleness basis, so the per-shard lag gauge measures routed but
+        not-yet-processed updates exactly as the unsharded gauge measures
+        executed ones.
+        """
+        self._staleness.executed(serial)
+        self._staleness_gauge.set(self._staleness.lag(), **self._shard_labels)
+
     _EVENT_NAMES = {"W_up": "wh.update", "W_ans": "wh.answer", "W_ref": "wh.refresh"}
 
     def wh_event_begin(
@@ -194,18 +258,21 @@ class Observability:
         the causal edge resolves through the message's natural identity
         (update serial or query id).
         """
-        self._events.inc(kind=kind)
+        self._events.inc(kind=kind, **self._shard_labels)
         if not self.trace_enabled:
             return None
         cause = None
-        attrs: Dict[str, object] = {}
+        attrs: Dict[str, object] = dict(self._shard_labels)
         serial = getattr(message, "serial", None)
         query_id = getattr(message, "query_id", None)
         if kind == "W_up" and serial is not None:
+            # Update serials are global: the router forwards notifications
+            # unchanged, so the causal edge to the source span resolves
+            # from any shard.
             cause = self.tracer.lookup(("U", serial))
             attrs["serial"] = serial
         elif kind == "W_ans" and query_id is not None:
-            cause = self.tracer.lookup(("A", query_id))
+            cause = self.tracer.lookup(("A",) + self._trace_ns + (query_id,))
             attrs["query_id"] = query_id
         elif kind == "W_ref" and serial is not None:
             attrs["refresh_serial"] = serial
@@ -228,9 +295,9 @@ class Observability:
         pending when the query was built — exactly the ``Q_j`` whose
         ``Q_j<U_i>`` terms the query subtracts under ECA.
         """
-        self._queries.inc(reissued="yes" if reissued else "no")
+        self._queries.inc(reissued="yes" if reissued else "no", **self._shard_labels)
         if compensates:
-            self._compensations.inc(len(compensates))
+            self._compensations.inc(len(compensates), **self._shard_labels)
         if not self.trace_enabled:
             return
         links = []
@@ -239,7 +306,8 @@ class Observability:
             # not just transitively via its parent event span.
             links.extend((CAUSES, sid) for sid in span.linked(CAUSES))
         links.extend(
-            (COMPENSATES, self.tracer.lookup(("Q", qid))) for qid in compensates
+            (COMPENSATES, self.tracer.lookup(("Q",) + self._trace_ns + (qid,)))
+            for qid in compensates
         )
         child = self.tracer.instant(
             "wh.query",
@@ -250,8 +318,9 @@ class Observability:
             destination=destination,
             compensates=list(compensates),
             reissued=reissued,
+            **self._shard_labels,
         )
-        self.tracer.bind(("Q", query_id), child)
+        self.tracer.bind(("Q",) + self._trace_ns + (query_id,), child)
 
     def wh_event_end(
         self,
@@ -263,19 +332,19 @@ class Observability:
     ) -> None:
         """The atomic event finished: close the span, refresh the gauges."""
         pending_after = algorithm.pending_query_ids()
-        self._uqs_gauge.set(len(pending_after))
+        self._uqs_gauge.set(len(pending_after), **self._shard_labels)
         gauges = getattr(algorithm, "gauges", None)
         if gauges is not None:
             for name, value in gauges().items():
-                self._algo_gauges.set(value, gauge=name)
+                self._algo_gauges.set(value, gauge=name, **self._shard_labels)
         serial = getattr(message, "serial", None)
         if kind == "W_up" and serial is not None:
             self._staleness.processed(serial)
         self._staleness.pending(len(pending_after))
-        self._staleness_gauge.set(self._staleness.lag())
+        self._staleness_gauge.set(self._staleness.lag(), **self._shard_labels)
         installed = bool(pending_before) and not pending_after
         if installed:
-            self._installs.inc()
+            self._installs.inc(**self._shard_labels)
         if not self.trace_enabled:
             return
         if installed and span is not None:
@@ -284,10 +353,11 @@ class Observability:
                 "install",
                 parent=span,
                 links=tuple(
-                    (INSTALLS, self.tracer.lookup(("A", qid)))
+                    (INSTALLS, self.tracer.lookup(("A",) + self._trace_ns + (qid,)))
                     for qid in pending_before
                 ),
                 drained=len(pending_before),
+                **self._shard_labels,
             )
         if span is not None:
             self.tracer.end(span, uqs_after=len(pending_after))
@@ -313,17 +383,17 @@ class Observability:
 
     def wal_append(self, record_type: str) -> None:
         """One WAL record hit the log (metrics only; appends are hot)."""
-        self._wal_appends.inc(type=record_type)
+        self._wal_appends.inc(type=record_type, **self._shard_labels)
 
     def wal_snapshot(self, lsn: int) -> None:
         """The WAL took a compacting snapshot as of ``lsn``."""
-        self._wal_snapshots.inc()
+        self._wal_snapshots.inc(**self._shard_labels)
         if self.trace_enabled:
-            self.tracer.instant("wal.snapshot", "wal", lsn=lsn)
+            self.tracer.instant("wal.snapshot", "wal", lsn=lsn, **self._shard_labels)
 
     def crash(self, event_index: int, mode: str, drop_sends: bool) -> None:
         """Crash injection killed the warehouse after ``event_index``."""
-        self._crashes.inc(mode=mode)
+        self._crashes.inc(mode=mode, **self._shard_labels)
         if self.trace_enabled:
             self._last_crash_span = self.tracer.instant(
                 "wh.crash",
@@ -331,14 +401,15 @@ class Observability:
                 event_index=event_index,
                 mode=mode,
                 drop_sends=drop_sends,
+                **self._shard_labels,
             )
 
     def recovery(
         self, snapshot_lsn: int, replayed: int, reissued: int, torn: int = 0
     ) -> None:
         """Snapshot+replay rebuilt the warehouse (links back to the crash)."""
-        self._recoveries.inc()
-        self._replayed.inc(replayed)
+        self._recoveries.inc(**self._shard_labels)
+        self._replayed.inc(replayed, **self._shard_labels)
         if self.trace_enabled:
             crash = self._last_crash_span
             self.tracer.instant(
@@ -349,6 +420,7 @@ class Observability:
                 replayed=replayed,
                 reissued=reissued,
                 torn=torn,
+                **self._shard_labels,
             )
 
     # ------------------------------------------------------------------ #
@@ -366,6 +438,11 @@ class Observability:
         for name, metrics in result.metrics.items():
             fields = metrics.as_dict()
             role = fields.pop("role")
+            # Sharded rows carry a "shard" field; the actor name already
+            # distinguishes per-shard series ("shard0", ...), and keeping
+            # the ingest label set uniform across actors is what lets one
+            # counter family hold every row.
+            fields.pop("shard", None)
             ingest_mapping(
                 self.registry,
                 "repro_actor",

@@ -69,6 +69,10 @@ class View:
             self.condition,
         )
         self.product: ProductSchema = self._term.product
+        # View structure is frozen after construction, so key-position
+        # analysis (a union-find over the condition) is memoized per
+        # relation; ECA-Key consults it on every keyed delete.
+        self._key_positions: Dict[str, Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -181,6 +185,9 @@ class View:
         attribute is unavailable — exactly the cases where ECA-Key does
         not apply.
         """
+        cached = self._key_positions.get(relation)
+        if cached is not None:
+            return cached
         schema = self.schema_for(relation)
         if schema.key is None:
             raise SchemaError(f"relation {relation!r} declares no key")
@@ -209,7 +216,8 @@ class View:
                     f"attribute equated to it)"
                 )
             positions.append(twin)
-        return tuple(positions)
+        self._key_positions[relation] = tuple(positions)
+        return self._key_positions[relation]
 
     def contains_all_keys(self) -> bool:
         """True when the view projects a key of every base relation.

@@ -51,6 +51,7 @@ from repro.messaging.messages import (
     QueryAnswer,
     QueryRequest,
     RefreshRequest,
+    ShardEnvelope,
     UpdateNotification,
 )
 from repro.relational.bag import SignedBag
@@ -84,11 +85,15 @@ class ActorMetrics:
     as labelled registry counters.
     """
 
-    __slots__ = ("name", "role", "sent", "received", "events")
+    __slots__ = ("name", "role", "shard", "sent", "received", "events")
 
-    def __init__(self, name: str, role: str) -> None:
+    def __init__(self, name: str, role: str, shard: Optional[str] = None) -> None:
         self.name = name
         self.role = role
+        #: Shard id (as a string) for per-shard actors; ``None`` keeps the
+        #: column out of ``metrics_table()`` entirely, so unsharded runs
+        #: render exactly as before.
+        self.shard = shard
         self.sent = 0
         self.received = 0
         #: Role-specific event counts (updates applied, queries answered,
@@ -111,11 +116,13 @@ class ActorMetrics:
             self.events.setdefault(key, 0)
 
     def as_dict(self) -> Dict[str, object]:
-        out: Dict[str, object] = {
-            "role": self.role,
-            "sent": self.sent,
-            "received": self.received,
-        }
+        out: Dict[str, object] = {"role": self.role}
+        if self.shard is not None:
+            # Only sharded runs carry the column: ``metrics_table()``
+            # builds columns from the union of row keys, so unsharded
+            # output is byte-identical to before.
+            out["shard"] = self.shard
+        out.update({"sent": self.sent, "received": self.received})
         out.update(sorted(self.events.items()))
         return out
 
@@ -259,6 +266,9 @@ class WarehouseActor:
         metrics: Optional[ActorMetrics] = None,
         event_index: int = 0,
         obs: Optional["Observability"] = None,
+        channel_origins: Optional[Dict[str, Optional[str]]] = None,
+        channel_labels: Optional[Dict[str, str]] = None,
+        request_channel: Optional[str] = None,
     ) -> None:
         self.algorithm = algorithm
         self.transport = transport
@@ -276,10 +286,21 @@ class WarehouseActor:
         self._obs_span = None
         self._obs_compensates: Sequence[int] = ()
         #: source name an UpdateNotification/QueryAnswer arrived from,
-        #: recovered from the channel name.
-        self._channel_source = {
-            warehouse_inbox(name): name for name in set(owners.values())
-        }
+        #: recovered from the channel name.  A sharded run overrides this:
+        #: a shard's inboxes are per-``(origin, shard)`` router channels,
+        #: not the ``"{name}->wh"`` topology the default assumes.
+        self._channel_source = (
+            dict(channel_origins)
+            if channel_origins is not None
+            else {warehouse_inbox(name): name for name in set(owners.values())}
+        )
+        #: Channel-name overrides for the recorder's action-log labels, so
+        #: merged shard logs keep the unsharded ``warehouse:<origin>``
+        #: vocabulary the conformance replayer understands.
+        self._channel_labels = dict(channel_labels or {})
+        #: When set, outgoing requests are wrapped in a ShardEnvelope and
+        #: sent here (the router) instead of directly to the source.
+        self._request_channel = request_channel
 
     async def run(self) -> None:
         for destination, request in self._reissue:
@@ -334,7 +355,8 @@ class WarehouseActor:
         if not drop_sends:
             for destination, request in routed:
                 await self._send_request(destination, request)
-        self.recorder.record_warehouse_event(kind, detail, channel_label(channel))
+        label = self._channel_labels.get(channel) or channel_label(channel)
+        self.recorder.record_warehouse_event(kind, detail, label)
         if self.wal is not None:
             self.wal.append(
                 EVENT, {"index": self.event_index, "kind": kind, "detail": detail}
@@ -374,7 +396,15 @@ class WarehouseActor:
                     "reissued": reissued,
                 },
             )
-        await self.transport.send(source_inbox(destination), request)
+        if self._request_channel is not None:
+            # Sharded topology: the shard resolves the owner itself (so the
+            # WAL's send records stay meaningful), then hands the request to
+            # the router for global-id multiplexing.
+            await self.transport.send(
+                self._request_channel, ShardEnvelope(destination, request)
+            )
+        else:
+            await self.transport.send(source_inbox(destination), request)
 
     # ------------------------------------------------------------------ #
     # State

@@ -66,9 +66,17 @@ class _TraceRecorder:
     order.
     """
 
-    def __init__(self, sources: Mapping[str, Source], transport: AsyncTransport) -> None:
+    def __init__(
+        self,
+        sources: Mapping[str, Source],
+        transport: AsyncTransport,
+        record_trace: bool = True,
+    ) -> None:
         self._sources = dict(sources)
         self._transport = transport
+        #: When False (benchmarks), skip the O(rows) trace/snapshot work
+        #: per event; serials, the action log, and timing still accrue.
+        self.record_trace = record_trace
         self.trace = Trace()
         self.serial = 0
         self.last_update_at = 0.0
@@ -93,52 +101,59 @@ class _TraceRecorder:
         return combined
 
     def record_initial(self, warehouse: "WarehouseActor | WarehouseHandle") -> None:
-        self.trace.record_source_state(self.snapshot())
-        self.trace.record_view_state(warehouse.view_state())
+        if self.record_trace:
+            self.trace.record_source_state(self.snapshot())
+            self.trace.record_view_state(warehouse.view_state())
         self._warehouse = warehouse
 
     def record_update(self, source_name: str, update: Update) -> int:
         self.serial += 1
-        self.trace.record_event(S_UP, f"U{self.serial}@{source_name} = {update!r}")
-        self.trace.record_source_state(self.snapshot())
-        self.per_source_states[source_name].append(
-            self._sources[source_name].snapshot()
-        )
+        if self.record_trace:
+            self.trace.record_event(S_UP, f"U{self.serial}@{source_name} = {update!r}")
+            self.trace.record_source_state(self.snapshot())
+            self.per_source_states[source_name].append(
+                self._sources[source_name].snapshot()
+            )
         self.action_log.append(f"update:{source_name}")
         self.last_update_at = self._transport.now()
         return self.serial
 
     def record_query(self, source_name: str, query_id: int, answer: SignedBag) -> None:
-        self.trace.record_event(
-            S_QU,
-            f"{source_name}: Q{query_id} -> {answer.total_count()} tuple(s)",
-        )
+        if self.record_trace:
+            self.trace.record_event(
+                S_QU,
+                f"{source_name}: Q{query_id} -> {answer.total_count()} tuple(s)",
+            )
         self.action_log.append(f"answer:{source_name}")
 
     def record_request(self, request: QueryRequest) -> None:
         self.requests += 1
 
     def record_refresh(self, client_name: str, serial: int) -> None:
-        self.trace.record_event(C_REF, f"{client_name} refresh #{serial}")
+        if self.record_trace:
+            self.trace.record_event(C_REF, f"{client_name} refresh #{serial}")
         self.action_log.append(f"refresh:{client_name}")
 
     def record_warehouse_event(self, kind: str, detail: str, origin: str) -> None:
-        self.trace.record_event(kind, detail)
-        self.trace.record_view_state(self._warehouse.view_state())
+        if self.record_trace:
+            self.trace.record_event(kind, detail)
+            self.trace.record_view_state(self._warehouse.view_state())
         self.action_log.append(f"warehouse:{origin}")
 
     def record_crash(self, detail: str) -> None:
         # No view snapshot: the crashed process exposed nothing new, and
         # the in-memory view it held is gone.
-        self.trace.record_event(W_CRASH, detail)
+        if self.record_trace:
+            self.trace.record_event(W_CRASH, detail)
         self.action_log.append("crash")
 
     def record_recovery(self, detail: str) -> None:
         # Snapshot the *recovered* view so the checker classifies what
         # readers can now observe (a duplicate of the pre-crash state when
         # recovery is exact — harmless to the checker's dedup).
-        self.trace.record_event(W_REC, detail)
-        self.trace.record_view_state(self._warehouse.view_state())
+        if self.record_trace:
+            self.trace.record_event(W_REC, detail)
+            self.trace.record_view_state(self._warehouse.view_state())
         self.action_log.append("recover")
 
 
@@ -160,6 +175,7 @@ class RuntimeResult:
         wal_stats: Optional[Dict[str, int]] = None,
         action_log: Optional[List[str]] = None,
         per_source_states: Optional[Dict[str, List[Dict[str, SignedBag]]]] = None,
+        shard_info: Optional[Dict[str, object]] = None,
     ) -> None:
         self.trace = trace
         self.metrics = metrics
@@ -185,6 +201,10 @@ class RuntimeResult:
         self.action_log = list(action_log or [])
         #: Per-source state histories for the cut-consistency checker.
         self.per_source_states = dict(per_source_states or {})
+        #: Sharded runs only (``None`` otherwise): shard count, partitioner
+        #: kind, view assignment, and the final per-shard algorithms — see
+        #: :mod:`repro.sharding.harness`.
+        self.shard_info = shard_info
 
     def throughput(self) -> float:
         """Updates fully processed per wall-clock second."""
@@ -276,6 +296,10 @@ def run_concurrent(
     snapshot_every: Optional[int] = 8,
     crash: Optional[CrashPolicy] = None,
     obs: Optional[object] = None,
+    shards: Optional[int] = None,
+    partitioner: object = "hash",
+    crash_shard: int = 0,
+    record_trace: bool = True,
 ) -> RuntimeResult:
     """Run sources, warehouse, and clients concurrently to quiescence.
 
@@ -326,7 +350,46 @@ def run_concurrent(
         clock), and the run's final accounting is folded in via
         ``obs.finalize``.  ``None`` (the default) costs one ``is None``
         check per hook site.
+    shards:
+        Partition the warehouse into this many shards behind a
+        :class:`~repro.sharding.router.ShardRouter`; ``None`` (the
+        default) runs the single warehouse actor below.  A sharded run
+        takes per-shard WAL directories under ``wal_dir`` and applies
+        ``crash`` to ``crash_shard`` only — see
+        :func:`repro.sharding.harness.run_sharded`.
+    partitioner:
+        Sharded runs only: ``"hash"``, ``"range"``, or a
+        :class:`~repro.sharding.partition.Partitioner` instance.
+    crash_shard:
+        Sharded runs only: the shard ``crash`` applies to.
+    record_trace:
+        When ``False``, skip per-event trace/state snapshots (an O(rows)
+        cost per event) — action log, serials, and metrics still accrue.
+        For benchmarks; consistency checkers need the full trace.
     """
+    if shards is not None:
+        from repro.sharding.harness import run_sharded
+
+        return run_sharded(
+            sources,
+            algorithm,
+            workload,
+            shards=shards,
+            partitioner=partitioner,
+            clients=clients,
+            client_reads=client_reads,
+            faults=faults,
+            seed=seed,
+            max_burst=max_burst,
+            sizer=sizer,
+            wal_dir=wal_dir,
+            wal_fsync=wal_fsync,
+            snapshot_every=snapshot_every,
+            crash=crash,
+            crash_shard=crash_shard,
+            obs=obs,
+            record_trace=record_trace,
+        )
     named_sources = _normalize_sources(sources)
     owners = relation_owners(named_sources)
     workloads = _normalize_workloads(workload, named_sources, owners)
@@ -340,7 +403,7 @@ def run_concurrent(
     transport: AsyncTransport = (
         FaultyTransport(inner, plan=faults, seed=seed + 0x5EED) if faults else inner
     )
-    recorder = _TraceRecorder(named_sources, transport)
+    recorder = _TraceRecorder(named_sources, transport, record_trace=record_trace)
     if obs is not None:
         obs.attach_clock(transport.now)
 

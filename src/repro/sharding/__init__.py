@@ -1,0 +1,45 @@
+"""``repro.sharding`` — the partitioned warehouse.
+
+One warehouse catalog, split across N shard actors behind a router:
+
+- :mod:`repro.sharding.partition` — deterministic placement of view keys
+  (hash / range / explicit), statically checked for purity by RPR007;
+- :mod:`repro.sharding.plan` — the frozen per-run placement: per-shard
+  catalogs plus the relation -> interested-shards map;
+- :mod:`repro.sharding.router` — the :class:`ShardRouter` actor fanning
+  updates, translating query ids, and absorbing stale post-crash answers;
+- :mod:`repro.sharding.harness` — :func:`run_sharded`, reached through
+  ``run_concurrent(..., shards=N)``.
+"""
+
+from repro.sharding.harness import ShardedWarehouse, run_sharded
+from repro.sharding.partition import (
+    ExplicitPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    ViewKey,
+    make_partitioner,
+)
+from repro.sharding.plan import ShardPlan, plan_shards
+from repro.sharding.router import (
+    ShardRouter,
+    router_request_channel,
+    shard_channel,
+)
+
+__all__ = [
+    "ExplicitPartitioner",
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "ShardPlan",
+    "ShardRouter",
+    "ShardedWarehouse",
+    "ViewKey",
+    "make_partitioner",
+    "plan_shards",
+    "router_request_channel",
+    "run_sharded",
+    "shard_channel",
+]

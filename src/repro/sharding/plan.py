@@ -1,0 +1,135 @@
+"""Shard planning: from one warehouse algorithm to N per-shard catalogs.
+
+The unit of placement is the **member view**: a
+:class:`~repro.warehouse.catalog.WarehouseCatalog` is split so each shard
+runs its own smaller catalog over the views the partitioner assigned to
+it, and a bare single-view algorithm is wrapped in a one-view catalog
+first (so every shard presents the same tagged-union ``view_state``
+shape and the merged global view is always ``(view_name, *row)`` rows).
+
+Alongside the assignment the plan precomputes the **interest map** —
+``relation -> shards whose views read it`` — which is everything the
+router needs to fan an update notification out: a shard with no view
+over the updated relation would process the notification as a no-op
+event, and skipping it keeps per-shard work proportional to per-shard
+data, which is the entire point of partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.protocol import WarehouseAlgorithm
+from repro.errors import SimulationError
+from repro.sharding.partition import Partitioner, ViewKey, make_partitioner
+from repro.warehouse.catalog import WarehouseCatalog
+
+
+class ShardPlan:
+    """One run's placement decisions, frozen before any actor starts.
+
+    Attributes
+    ----------
+    shards:
+        Total shard count requested (empty shards get no actor).
+    assignment:
+        ``view name -> shard id`` for every member view.
+    algorithms:
+        ``shard id -> per-shard catalog``, populated shards only.
+    interest:
+        ``relation -> ascending shard ids`` whose views involve it.
+    """
+
+    __slots__ = ("shards", "assignment", "algorithms", "interest")
+
+    def __init__(
+        self,
+        shards: int,
+        assignment: Dict[str, int],
+        algorithms: Dict[int, WarehouseCatalog],
+        interest: Dict[str, Tuple[int, ...]],
+    ) -> None:
+        self.shards = shards
+        self.assignment = assignment
+        self.algorithms = algorithms
+        self.interest = interest
+
+    @property
+    def shard_ids(self) -> Tuple[int, ...]:
+        """Populated shards, ascending."""
+        return tuple(sorted(self.algorithms))
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardPlan(shards={self.shards}, views={len(self.assignment)}, "
+            f"populated={list(self.shard_ids)!r})"
+        )
+
+
+def _member_views(algorithm: object) -> Dict[str, WarehouseAlgorithm]:
+    """The placeable members of ``algorithm`` (catalog members, or itself)."""
+    if isinstance(algorithm, WarehouseCatalog):
+        return dict(algorithm.algorithms)
+    if isinstance(algorithm, WarehouseAlgorithm):
+        if getattr(algorithm, "multi_source", False):
+            raise SimulationError(
+                f"algorithm {algorithm.name!r} maintains one view spanning "
+                f"several sources; sharding places whole views, so a "
+                f"spanning view cannot be partitioned — run it unsharded"
+            )
+        return {algorithm.view.name: algorithm}
+    raise SimulationError(
+        f"cannot shard {algorithm!r}: expected a WarehouseCatalog or a "
+        f"single-view WarehouseAlgorithm"
+    )
+
+
+def plan_shards(
+    algorithm: object,
+    shards: int,
+    partitioner: object,
+    owners: Mapping[str, str],
+) -> ShardPlan:
+    """Split ``algorithm`` into per-shard catalogs under ``partitioner``.
+
+    ``partitioner`` is a :class:`~repro.sharding.partition.Partitioner`
+    or a spec name (``"hash"`` / ``"range"``) resolved against the view
+    keys.  ``owners`` (relation -> source) bounds the interest map: every
+    owned relation gets an entry, so the router can distinguish "no shard
+    cares" (an explicit empty tuple) from a typo'd relation name.
+    """
+    if shards < 1:
+        raise SimulationError(f"a sharded run needs >= 1 shard, got {shards}")
+    members = _member_views(algorithm)
+    keys: List[ViewKey] = [(name,) for name in sorted(members)]
+    chosen = make_partitioner(partitioner, shards, keys)
+
+    assignment: Dict[str, int] = {}
+    per_shard: Dict[int, Dict[str, WarehouseAlgorithm]] = {}
+    for name in sorted(members):
+        shard = chosen.shard_of((name,))
+        if not 0 <= shard < shards:
+            raise SimulationError(
+                f"partitioner placed view {name!r} on shard {shard}, "
+                f"outside range({shards})"
+            )
+        assignment[name] = shard
+        per_shard.setdefault(shard, {})[name] = members[name]
+
+    algorithms = {
+        shard: WarehouseCatalog(views) for shard, views in per_shard.items()
+    }
+    # Invert view -> relations rather than probing every (relation, view)
+    # pair with ``involves``: a view reacts to each of its schemas' alias
+    # and base names (see View.involves), so one pass over the members
+    # covers the whole map in O(views x relations-per-view).
+    reactive: Dict[str, set] = {}
+    for name, member in members.items():
+        for schema in member.view.relations:
+            reactive.setdefault(schema.name, set()).add(assignment[name])
+            reactive.setdefault(schema.base, set()).add(assignment[name])
+    interest: Dict[str, Tuple[int, ...]] = {
+        relation: tuple(sorted(reactive.get(relation, ())))
+        for relation in owners
+    }
+    return ShardPlan(shards, assignment, algorithms, interest)

@@ -139,6 +139,15 @@ class WarehouseCatalog:
     def state_of(self, view_name: str) -> SignedBag:
         return self.algorithms[view_name].view_state()
 
+    def view_history(self, view_name: str) -> List[SignedBag]:
+        """One member view's state after every catalog event, oldest first.
+
+        The per-view timeline the sharded consistency proofs compare: a
+        member view's history on a 2-shard run must classify exactly like
+        the same view's history on the unsharded catalog.
+        """
+        return list(self._history[view_name])
+
     def per_view_trace(self, view_name: str, trace) -> "object":
         """A trace whose view states are one member view's own history.
 

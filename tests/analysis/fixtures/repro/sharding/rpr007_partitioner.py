@@ -1,0 +1,54 @@
+"""Fixture: RPR007 partitioner-purity violations (deliberately broken)."""
+
+import random
+import time
+
+
+class SaltedPartitioner:
+    def shard_of(self, key):
+        return hash(key) % 4  # RPR007: process-salted builtin hash
+
+
+class ClockPartitioner:
+    def shard_of(self, key):
+        return int(time.time()) % 4  # RPR007: wall clock
+
+
+class LotteryPartitioner:
+    def __init__(self):
+        self.rng = random.Random(7)
+
+    def shard_of(self, key):
+        return random.randrange(4)  # RPR007: randomness, call-order dependent
+
+
+class StickyPartitioner:
+    def __init__(self):
+        self.last = 0
+
+    def shard_of(self, key):
+        self.last = (self.last + 1) % 4  # RPR007: mutates captured state
+        return self.last
+
+
+_COUNTER = 0
+
+
+class GlobalPartitioner:
+    def shard_of(self, key):
+        global _COUNTER  # RPR007: global mutable state
+        _COUNTER += 1
+        return _COUNTER % 4
+
+
+class LegalPartitioner:
+    # A pure content hash of the key: stable across processes and runs.
+    def shard_of(self, key):
+        import zlib
+
+        return zlib.crc32(repr(tuple(key)).encode("utf-8")) % 4
+
+
+class SuppressedPartitioner:
+    def shard_of(self, key):
+        return hash(key) % 4  # repro: ignore[RPR007] -- fixture demonstrates pragmas

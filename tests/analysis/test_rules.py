@@ -139,6 +139,43 @@ class TestRegistryCompletenessRule:
         assert "missing restore_pending_state" in messages
 
 
+class TestPartitionerPurityRule:
+    def test_fixture_produces_exactly_the_expected_findings(self):
+        findings = findings_for("sharding/rpr007_partitioner.py")
+        assert golden(findings) == [
+            (9, "RPR007"),  # builtin hash() (process-salted)
+            (14, "RPR002"),  # time.time() also trips determinism
+            (14, "RPR007"),  # wall clock in shard_of
+            (22, "RPR002"),  # module-level random.* also trips determinism
+            (22, "RPR007"),  # randomness in shard_of
+            (30, "RPR007"),  # self-attribute mutation
+            (39, "RPR007"),  # global mutable state
+        ]
+
+    def test_pure_content_hash_is_allowed(self):
+        findings = findings_for("sharding/rpr007_partitioner.py")
+        flagged = {f.line for f in findings if f.rule_id == "RPR007"}
+        assert not flagged & {45, 46, 47, 48}  # the LegalPartitioner body
+
+    def test_pragma_suppresses_the_final_violation(self):
+        findings = findings_for("sharding/rpr007_partitioner.py")
+        assert 53 not in {f.line for f in findings}
+
+    def test_messages_name_the_class_and_method(self):
+        findings = findings_for("sharding/rpr007_partitioner.py")
+        messages = {
+            f.line: f.message for f in findings if f.rule_id == "RPR007"
+        }
+        assert "SaltedPartitioner.shard_of" in messages[9]
+        assert "StickyPartitioner.shard_of" in messages[30]
+
+    def test_shipped_partitioners_are_clean(self):
+        path = os.path.join(
+            REPO_ROOT, "src", "repro", "sharding", "partition.py"
+        )
+        assert [f for f in run_analysis([path]) if f.rule_id == "RPR007"] == []
+
+
 class TestSeverityAndOrdering:
     def test_findings_are_sorted_and_error_severity(self):
         findings = findings_for("runtime/rpr002_determinism.py")

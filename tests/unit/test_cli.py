@@ -170,3 +170,52 @@ class TestObservabilityCli:
     def test_trace_missing_file_fails_cleanly(self, capsys):
         assert main(["trace", "/nonexistent/trace.jsonl"]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestShardedRuntimeCli:
+    def test_sharded_run_reports_placement_and_cut_verdict(self, capsys):
+        assert main([
+            "runtime", "--shards", "2", "--sources", "2", "--updates", "4",
+            "--clients", "0", "--seed", "3", "--require-consistent",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sharding:           2 shard(s), hash partitioner" in out
+        assert "V0->s" in out and "V1->s" in out
+        assert "strongly consistent" in out
+        assert "router" in out and "shard" in out
+
+    def test_range_partitioner_and_crash_shard(self, capsys):
+        assert main([
+            "runtime", "--shards", "2", "--partitioner", "range",
+            "--sources", "2", "--updates", "4", "--clients", "0",
+            "--seed", "5", "--crash", "--crash-shard", "1",
+            "--require-consistent",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "range partitioner" in out
+
+    def test_require_consistent_fails_non_consistent_runs(self, capsys):
+        # The unsharded 2-view catalog trace is only convergent (mutual
+        # consistency fails across views), so the gate must trip.
+        assert main([
+            "runtime", "--sources", "2", "--updates", "4", "--seed", "3",
+            "--require-consistent",
+        ]) == 1
+        assert "--require-consistent" in capsys.readouterr().err
+
+    def test_shards_reject_spanning_algorithms(self, capsys):
+        assert main([
+            "runtime", "--shards", "2", "--algorithm", "multi-stored-copies",
+        ]) == 2
+        assert "cannot be partitioned" in capsys.readouterr().err
+
+    def test_sharded_prometheus_series_carry_the_shard_label(
+        self, tmp_path, capsys
+    ):
+        prom_path = tmp_path / "metrics.prom"
+        assert main([
+            "runtime", "--shards", "2", "--sources", "2", "--updates", "4",
+            "--clients", "0", "--seed", "3", "--prom-out", str(prom_path),
+        ]) == 0
+        capsys.readouterr()
+        assert 'shard="0"' in prom_path.read_text()

@@ -12,8 +12,13 @@ from repro.durability import (
     read_records,
     recover,
 )
-from repro.durability.wal import SNAPSHOT_PREFIX, WAL_FILENAME, _snapshot_name
-from repro.errors import RecoveryError, WalCorruption
+from repro.durability.wal import (
+    LOCK_FILENAME,
+    SNAPSHOT_PREFIX,
+    WAL_FILENAME,
+    _snapshot_name,
+)
+from repro.errors import RecoveryError, WalCorruption, WalLocked
 from repro.messaging.messages import UpdateNotification
 from repro.relational.engine import evaluate_view
 from repro.relational.schema import RelationSchema
@@ -185,6 +190,64 @@ class TestSnapshots:
             WriteAheadLog(str(tmp_path), snapshot_every=0)
         with pytest.raises(ValueError):
             WriteAheadLog(str(tmp_path), keep_snapshots=0)
+
+
+class TestLocking:
+    """One WAL directory, one writer: ``wal.lock`` enforces exclusivity."""
+
+    def lock_path(self, tmp_path):
+        return os.path.join(str(tmp_path), LOCK_FILENAME)
+
+    def test_lock_file_holds_owner_pid(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        with open(self.lock_path(tmp_path), encoding="utf-8") as handle:
+            assert int(handle.read()) == os.getpid()
+        wal.close()
+
+    def test_second_writer_is_rejected(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        with pytest.raises(WalLocked):
+            WriteAheadLog(str(tmp_path))
+        wal.close()
+
+    def test_close_releases_the_lock(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(RECV, {"n": 1})
+        wal.close()
+        assert not os.path.exists(self.lock_path(tmp_path))
+        second = WriteAheadLog(str(tmp_path))
+        assert second.append(RECV, {"n": 2}) == 2
+        second.close()
+
+    def test_stale_lock_from_dead_process_is_stolen(self, tmp_path):
+        # A pid far above any live process: the holder crashed without
+        # releasing, so a new writer may steal the lock.
+        with open(self.lock_path(tmp_path), "w", encoding="utf-8") as handle:
+            handle.write("999999999")
+        wal = WriteAheadLog(str(tmp_path))
+        with open(self.lock_path(tmp_path), encoding="utf-8") as handle:
+            assert int(handle.read()) == os.getpid()
+        wal.close()
+
+    def test_unreadable_lock_body_counts_as_stale(self, tmp_path):
+        with open(self.lock_path(tmp_path), "w", encoding="utf-8") as handle:
+            handle.write("not-a-pid")
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(RECV, {})
+        wal.close()
+
+    def test_wal_locked_is_a_durability_error(self):
+        from repro.errors import DurabilityError
+
+        assert issubclass(WalLocked, DurabilityError)
+
+    def test_missing_parent_directories_are_created(self, tmp_path):
+        nested = os.path.join(str(tmp_path), "a", "b", "shard-0")
+        wal = WriteAheadLog(nested)
+        wal.append(RECV, {"n": 1})
+        wal.close()
+        records, torn = read_records(nested)
+        assert torn == 0 and [r["lsn"] for r in records] == [1]
 
 
 class TestRecoverFromWal:
