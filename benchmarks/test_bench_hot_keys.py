@@ -4,10 +4,13 @@ The measured benchmark (E7) found that on uniform-random data ECA's
 worst-case byte curve hugs the best case: compensating terms rarely match
 any tuples.  Appendix D's worst-case model implicitly assumes concurrent
 updates interact — every compensation term returns ``sigma * J`` tuples.
-This benchmark closes the loop: skewing the inserted join keys toward a
-hot value makes concurrent updates derive overlapping view tuples, and
-the compensation traffic (the best/worst gap) reappears and grows
-superlinearly with k, exactly as the model's ``k(k-1)`` term predicts.
+This benchmark closes the loop: drawing the inserted join keys from a
+Zipf distribution (``key_theta``; see
+:class:`repro.workloads.random_gen.ZipfSampler`) makes concurrent
+updates derive overlapping view tuples, and the compensation traffic
+(the best/worst gap) reappears and grows superlinearly with k, exactly
+as the model's ``k(k-1)`` term predicts.  ``theta=0`` is uniform; large
+theta collapses onto one hot key, the old ``hot_fraction=1.0`` regime.
 """
 
 from __future__ import annotations
@@ -27,12 +30,12 @@ def params():
     return PaperParameters()
 
 
-def compensation_gap(params, k, hot_fraction, seed=3):
+def compensation_gap(params, k, theta, seed=3):
     best = run_example6_once(
-        params, k, "eca", BestCaseSchedule(), seed=seed, hot_fraction=hot_fraction
+        params, k, "eca", BestCaseSchedule(), seed=seed, key_theta=theta
     )
     worst = run_example6_once(
-        params, k, "eca", WorstCaseSchedule(), seed=seed, hot_fraction=hot_fraction
+        params, k, "eca", WorstCaseSchedule(), seed=seed, key_theta=theta
     )
     return best.bytes, worst.bytes
 
@@ -40,12 +43,12 @@ def compensation_gap(params, k, hot_fraction, seed=3):
 def test_bench_hot_keys_realize_worst_case(benchmark, params):
     def sweep():
         rows = []
-        for hot in (0.0, 0.5, 1.0):
+        for theta in (0.0, 4.0, 16.0):
             for k in (12, 24):
-                best, worst = compensation_gap(params, k, hot)
+                best, worst = compensation_gap(params, k, theta)
                 rows.append(
                     {
-                        "hot": hot,
+                        "theta": theta,
                         "k": k,
                         "B best": best,
                         "B worst": worst,
@@ -57,15 +60,15 @@ def test_bench_hot_keys_realize_worst_case(benchmark, params):
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     emit(render_table("Compensation traffic vs join-key skew", rows))
 
-    gap = {(row["hot"], row["k"]): row["gap"] for row in rows}
+    gap = {(row["theta"], row["k"]): row["gap"] for row in rows}
     # Uniform keys: compensation is (near) vacuous.
-    assert gap[(0.0, 24)] <= gap[(1.0, 12)]
+    assert gap[(0.0, 24)] <= gap[(16.0, 12)]
     # Skew opens the gap...
-    assert gap[(1.0, 24)] > gap[(0.0, 24)]
-    assert gap[(1.0, 24)] > 0
+    assert gap[(16.0, 24)] > gap[(0.0, 24)]
+    assert gap[(16.0, 24)] > 0
     # ...and it grows superlinearly with k (the k(k-1) term): doubling k
     # more than doubles the gap.
-    assert gap[(1.0, 24)] > 2 * gap[(1.0, 12)]
+    assert gap[(16.0, 24)] > 2 * gap[(16.0, 12)]
 
 
 def test_bench_hot_keys_io_compensation(benchmark, params):
@@ -75,19 +78,19 @@ def test_bench_hot_keys_io_compensation(benchmark, params):
 
     def sweep():
         out = {}
-        for hot in (0.0, 1.0):
+        for theta in (0.0, 16.0):
             best = run_example6_once(
                 params, 9, "eca", BestCaseSchedule(), io_scenario=1,
-                seed=3, hot_fraction=hot,
+                seed=3, key_theta=theta,
             )
             worst = run_example6_once(
                 params, 9, "eca", WorstCaseSchedule(), io_scenario=1,
-                seed=3, hot_fraction=hot,
+                seed=3, key_theta=theta,
             )
-            out[hot] = (best.ios, worst.ios)
+            out[theta] = (best.ios, worst.ios)
         return out
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    for hot, (best_io, worst_io) in results.items():
-        assert worst_io > best_io, f"hot={hot}"
+    for theta, (best_io, worst_io) in results.items():
+        assert worst_io > best_io, f"theta={theta}"
     emit(f"I/O best/worst by skew: {results}")

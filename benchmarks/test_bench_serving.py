@@ -1,0 +1,166 @@
+"""The serving-tier trade-off: hit rate versus staleness bound.
+
+The bounded-staleness cache (docs/SERVING.md; Stale View Cleaning,
+arXiv:1509.07454) trades read freshness for backend load.  This
+benchmark sweeps the staleness bound over one fixed maintenance run and
+a fixed Zipf read mix and proves the three acceptance properties:
+
+- hit rate is monotone nondecreasing in the bound (a larger bound can
+  only turn reloads into stale serves);
+- a nonzero bound cuts backend view reads by at least 5x versus the
+  cache-off baseline;
+- no stale answer is ever served with lag above the bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_util import emit, monotone_nondecreasing
+
+from repro.core.eca import ECA
+from repro.experiments.report import render_table
+from repro.relational.engine import evaluate_view
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.runtime import run_concurrent
+from repro.serving import ServingCache, reader_for
+from repro.source.memory import MemorySource
+from repro.warehouse.catalog import WarehouseCatalog
+from repro.workloads.random_gen import random_workload, zipf_read_workload
+
+N_VIEWS = 2
+UPDATES = 16
+READS = 200
+SEED = 11
+BOUNDS = (0, 1, 2, 4, 8)
+
+
+def build():
+    sources = {}
+    algorithms = {}
+    workloads = {}
+    for index in range(N_VIEWS):
+        prefix = f"s{index}"
+        schemas = [
+            RelationSchema(f"{prefix}r1", ("W", "X"), key=("W",)),
+            RelationSchema(f"{prefix}r2", ("X", "Y"), key=("Y",)),
+        ]
+        initial = {
+            f"{prefix}r1": [(1, 2), (2, 3)],
+            f"{prefix}r2": [(2, 5), (3, 6)],
+        }
+        source = MemorySource(schemas, initial)
+        sources[prefix] = source
+        view = View.natural_join(f"V{index}", schemas, ["W", "Y"])
+        algorithms[f"V{index}"] = ECA(
+            view, evaluate_view(view, source.snapshot())
+        )
+        workloads[prefix] = random_workload(
+            schemas, UPDATES, seed=SEED + index, initial=initial,
+            respect_keys=True,
+        )
+    return sources, WarehouseCatalog(algorithms), workloads
+
+
+def run_with_bound(bound, reads, capacity=32):
+    sources, catalog, workloads = build()
+    cache = ServingCache(capacity=capacity, staleness_bound=bound)
+    result = run_concurrent(
+        sources, catalog, workloads, clients=0, seed=SEED,
+        cache=cache, read_workload=reads,
+    )
+    return result
+
+
+def run_cache_off(reads):
+    sources, catalog, workloads = build()
+    return run_concurrent(
+        sources, catalog, workloads, clients=0, seed=SEED,
+        read_workload=reads,
+    )
+
+
+def test_bench_serving_hit_rate_vs_bound(benchmark):
+    sources, catalog, _ = build()
+    reads = zipf_read_workload(
+        reader_for(catalog).current_keys(), READS, theta=1.0, seed=SEED
+    )
+
+    def sweep():
+        baseline = run_cache_off(reads)
+        rows = [
+            {
+                "bound": "off",
+                "hit rate": "-",
+                "stale served": 0,
+                "max lag": "-",
+                "backend reads": baseline.serving["backend_reads"],
+            }
+        ]
+        runs = []
+        for bound in BOUNDS:
+            result = run_with_bound(bound, reads)
+            serving = result.serving
+            rows.append(
+                {
+                    "bound": bound,
+                    "hit rate": f"{serving['hit_rate']:.2f}",
+                    "stale served": serving["stale_served"],
+                    "max lag": serving["max_served_lag"],
+                    "backend reads": serving["backend_reads"],
+                }
+            )
+            runs.append(result)
+        return baseline, runs, rows
+
+    baseline, runs, rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(render_table("Serving: hit rate vs staleness bound", rows))
+
+    # The same read mix reached every run.
+    assert baseline.serving["reads"] == READS
+    assert all(r.serving["reads"] == READS for r in runs)
+
+    # Monotone: widening the bound never lowers the hit rate and never
+    # raises backend traffic.
+    hit_rates = [r.serving["hit_rate"] for r in runs]
+    backend = [r.serving["backend_reads"] for r in runs]
+    assert monotone_nondecreasing(hit_rates)
+    assert monotone_nondecreasing(list(reversed(backend)))
+
+    # >= 5x backend-read reduction at a nonzero bound vs cache-off.
+    off_reads = baseline.serving["backend_reads"]
+    assert off_reads == READS  # every direct read hits the warehouse
+    nonzero = dict(zip(BOUNDS, runs))[2].serving["backend_reads"]
+    assert nonzero * 5 <= off_reads, (
+        f"bound 2 still issued {nonzero} backend reads vs {off_reads} off"
+    )
+
+    # Every stale answer stays within its run's bound.
+    for bound, result in zip(BOUNDS, runs):
+        assert result.serving["max_served_lag"] <= bound
+        for read in result.read_results["reader-0"]:
+            assert read.lag <= bound
+
+
+def test_bench_serving_skew_raises_hit_rate(benchmark):
+    """Hotter read mixes concentrate on fewer keys, so a cache too small
+    for the whole universe serves more of them: hit rate grows with
+    theta once eviction pressure is real (capacity 1 here)."""
+    sources, catalog, _ = build()
+    keys = reader_for(catalog).current_keys()
+
+    def sweep():
+        out = []
+        for theta in (0.0, 1.0, 8.0):
+            reads = zipf_read_workload(keys, READS, theta=theta, seed=SEED)
+            result = run_with_bound(1, reads, capacity=1)
+            out.append((theta, result.serving["hit_rate"]))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(f"hit rate by theta (capacity 1): {results}")
+    rates = [rate for _, rate in results]
+    assert monotone_nondecreasing(rates)
+    assert rates[-1] > rates[0]
+    assert rates[-1] > 0.9

@@ -8,6 +8,7 @@ RPR004       dispatch-bypass: algorithms never touch channels directly
 RPR005       obs-guard: observability hooks dominated by None checks
 RPR006       registry-completeness: every algorithm honors codec v2
 RPR007       partitioner-purity: ``shard_of`` is pure in the key
+RPR008       serving-readonly: the serving tier never writes state
 ===========  ==========================================================
 
 Rationale and per-rule examples live in ``docs/ANALYSIS.md``.
@@ -21,4 +22,5 @@ from repro.analysis.rules import (  # noqa: F401  (import = register)
     purity,
     registry_complete,
     routed,
+    serving_readonly,
 )

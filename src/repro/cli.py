@@ -375,6 +375,42 @@ def cmd_runtime(args: argparse.Namespace) -> int:
             drop_rate=args.drop_rate,
         )
 
+    cache = None
+    read_workload = None
+    if args.cache or args.read_workload:
+        from repro.serving import ServingCache, reader_for
+        from repro.workloads.random_gen import zipf_read_workload
+
+        if args.cache:
+            cache = ServingCache(
+                capacity=args.cache_capacity,
+                staleness_bound=args.staleness_bound,
+                policy=args.cache_policy,
+            )
+        if args.read_workload:
+            kind, _, rest = args.read_workload.partition(":")
+            theta = None
+            if kind == "zipf":
+                try:
+                    theta = float(rest) if rest else 1.0
+                except ValueError:
+                    theta = None
+            if theta is None or theta < 0:
+                print(
+                    f"unknown read workload {args.read_workload!r} "
+                    "(expected zipf:THETA with THETA >= 0, e.g. zipf:1.2)",
+                    file=sys.stderr,
+                )
+                return 2
+            # Key universe: serving keys of the initial view contents.
+            # Updates add and remove keys, so some reads will miss — that
+            # is representative of a real read mix, not a bug.
+            keys = reader_for(warehouse).current_keys()
+            count = max(1, args.updates * args.sources * 2)
+            read_workload = zipf_read_workload(
+                keys, count, theta=theta, seed=args.seed
+            )
+
     obs = None
     if args.trace_out or args.metrics_out or args.prom_out:
         from repro.obs import Observability
@@ -420,6 +456,8 @@ def cmd_runtime(args: argparse.Namespace) -> int:
             shards=args.shards,
             partitioner=args.partitioner,
             crash_shard=args.crash_shard,
+            cache=cache,
+            read_workload=read_workload,
         )
     finally:
         if temp_wal is not None:
@@ -486,6 +524,23 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         )
     if args.crash and not result.crashes:
         print("crash policy never fired (no eligible event boundary)")
+    if result.serving is not None:
+        serving = result.serving
+        if "hit_rate" in serving:
+            print(
+                f"serving cache:      {serving['reads']} read(s), "
+                f"hit rate {serving['hit_rate']:.2f}, "
+                f"{serving['stale_served']} stale-served "
+                f"(max lag {serving['max_served_lag']}, "
+                f"bound {serving['staleness_bound']}), "
+                f"{serving['invalidations']} invalidation(s), "
+                f"{serving['backend_reads']} backend read(s)"
+            )
+        else:
+            print(
+                f"serving reads:      {serving['reads']} read(s), "
+                f"{serving['backend_reads']} backend read(s) (cache off)"
+            )
     if obs is not None:
         from repro.obs import write_metrics_json, write_prometheus, write_trace_jsonl
 
@@ -692,6 +747,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="shard id the --crash policy attaches to in a sharded run",
+    )
+    p.add_argument(
+        "--cache",
+        action="store_true",
+        help="front the warehouse with the bounded-staleness serving cache",
+    )
+    p.add_argument(
+        "--staleness-bound",
+        type=int,
+        default=0,
+        help="invalidations a cached entry may lag before a forced reload "
+        "(0 = reload on first invalidation, i.e. always-fresh serving)",
+    )
+    p.add_argument(
+        "--cache-capacity", type=int, default=64, help="serving-cache entry budget"
+    )
+    p.add_argument(
+        "--cache-policy",
+        default="lru",
+        choices=["lru", "fifo"],
+        help="serving-cache eviction policy",
+    )
+    p.add_argument(
+        "--read-workload",
+        metavar="SPEC",
+        help="drive a read client against the serving tier; SPEC is "
+        "zipf:THETA (theta 0 = uniform, larger = hotter head)",
     )
     p.add_argument(
         "--require-consistent",

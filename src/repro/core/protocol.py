@@ -22,7 +22,7 @@ inside the algorithm; kernels treat query ids as opaque.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple, cast
+from typing import Any, Dict, List, Optional, Set, Tuple, cast
 
 from repro.errors import ProtocolError
 from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
@@ -213,6 +213,23 @@ class WarehouseAlgorithm:
     def view_state(self) -> SignedBag:
         """Current materialized view contents."""
         return self.mv.as_bag()
+
+    def dirty_keys(self) -> Set[Tuple[str, Tuple[object, ...]]]:
+        """Serving-cache keys dirtied since the last call (and reset).
+
+        Each entry is ``(view_name, cache_key)`` where the cache key is the
+        view's serving key projected out of the dirty row — or the whole
+        row when :meth:`View.serving_key_positions` finds no usable key.
+        Over-invalidation is allowed; missing a changed key is not.
+        """
+        rows = self.mv.drain_dirty()
+        if not rows:
+            return set()
+        name = self.view.name
+        positions = self.view.serving_key_positions()
+        if positions is None:
+            return {(name, tuple(row)) for row in rows}
+        return {(name, tuple(row[i] for i in positions)) for row in rows}
 
     def is_quiescent(self) -> bool:
         """True when no queries are outstanding and no work is buffered."""

@@ -50,13 +50,17 @@ def run_example6_once(
     seed: int = 0,
     source_kind: str = "memory",
     hot_fraction: float = 0.0,
+    key_theta: Optional[float] = None,
 ) -> CostRecorder:
     """One simulated Example 6 run; returns the populated recorder.
 
     ``algorithm`` is ``"eca"``, ``"rv-best"`` (recompute once, period=k) or
-    ``"rv-worst"`` (recompute every update, period=1).
+    ``"rv-worst"`` (recompute every update, period=1).  ``key_theta``
+    draws workload join keys Zipf-skewed (see :func:`build_example6`).
     """
-    setup = build_example6(params, k, seed, hot_fraction=hot_fraction)
+    setup = build_example6(
+        params, k, seed, hot_fraction=hot_fraction, key_theta=key_theta
+    )
     source = _make_source(setup, source_kind)
     initial_view = evaluate_view(setup.view, source.snapshot())
     if algorithm == "eca":

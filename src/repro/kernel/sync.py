@@ -28,11 +28,13 @@ from collections import deque
 from typing import (
     Deque,
     Dict,
+    Iterable,
     List,
     Mapping,
     Optional,
     Protocol,
     Sequence,
+    Tuple,
     Union,
 )
 
@@ -100,6 +102,19 @@ class Recorder(Protocol):
     def record_evaluation(self, query: Query, source: Source) -> None: ...
 
 
+class ServingCacheLike(Protocol):
+    """Structural interface of the serving cache (``repro.serving``).
+
+    The kernel only *streams invalidations*; it never reads through the
+    cache itself (reads stay client-side), so this is the whole contract
+    and keeps ``repro.kernel`` free of a serving-layer import.
+    """
+
+    def invalidate(
+        self, keys: Iterable[Tuple[str, Tuple[object, ...]]]
+    ) -> None: ...
+
+
 class SyncKernel:
     """One warehouse, N sources, per-source FIFO ordering.
 
@@ -122,6 +137,11 @@ class SyncKernel:
         Whether trace details carry source qualifiers.  The concurrent
         runtime always qualifies; the single-source ``Simulation`` facade
         keeps its historical unqualified strings.
+    cache:
+        Optional :class:`repro.serving.ServingCache`.  When set, every
+        warehouse event streams its dirtied view keys into the cache, so
+        reads served through the cache between steps see precise
+        maintenance-driven invalidation.
     """
 
     def __init__(
@@ -131,6 +151,7 @@ class SyncKernel:
         workload: Sequence[WorkloadItem],
         recorder: Optional[Recorder] = None,
         qualified: bool = True,
+        cache: Optional["ServingCacheLike"] = None,
     ) -> None:
         self.sources = dict(sources)
         if not self.sources:
@@ -140,6 +161,7 @@ class SyncKernel:
         self.algorithm = algorithm
         self.recorder = recorder
         self._qualified = qualified
+        self.cache = cache
         self._updates: Deque[WorkloadItem] = deque(workload)
         self.owners = relation_owners(self.sources)
         algorithm.bind_owners(self.owners)
@@ -297,9 +319,11 @@ class SyncKernel:
         from ``name``'s channel atomically."""
         message = self.inbound[name].receive()
         origin = name if name in self.sources else None
-        kind, detail, routed = dispatch_event(
+        kind, detail, routed, dirtied = dispatch_event(
             self.algorithm, origin, message, qualified=self._qualified
         )
+        if self.cache is not None and dirtied:
+            self.cache.invalidate(dirtied)
         self.trace.record_event(kind, detail)
         for destination, request in routed:
             if self.recorder is not None:

@@ -247,6 +247,16 @@ class Observability:
         self._staleness.executed(serial)
         self._staleness_gauge.set(self._staleness.lag(), **self._shard_labels)
 
+    def staleness_lag(self) -> int:
+        """Current update lag on this object's staleness basis.
+
+        Root object in unsharded runs, a :meth:`shard_view` copy in
+        sharded ones (each shard tracks its own basis).  The serving tier
+        annotates stale-served reads with this — the same number the
+        ``repro_staleness_lag_updates`` gauge last exported.
+        """
+        return self._staleness.lag()
+
     _EVENT_NAMES = {"W_up": "wh.update", "W_ans": "wh.answer", "W_ref": "wh.refresh"}
 
     def wh_event_begin(

@@ -105,6 +105,10 @@ class UnionView:
             f"union view {self.name!r} cannot map keys to output columns"
         )
 
+    def serving_key_positions(self) -> None:
+        """No serving key either: the cache falls back to whole-row keys."""
+        return None
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #

@@ -219,6 +219,22 @@ class View:
         self._key_positions[relation] = tuple(positions)
         return self._key_positions[relation]
 
+    def serving_key_positions(self) -> Optional[Tuple[int, ...]]:
+        """Output positions the serving tier keys cache entries by.
+
+        Prefers the first base relation whose key the view projects (the
+        same analysis ECA-Key relies on); falls back to ``None`` when no
+        relation qualifies, in which case the whole row is the cache key.
+        """
+        for schema in self.relations:
+            if schema.key is None:
+                continue
+            try:
+                return self.key_output_positions(schema.name)
+            except SchemaError:
+                continue
+        return None
+
     def contains_all_keys(self) -> bool:
         """True when the view projects a key of every base relation.
 

@@ -269,6 +269,7 @@ class WarehouseActor:
         channel_origins: Optional[Dict[str, Optional[str]]] = None,
         channel_labels: Optional[Dict[str, str]] = None,
         request_channel: Optional[str] = None,
+        cache: "object" = None,
     ) -> None:
         self.algorithm = algorithm
         self.transport = transport
@@ -301,6 +302,10 @@ class WarehouseActor:
         #: When set, outgoing requests are wrapped in a ShardEnvelope and
         #: sent here (the router) instead of directly to the source.
         self._request_channel = request_channel
+        #: Serving cache receiving this warehouse's precise invalidations
+        #: (``repro.serving.ServingCache`` or None).  In sharded runs every
+        #: shard actor shares the one client-side cache.
+        self.cache = cache
 
     async def run(self) -> None:
         for destination, request in self._reissue:
@@ -345,7 +350,14 @@ class WarehouseActor:
                 for qid in pending_before
                 if not (begin_kind == "W_ans" and qid == message.query_id)
             )
-        kind, detail, routed = dispatch_event(self.algorithm, origin, message)
+        kind, detail, routed, dirtied = dispatch_event(self.algorithm, origin, message)
+        # Invalidations stream out before the crash decision below: a real
+        # deployment's cache tier outlives the warehouse process, and the
+        # pre-crash incarnation already applied this event to its state.
+        # (Recovery replay re-drains the same keys inside dispatch_event
+        # and discards them — each event invalidates exactly once.)
+        if self.cache is not None and dirtied:
+            self.cache.invalidate(dirtied)
         self.event_index += 1
         fired = False
         if self.crash_run is not None:

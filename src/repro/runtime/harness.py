@@ -47,6 +47,7 @@ from repro.runtime.transport import (
     FaultyTransport,
     InMemoryTransport,
 )
+from repro.serving import ReadClientActor, ReadMismatch, ServingCache, reader_for
 from repro.simulation.trace import C_REF, S_QU, S_UP, W_CRASH, W_REC, Trace
 from repro.source.base import Source
 from repro.source.updates import Update
@@ -176,6 +177,9 @@ class RuntimeResult:
         action_log: Optional[List[str]] = None,
         per_source_states: Optional[Dict[str, List[Dict[str, SignedBag]]]] = None,
         shard_info: Optional[Dict[str, object]] = None,
+        serving: Optional[Dict[str, object]] = None,
+        read_results: Optional[Dict[str, List[object]]] = None,
+        read_mismatches: Optional[List[ReadMismatch]] = None,
     ) -> None:
         self.trace = trace
         self.metrics = metrics
@@ -205,6 +209,13 @@ class RuntimeResult:
         #: kind, view assignment, and the final per-shard algorithms — see
         #: :mod:`repro.sharding.harness`.
         self.shard_info = shard_info
+        #: Serving-tier summary — ``ServingCache.report()`` plus the
+        #: backend read count — when a cache fronted this run.
+        self.serving = serving
+        #: Per-reader :class:`repro.serving.ReadResult` lists.
+        self.read_results = dict(read_results or {})
+        #: Verify-mode divergences (must be empty at staleness bound 0).
+        self.read_mismatches = list(read_mismatches or [])
 
     def throughput(self) -> float:
         """Updates fully processed per wall-clock second."""
@@ -300,6 +311,9 @@ def run_concurrent(
     partitioner: object = "hash",
     crash_shard: int = 0,
     record_trace: bool = True,
+    cache: Optional[ServingCache] = None,
+    read_workload: Optional[Sequence[Tuple[str, Tuple[object, ...]]]] = None,
+    verify_reads: bool = False,
 ) -> RuntimeResult:
     """Run sources, warehouse, and clients concurrently to quiescence.
 
@@ -366,6 +380,20 @@ def run_concurrent(
         When ``False``, skip per-event trace/state snapshots (an O(rows)
         cost per event) — action log, serials, and metrics still accrue.
         For benchmarks; consistency checkers need the full trace.
+    cache:
+        A :class:`repro.serving.ServingCache` fronting the warehouse for
+        read traffic.  The warehouse actor streams each event's dirtied
+        view keys into it (precise invalidation); a ``read_workload``
+        is served through it by a reader actor.
+    read_workload:
+        ``(view, key)`` addresses for a :class:`ReadClientActor` —
+        usually :func:`repro.workloads.random_gen.zipf_read_workload`
+        over the view's serving keys.  Works with ``cache=None`` too
+        (direct backend reads, the cache-off baseline).
+    verify_reads:
+        Compare every cached answer against a direct backend read taken
+        atomically with it; divergences land in
+        ``RuntimeResult.read_mismatches`` (empty at staleness bound 0).
     """
     if shards is not None:
         from repro.sharding.harness import run_sharded
@@ -389,6 +417,9 @@ def run_concurrent(
             crash_shard=crash_shard,
             obs=obs,
             record_trace=record_trace,
+            cache=cache,
+            read_workload=read_workload,
+            verify_reads=verify_reads,
         )
     named_sources = _normalize_sources(sources)
     owners = relation_owners(named_sources)
@@ -417,6 +448,10 @@ def run_concurrent(
     inboxes = [warehouse_inbox(name) for name in sorted(named_sources)] + [
         warehouse_inbox(f"client-{i}") for i in range(clients)
     ]
+    if cache is not None:
+        cache.bind_obs(obs)
+        if obs is not None:
+            cache.attach_lag(obs.staleness_lag)
     warehouse = WarehouseActor(
         algorithm,
         transport,
@@ -426,6 +461,7 @@ def run_concurrent(
         wal=wal,
         crash_run=crash_run,
         obs=obs,
+        cache=cache,
     )
     handle = WarehouseHandle(warehouse)
     recorder.record_initial(handle)
@@ -459,6 +495,22 @@ def run_concurrent(
         )
         for i in range(clients)
     ]
+    reader_actors: List[ReadClientActor] = []
+    reader = None
+    if read_workload is not None:
+        # Reads go through the handle so they survive crash-and-recover
+        # incarnation swaps, like every other reader in the system.
+        reader = reader_for(algorithm, state_fn=handle.view_state)
+        reader_actors.append(
+            ReadClientActor(
+                "reader-0",
+                cache,
+                reader,
+                read_workload,
+                verify=verify_reads,
+                metrics=ActorMetrics("reader-0", "reader"),
+            )
+        )
 
     crashes: List[Dict[str, object]] = []
     wal_totals = {"records": 0, "snapshots": 0}
@@ -499,6 +551,7 @@ def run_concurrent(
             metrics=old.metrics,
             event_index=fault.event_index,
             obs=obs,
+            cache=cache,
         )
         crashes.append(
             {
@@ -525,6 +578,7 @@ def run_concurrent(
             source_actors,
             client_actors,
             restart=_restart if crash_run is not None else None,
+            reader_actors=reader_actors,
         )
     )
     wall_seconds = time.perf_counter() - started
@@ -551,6 +605,16 @@ def run_concurrent(
     metrics["warehouse"] = handle.metrics
     for client in client_actors:
         metrics[client.name] = client.metrics
+    for reader_actor in reader_actors:
+        metrics[reader_actor.name] = reader_actor.metrics
+
+    serving = None
+    if cache is not None:
+        serving = cache.report()
+        serving["backend_reads"] = reader.reads if reader is not None else 0
+        serving["freshness"] = cache.freshness()
+    elif reader is not None:
+        serving = {"reads": reader.reads, "backend_reads": reader.reads}
 
     result = RuntimeResult(
         trace=recorder.trace,
@@ -566,6 +630,9 @@ def run_concurrent(
         wal_stats=wal_stats,
         action_log=recorder.action_log,
         per_source_states=recorder.per_source_states,
+        serving=serving,
+        read_results={r.name: r.results for r in reader_actors},
+        read_mismatches=[m for r in reader_actors for m in r.mismatches],
     )
     if obs is not None:
         obs.finalize(result)
@@ -578,6 +645,7 @@ async def _drive(
     source_actors: Sequence[SourceActor],
     client_actors: Sequence[ClientActor],
     restart: Optional[object] = None,
+    reader_actors: Sequence[ReadClientActor] = (),
 ) -> None:
     tasks = [asyncio.ensure_future(actor.run()) for actor in source_actors]
 
@@ -597,6 +665,7 @@ async def _drive(
 
     warehouse_task = asyncio.ensure_future(_supervise_warehouse())
     client_tasks = [asyncio.ensure_future(actor.run()) for actor in client_actors]
+    client_tasks += [asyncio.ensure_future(actor.run()) for actor in reader_actors]
 
     try:
         # Clients perform a bounded number of reads; wait them out first.

@@ -1,0 +1,37 @@
+"""``repro.serving`` — the bounded-staleness read-serving tier.
+
+A cache-aside layer between read clients and the warehouse, invalidated
+*precisely* by the maintenance stream (each atomic warehouse event
+reports the serving keys it dirtied) and willing to serve entries up to
+a configured number of maintenance events stale, annotated with their
+lag.  See ``docs/SERVING.md`` for the full design.
+
+The package is read-only by construction — it never mutates warehouse
+state and never sends on a channel; lint rule RPR008 enforces this.
+"""
+
+from repro.serving.backend import WarehouseReader, reader_for
+from repro.serving.cache import (
+    FIFOPolicy,
+    LRUPolicy,
+    POLICIES,
+    ReadResult,
+    ServingCache,
+)
+from repro.serving.client import ReadClientActor, ReadMismatch
+from repro.serving.keys import Key, ViewKey, row_key
+
+__all__ = [
+    "FIFOPolicy",
+    "Key",
+    "LRUPolicy",
+    "POLICIES",
+    "ReadClientActor",
+    "ReadMismatch",
+    "ReadResult",
+    "ServingCache",
+    "ViewKey",
+    "WarehouseReader",
+    "reader_for",
+    "row_key",
+]

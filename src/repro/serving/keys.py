@@ -1,0 +1,31 @@
+"""Cache-key vocabulary shared by the serving tier.
+
+A serving-cache entry is addressed by ``(view_name, key)``: the view the
+client reads and the projected serving key of the rows it wants.  The
+serving key of a view is chosen by
+:meth:`repro.relational.views.View.serving_key_positions` — the first
+base-relation key the view projects (the ECA-Key analysis reused) — and
+falls back to the whole row when no relation qualifies, which degrades
+precision (a whole-row key caches single rows) but never correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+#: The projected serving key of one or more view rows.
+Key = Tuple[object, ...]
+
+#: A fully-qualified cache address: ``(view name, serving key)``.
+ViewKey = Tuple[str, Key]
+
+
+def row_key(row: Sequence[object], positions: Optional[Tuple[int, ...]]) -> Key:
+    """Project ``row`` down to its serving key.
+
+    ``positions is None`` means the view has no usable serving key and the
+    whole row doubles as one.
+    """
+    if positions is None:
+        return tuple(row)
+    return tuple(row[i] for i in positions)

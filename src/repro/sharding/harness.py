@@ -66,6 +66,7 @@ from repro.runtime.transport import (
     FaultyTransport,
     InMemoryTransport,
 )
+from repro.serving import ReadClientActor, ServingCache, WarehouseReader
 from repro.sharding.partition import Partitioner
 from repro.sharding.plan import ShardPlan, plan_shards
 from repro.sharding.router import (
@@ -126,6 +127,9 @@ def run_sharded(
     crash_shard: int = 0,
     obs: Optional[object] = None,
     record_trace: bool = True,
+    cache: Optional[ServingCache] = None,
+    read_workload: Optional[Sequence[object]] = None,
+    verify_reads: bool = False,
 ) -> RuntimeResult:
     """Run a partitioned warehouse to quiescence; returns the merged result.
 
@@ -141,6 +145,12 @@ def run_sharded(
     - the result's ``final_view``/``trace`` carry the merged tagged view,
       ``metrics`` gains ``router`` and one ``shard<i>`` row per shard,
       and ``shard_info`` records the plan.
+    - ``cache`` sits client-side of the router: one
+      :class:`~repro.serving.ServingCache` shared by every shard actor's
+      invalidation stream, read through the merged facade — a shard
+      crash-and-recover swaps incarnations under it without losing
+      invalidations (the dead incarnation pushed them before dying, and
+      replayed events drain their dirty sets unsent, exactly once each).
     """
     named_sources = _normalize_sources(sources)
     owners = relation_owners(named_sources)
@@ -217,6 +227,15 @@ def run_sharded(
                 obs=shard_obs.get(shard),
             )
 
+    if cache is not None:
+        cache.bind_obs(obs)
+        if shard_obs:
+            # The cache is client-side of the router, so its backend-lag
+            # annotation is the worst lag across shards (a stale answer
+            # may involve any of them).
+            views = tuple(shard_obs.values())
+            cache.attach_lag(lambda: max(view.staleness_lag() for view in views))
+
     handles: Dict[int, WarehouseHandle] = {}
     for shard in plan.shard_ids:
         actor = WarehouseActor(
@@ -232,6 +251,7 @@ def run_sharded(
             channel_origins=shard_origins[shard],
             channel_labels=shard_labels[shard],
             request_channel=router_request_channel(shard),
+            cache=cache,
         )
         handles[shard] = WarehouseHandle(actor)
         if wal_box[shard] is not None:
@@ -276,6 +296,27 @@ def run_sharded(
         )
         for i, name in enumerate(client_names)
     ]
+    reader_actors: List[ReadClientActor] = []
+    reader: Optional[WarehouseReader] = None
+    if read_workload is not None:
+        # Every shard's catalog tags rows with the member view name, so
+        # the merged facade serves a tagged union: one reader over it
+        # covers every view, wherever it lives.
+        key_positions: Dict[str, object] = {}
+        for catalog in plan.algorithms.values():
+            for view_name, member in catalog.algorithms.items():
+                key_positions[view_name] = member.view.serving_key_positions()
+        reader = WarehouseReader(merged.view_state, key_positions, tagged=True)
+        reader_actors.append(
+            ReadClientActor(
+                "reader-0",
+                cache,
+                reader,
+                read_workload,
+                verify=verify_reads,
+                metrics=ActorMetrics("reader-0", "reader"),
+            )
+        )
 
     crashes: List[Dict[str, object]] = []
     wal_totals = {"records": 0, "snapshots": 0}
@@ -330,6 +371,7 @@ def run_sharded(
                 channel_origins=shard_origins[shard],
                 channel_labels=shard_labels[shard],
                 request_channel=router_request_channel(shard),
+                cache=cache,
             )
             plan.algorithms[shard] = recovered.algorithm
             crashes.append(
@@ -368,6 +410,7 @@ def run_sharded(
             source_actors,
             client_actors,
             restarts,
+            reader_actors=reader_actors,
         )
     )
     wall_seconds = time.perf_counter() - started
@@ -406,6 +449,16 @@ def run_sharded(
         metrics[f"shard{shard}"] = handles[shard].metrics
     for client in client_actors:
         metrics[client.name] = client.metrics
+    for reader_actor in reader_actors:
+        metrics[reader_actor.name] = reader_actor.metrics
+
+    serving = None
+    if cache is not None:
+        serving = cache.report()
+        serving["backend_reads"] = reader.reads if reader is not None else 0
+        serving["freshness"] = cache.freshness()
+    elif reader is not None:
+        serving = {"reads": reader.reads, "backend_reads": reader.reads}
 
     partitioner_kind = (
         partitioner.kind if isinstance(partitioner, Partitioner) else str(partitioner)
@@ -431,6 +484,9 @@ def run_sharded(
             "shard_ids": plan.shard_ids,
             "algorithms": dict(plan.algorithms),
         },
+        serving=serving,
+        read_results={r.name: r.results for r in reader_actors},
+        read_mismatches=[m for r in reader_actors for m in r.mismatches],
     )
     if obs is not None:
         obs.finalize(result)
@@ -445,6 +501,7 @@ async def _drive_sharded(
     source_actors: Sequence[SourceActor],
     client_actors: Sequence[ClientActor],
     restarts: Dict[int, Callable[[WarehouseCrashed], None]],
+    reader_actors: Sequence[ReadClientActor] = (),
 ) -> None:
     source_tasks = [asyncio.ensure_future(actor.run()) for actor in source_actors]
     router_task = asyncio.ensure_future(router.run())
@@ -465,6 +522,7 @@ async def _drive_sharded(
 
     shard_tasks = [asyncio.ensure_future(_supervise(shard)) for shard in sorted(handles)]
     client_tasks = [asyncio.ensure_future(actor.run()) for actor in client_actors]
+    client_tasks += [asyncio.ensure_future(actor.run()) for actor in reader_actors]
 
     try:
         if client_tasks:

@@ -29,7 +29,7 @@ view on its own timeline.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import ProtocolError
 from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
@@ -138,6 +138,19 @@ class WarehouseCatalog:
 
     def state_of(self, view_name: str) -> SignedBag:
         return self.algorithms[view_name].view_state()
+
+    def dirty_keys(self) -> Set[Tuple[str, Tuple[object, ...]]]:
+        """Union of member dirty keys, re-tagged with the catalog key.
+
+        A member's own view name may differ from the name it is registered
+        under, so entries carry the registration key — the name clients
+        address reads with.
+        """
+        out: Set[Tuple[str, Tuple[object, ...]]] = set()
+        for view_name, algorithm in self.algorithms.items():
+            for _, key in algorithm.dirty_keys():
+                out.add((view_name, key))
+        return out
 
     def view_history(self, view_name: str) -> List[SignedBag]:
         """One member view's state after every catalog event, oldest first.

@@ -7,7 +7,7 @@ a non-negative :class:`~repro.relational.bag.SignedBag`.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ViewStateError
 from repro.relational.bag import SignedBag
@@ -35,6 +35,10 @@ class MaterializedView:
                 f"initial contents of {view.name!r} contain negative tuples"
             )
         self._contents = contents
+        #: Rows whose multiplicity changed since the last ``drain_dirty``.
+        #: The serving tier turns these into precise cache invalidations;
+        #: the initial contents are not dirty (caches start empty).
+        self._dirty: Set[Row] = set()
 
     # ------------------------------------------------------------------ #
     # Reads
@@ -64,6 +68,18 @@ class MaterializedView:
 
     def is_empty(self) -> bool:
         return self._contents.is_empty()
+
+    def drain_dirty(self) -> Set[Row]:
+        """Rows touched by writes since the last drain (and reset the set).
+
+        Every write path (:meth:`apply_delta`, :meth:`replace`,
+        :meth:`key_delete`) records the rows whose multiplicity it changed;
+        over-reporting is allowed (a clamped delta row counts), dropping a
+        changed row is not — cache invalidation depends on completeness.
+        """
+        dirtied = self._dirty
+        self._dirty = set()
+        return dirtied
 
     # ------------------------------------------------------------------ #
     # Writes
@@ -104,6 +120,8 @@ class MaterializedView:
                     clamped.add(row, count)
             updated = clamped
         self._contents = updated
+        for row, _ in delta.items():
+            self._dirty.add(row)
 
     def replace(self, contents: SignedBag) -> None:
         """Install a complete new state (used by RV and by ECA-Key)."""
@@ -111,6 +129,10 @@ class MaterializedView:
             raise ViewStateError(
                 f"replacement contents for {self.view.name!r} contain negative tuples"
             )
+        # Dirty exactly the rows whose multiplicity differs between the
+        # outgoing and incoming states (the bag difference holds them all).
+        for row, _ in (contents - self._contents).items():
+            self._dirty.add(row)
         self._contents = contents.copy()
 
     def key_delete(self, relation: str, values: Sequence[object]) -> int:
@@ -120,7 +142,9 @@ class MaterializedView:
         ``relation``'s key equal the key of ``values``.  Returns the number
         of tuple occurrences removed.
         """
-        return key_delete(self._contents, self.view, relation, values)
+        return key_delete(
+            self._contents, self.view, relation, values, dirtied=self._dirty
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MaterializedView):
@@ -132,12 +156,17 @@ class MaterializedView:
 
 
 def key_delete(
-    contents: SignedBag, view: View, relation: str, values: Sequence[object]
+    contents: SignedBag,
+    view: View,
+    relation: str,
+    values: Sequence[object],
+    dirtied: Optional[Set[Row]] = None,
 ) -> int:
     """Delete from ``contents`` all tuples matching ``values``' key.
 
     Standalone so ECA-Key can apply key-deletes to its COLLECT working copy
-    as well as to the installed view.
+    as well as to the installed view.  ``dirtied``, when given, collects the
+    removed rows (the installed-view caller threads its dirty set through).
     """
     schema = view.schema_for(relation)
     key = schema.key_of(values)
@@ -151,4 +180,6 @@ def key_delete(
     for row in doomed:
         removed += abs(contents.multiplicity(row))
         contents.discard_row(row)
+        if dirtied is not None:
+            dirtied.add(row)
     return removed

@@ -22,13 +22,14 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.costmodel.parameters import PaperParameters
 from repro.relational.conditions import Attr, Comparison, Condition
 from repro.relational.schema import RelationSchema
 from repro.relational.views import View
 from repro.source.updates import Update, insert
+from repro.workloads.random_gen import ZipfSampler
 
 #: Domain size for the W and Z attributes.
 VALUE_DOMAIN = 1000
@@ -115,15 +116,24 @@ class Example6Setup:
 
 
 def build_example6(
-    params: PaperParameters, k: int, seed: int = 0, hot_fraction: float = 0.0
+    params: PaperParameters,
+    k: int,
+    seed: int = 0,
+    hot_fraction: float = 0.0,
+    key_theta: Optional[float] = None,
 ) -> Example6Setup:
     """Generate data and a k-insert workload matching ``params``.
 
     The W column is shifted by :func:`selectivity_shift` so that the fixed
-    condition ``W > Z`` selects with probability ``sigma``.
-    ``hot_fraction`` skews the inserted tuples' join keys toward one hot
-    value, which is the regime where compensating queries return real
-    tuples (uniform random keys rarely collide within a run).
+    condition ``W > Z`` selects with probability ``sigma``.  Skewing the
+    inserted tuples' join keys toward hot values is the regime where
+    compensating queries return real tuples (uniform random keys rarely
+    collide within a run); ``key_theta`` draws keys Zipf-distributed over
+    the join domain via :class:`~repro.workloads.random_gen.ZipfSampler`
+    (``key_theta=0.0`` is uniform and consumes the RNG stream exactly like
+    the default).  ``hot_fraction`` is the legacy coin-flip skew, kept for
+    the analytic worst-case comparisons; it is ignored when ``key_theta``
+    is given.
     """
     if k < 0:
         raise ValueError(f"k must be >= 0, got {k}")
@@ -133,6 +143,14 @@ def build_example6(
     C, J = params.C, params.J
     distinct = max(1, C // J)
     shift = selectivity_shift(params.sigma)
+    sampler = (
+        ZipfSampler(distinct, key_theta, rng=rng) if key_theta is not None else None
+    )
+
+    def draw_key() -> int:
+        if sampler is not None:
+            return sampler.sample()
+        return _key(rng, distinct, hot_fraction)
 
     def draw_w() -> int:
         return rng.randrange(VALUE_DOMAIN) + shift
@@ -154,11 +172,11 @@ def build_example6(
     for index in range(k):
         relation = ("r1", "r2", "r3")[index % 3]
         if relation == "r1":
-            row: Tuple[object, ...] = (draw_w(), _key(rng, distinct, hot_fraction))
+            row: Tuple[object, ...] = (draw_w(), draw_key())
         elif relation == "r2":
-            row = (_key(rng, distinct, hot_fraction), _key(rng, distinct, hot_fraction))
+            row = (draw_key(), draw_key())
         else:
-            row = (_key(rng, distinct, hot_fraction), draw_z())
+            row = (draw_key(), draw_z())
         workload.append(insert(relation, row))
 
     return Example6Setup(

@@ -10,13 +10,95 @@ on).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, TypeVar
 
 from repro.relational.bag import SignedBag
 from repro.relational.schema import RelationSchema
 from repro.source.updates import Update, delete, insert
 
 Row = Tuple[object, ...]
+
+T = TypeVar("T")
+
+
+class ZipfSampler:
+    """Seeded Zipf-distributed rank sampler: ``P(rank i) ∝ 1/(i+1)^theta``.
+
+    ``theta`` controls skew: 0 is uniform (and is special-cased to a
+    single ``randrange`` draw so uniform sampling consumes the RNG stream
+    exactly like the historical code paths it replaces), ~1 is classic
+    web-like skew, and large values collapse onto rank 0 — the hot-key
+    regime.  Sampling is inverse-CDF over a precomputed table, so a given
+    ``(n, theta, seed)`` triple always yields the same rank sequence
+    (RPR002 determinism).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        theta: float,
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one rank, got n={n}")
+        if theta < 0:
+            raise ValueError(f"zipf theta must be >= 0, got {theta}")
+        self.n = n
+        self.theta = theta
+        #: Callers embedding the sampler in a larger generator pass their
+        #: own ``rng`` so one seed governs the whole artifact.
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._cdf: List[float] = []
+        if theta > 0:
+            total = 0.0
+            weights = [1.0 / (i + 1) ** theta for i in range(n)]
+            norm = sum(weights)
+            for weight in weights:
+                total += weight / norm
+                self._cdf.append(total)
+            self._cdf[-1] = 1.0  # guard against float drift
+
+    def sample(self) -> int:
+        """The next rank in ``[0, n)``."""
+        if self.theta == 0:
+            return self._rng.randrange(self.n)
+        u = self._rng.random()
+        # Binary search the CDF (n is small; bisect avoids an import).
+        lo, hi = 0, self.n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def choose(self, items: Sequence[T]) -> T:
+        """Pick from ``items`` with rank 0 = ``items[0]`` the hottest."""
+        if len(items) != self.n:
+            raise ValueError(
+                f"sampler built for {self.n} ranks, got {len(items)} items"
+            )
+        return items[self.sample()]
+
+
+def zipf_read_workload(
+    keys: Sequence[T], count: int, theta: float = 1.0, seed: int = 0
+) -> List[T]:
+    """``count`` reads over ``keys`` with Zipf-distributed popularity.
+
+    Rank order is shuffled once (seeded) so the hot key is not always the
+    lexicographically-first one; the result is fully determined by
+    ``(tuple(keys), count, theta, seed)``.
+    """
+    if not keys:
+        raise ValueError("cannot generate reads over an empty key universe")
+    rng = random.Random(seed)
+    ranked = list(keys)
+    rng.shuffle(ranked)
+    sampler = ZipfSampler(len(ranked), theta, seed=rng.randrange(2**31))
+    return [ranked[sampler.sample()] for _ in range(count)]
 
 
 def random_rows(

@@ -1,0 +1,41 @@
+"""Fixture: RPR008 serving-readonly violations (deliberately broken)."""
+
+
+class LeakyFrontend:
+    def __init__(self, catalog, channel):
+        self.catalog = catalog
+        self.channel = channel
+
+    def refresh(self, delta):
+        self.catalog.algorithms["V"].mv.apply_delta(delta)  # RPR008: view write
+
+    def purge(self, relation, values):
+        self.catalog.key_delete(relation, values)  # RPR008: view write
+
+    def install(self, mv, bag):
+        mv.replace(bag)  # RPR008: whole-state install
+
+    def announce(self, message):
+        self.channel.send(message)  # RPR008: channel egress
+
+    def hijack(self, algorithms):
+        self.catalog.algorithms = algorithms  # RPR008: structure rebind
+
+
+class LegalFrontend:
+    def __init__(self, catalog):
+        self.catalog = catalog
+        self.label = "serving"
+
+    def snapshot(self):
+        # Reading a view_state() copy is the whole point of the tier.
+        return self.catalog.view_state()
+
+    def pretty(self, text):
+        # str.replace must not trip the .replace() write check.
+        return text.replace("_", " ")
+
+
+class SuppressedFrontend:
+    def force(self, mv, bag):
+        mv.replace(bag)  # repro: ignore[RPR008] -- fixture demonstrates pragmas

@@ -86,6 +86,7 @@ class TestDispatchBypassRule:
         assert golden(findings) == [
             (16, "RPR004"),  # FifoChannel(...) construction
             (19, "RPR004"),  # .send(...) channel I/O
+            (19, "RPR008"),  # explicit fixture paths run every rule
         ]
 
 
@@ -174,6 +175,32 @@ class TestPartitionerPurityRule:
             REPO_ROOT, "src", "repro", "sharding", "partition.py"
         )
         assert [f for f in run_analysis([path]) if f.rule_id == "RPR007"] == []
+
+
+class TestServingReadOnlyRule:
+    def test_fixture_produces_exactly_the_expected_findings(self):
+        findings = findings_for("serving/rpr008_readonly.py")
+        assert golden(findings) == [
+            (10, "RPR008"),  # .apply_delta() view write
+            (13, "RPR008"),  # .key_delete() view write
+            (16, "RPR008"),  # .replace() whole-state install
+            (19, "RPR004"),  # .send() also trips dispatch-bypass
+            (19, "RPR008"),  # .send() channel egress
+            (22, "RPR008"),  # .algorithms structure rebind
+        ]
+
+    def test_snapshot_reads_and_str_replace_are_clean(self):
+        findings = findings_for("serving/rpr008_readonly.py")
+        flagged = {f.line for f in findings if f.rule_id == "RPR008"}
+        assert not flagged & {31, 32, 35, 36}  # the LegalFrontend body
+
+    def test_pragma_suppresses_the_final_violation(self):
+        findings = findings_for("serving/rpr008_readonly.py")
+        assert 41 not in {f.line for f in findings}
+
+    def test_shipped_serving_package_is_clean(self):
+        path = os.path.join(REPO_ROOT, "src", "repro", "serving")
+        assert [f for f in run_analysis([path]) if f.rule_id == "RPR008"] == []
 
 
 class TestSeverityAndOrdering:

@@ -1,0 +1,110 @@
+"""Property tests: bound-0 serving equals direct reads, at every step.
+
+The serving tier's core guarantee (docs/SERVING.md): with
+``staleness_bound=0``, a cached read returns exactly what an uncached
+read of the warehouse returns at the same point in the event sequence —
+any maintenance write to a key forces the next read of that key to
+reload.  The asyncio and sharded frontends are covered by
+``tests/integration/test_serving_runtime.py``; here Hypothesis drives
+the sync kernel through random interleavings and read points, where
+every intermediate state is observable.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.eca import ECA
+from repro.kernel.sync import SyncKernel
+from repro.relational.engine import evaluate_view
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.serving import ServingCache, reader_for
+from repro.simulation.schedules import RandomSchedule
+from repro.source.memory import MemorySource
+from repro.warehouse.catalog import WarehouseCatalog
+from repro.workloads.random_gen import random_workload
+
+
+def build_kernel(n_views, updates, seed, cache):
+    sources = {}
+    algorithms = {}
+    workload = []
+    for index in range(n_views):
+        prefix = f"s{index}"
+        schemas = [
+            RelationSchema(f"{prefix}r1", ("W", "X"), key=("W",)),
+            RelationSchema(f"{prefix}r2", ("X", "Y"), key=("Y",)),
+        ]
+        initial = {
+            f"{prefix}r1": [(1, 2), (2, 3)],
+            f"{prefix}r2": [(2, 5), (3, 6)],
+        }
+        source = MemorySource(schemas, initial)
+        sources[prefix] = source
+        view = View.natural_join(f"V{index}", schemas, ["W", "Y"])
+        algorithms[f"V{index}"] = ECA(
+            view, evaluate_view(view, source.snapshot())
+        )
+        workload.extend(
+            random_workload(
+                schemas, updates, seed=seed + index, initial=initial,
+                respect_keys=True,
+            )
+        )
+    catalog = WarehouseCatalog(algorithms)
+    return SyncKernel(sources, catalog, workload, cache=cache), catalog
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_views=st.integers(1, 2),
+    updates=st.integers(1, 8),
+    seed=st.integers(0, 1000),
+    schedule_seed=st.integers(0, 1000),
+)
+def test_bound_zero_cached_reads_equal_direct_reads(
+    n_views, updates, seed, schedule_seed
+):
+    cache = ServingCache(capacity=8, staleness_bound=0)
+    kernel, catalog = build_kernel(n_views, updates, seed, cache)
+    reader = reader_for(catalog)
+    schedule = RandomSchedule(schedule_seed)
+    while True:
+        available = kernel.available_actions()
+        if not available:
+            break
+        kernel.step(schedule.choose(available))
+        # Read every currently-live address through the cache and
+        # directly; bound 0 means they must agree mid-run, not just at
+        # quiescence.
+        for view_name, key in reader.current_keys():
+            cached = cache.read(view_name, key, reader.loader(view_name, key))
+            assert cached.value == reader.read(view_name, key), (
+                f"bound-0 divergence at {view_name}:{key}"
+            )
+            assert cached.status in ("hit", "miss")
+            assert cached.lag == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    bound=st.integers(0, 4),
+    seed=st.integers(0, 1000),
+    schedule_seed=st.integers(0, 1000),
+)
+def test_served_lag_never_exceeds_the_bound(bound, seed, schedule_seed):
+    cache = ServingCache(capacity=8, staleness_bound=bound)
+    kernel, catalog = build_kernel(1, 8, seed, cache)
+    reader = reader_for(catalog)
+    schedule = RandomSchedule(schedule_seed)
+    while True:
+        available = kernel.available_actions()
+        if not available:
+            break
+        kernel.step(schedule.choose(available))
+        for view_name, key in reader.current_keys():
+            result = cache.read(view_name, key, reader.loader(view_name, key))
+            assert result.lag <= bound
+            if result.status == "stale":
+                assert result.lag >= 1
+    assert cache.max_served_lag <= bound

@@ -219,3 +219,59 @@ class TestShardedRuntimeCli:
         ]) == 0
         capsys.readouterr()
         assert 'shard="0"' in prom_path.read_text()
+
+
+class TestServingCli:
+    def test_cache_run_prints_the_serving_report(self, capsys):
+        assert main([
+            "runtime", "--sources", "2", "--updates", "6", "--clients", "0",
+            "--seed", "5", "--cache", "--staleness-bound", "2",
+            "--read-workload", "zipf:1.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serving cache:" in out
+        assert "hit rate" in out
+        assert "max lag" in out
+        assert "backend read(s)" in out
+
+    def test_read_workload_without_cache_reads_direct(self, capsys):
+        assert main([
+            "runtime", "--sources", "1", "--updates", "4", "--clients", "0",
+            "--seed", "2", "--read-workload", "zipf:0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(cache off)" in out
+
+    def test_cache_flags_flow_into_the_parser(self):
+        args = build_parser().parse_args([
+            "runtime", "--cache", "--staleness-bound", "3",
+            "--cache-capacity", "16", "--cache-policy", "fifo",
+            "--read-workload", "zipf:0.5",
+        ])
+        assert args.cache is True
+        assert args.staleness_bound == 3
+        assert args.cache_capacity == 16
+        assert args.cache_policy == "fifo"
+        assert args.read_workload == "zipf:0.5"
+
+    def test_bad_read_workload_spec_is_rejected(self, capsys):
+        assert main([
+            "runtime", "--sources", "1", "--updates", "2", "--clients", "0",
+            "--read-workload", "uniform",
+        ]) == 2
+        assert "zipf:THETA" in capsys.readouterr().err
+
+    def test_negative_theta_is_rejected(self, capsys):
+        assert main([
+            "runtime", "--sources", "1", "--updates", "2", "--clients", "0",
+            "--read-workload", "zipf:-1",
+        ]) == 2
+        assert "zipf:THETA" in capsys.readouterr().err
+
+    def test_sharded_cache_run_stays_consistent(self, capsys):
+        assert main([
+            "runtime", "--shards", "2", "--sources", "2", "--updates", "4",
+            "--clients", "0", "--seed", "3", "--cache",
+            "--read-workload", "zipf:1", "--require-consistent",
+        ]) == 0
+        assert "serving cache:" in capsys.readouterr().out

@@ -14,12 +14,17 @@ sys.path.insert(0, str(REPO_ROOT / "tools"))
 from check_doc_links import (  # noqa: E402
     ANALYSIS_CLI,
     ANALYSIS_DOC,
+    RUNTIME_CLI,
+    SERVING_DOC,
     anchors_of,
     check_file,
     check_lint_flags,
+    check_runtime_flags,
     check_tree,
     lint_cli_flags,
     lint_flag_references,
+    runtime_cli_flags,
+    runtime_flag_references,
     slugify,
 )
 
@@ -115,6 +120,60 @@ class TestLintFlags:
         refs = list(lint_flag_references(doc))
         assert refs, "ANALYSIS.md documents no CLI flags — scan is vacuous"
         assert check_lint_flags(REPO_ROOT) == []
+
+
+class TestRuntimeFlags:
+    """docs/SERVING.md's `repro runtime` flag references must resolve."""
+
+    def _tree(self, tmp_path, doc_text):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / Path(SERVING_DOC).name).write_text(doc_text)
+        cli = tmp_path / RUNTIME_CLI
+        cli.parent.mkdir(parents=True)
+        cli.write_text((REPO_ROOT / RUNTIME_CLI).read_text(encoding="utf-8"))
+        return tmp_path
+
+    def test_parser_defines_the_serving_flags(self):
+        flags = runtime_cli_flags(REPO_ROOT)
+        assert {
+            "--cache",
+            "--staleness-bound",
+            "--cache-capacity",
+            "--cache-policy",
+            "--read-workload",
+        } <= flags
+
+    def test_references_keyed_on_runtime_invocations(self):
+        refs = list(
+            runtime_flag_references(
+                "Run `python -m repro runtime --cache` with\n"
+                "`--staleness-bound 2`.\n"
+                "```bash\n"
+                "python -m repro runtime --cache --read-workload zipf:1.2\n"
+                "python -m repro.analysis src --format text  # lint, not scanned\n"
+                "```\n"
+            )
+        )
+        assert refs == [
+            (1, "--cache"),
+            (2, "--staleness-bound"),
+            (4, "--cache"),
+            (4, "--read-workload"),
+        ]
+
+    def test_dangling_flag_is_reported(self, tmp_path):
+        root = self._tree(
+            tmp_path, "Pass `--turbo-cache` to `repro runtime` to go fast.\n"
+        )
+        (broken,) = check_runtime_flags(root)
+        assert broken.target == "--turbo-cache"
+        assert "no such repro runtime flag" in broken.reason
+
+    def test_real_serving_doc_references_are_live_and_nonempty(self):
+        doc = (REPO_ROOT / SERVING_DOC).read_text(encoding="utf-8")
+        refs = list(runtime_flag_references(doc))
+        assert refs, "SERVING.md documents no CLI flags — scan is vacuous"
+        assert check_runtime_flags(REPO_ROOT) == []
 
 
 class TestRealRepository:

@@ -13,7 +13,12 @@ from repro.workloads.example6 import (
     selectivity_shift,
 )
 from repro.workloads.paper_examples import PAPER_EXAMPLES
-from repro.workloads.random_gen import random_rows, random_workload
+from repro.workloads.random_gen import (
+    ZipfSampler,
+    random_rows,
+    random_workload,
+    zipf_read_workload,
+)
 
 
 class TestExample6Schemas:
@@ -175,6 +180,94 @@ class TestRandomWorkload:
         rows = random_rows(schema, 10, seed=0, domain=50, respect_keys=True)
         assert len(rows) == 10
         assert len({r[0] for r in rows}) == 10
+
+
+class TestZipfSampler:
+    def test_reproducible_by_seed(self):
+        a = ZipfSampler(10, 1.0, seed=7)
+        b = ZipfSampler(10, 1.0, seed=7)
+        assert [a.sample() for _ in range(50)] == [b.sample() for _ in range(50)]
+
+    def test_ranks_stay_in_range(self):
+        sampler = ZipfSampler(5, 2.0, seed=1)
+        ranks = [sampler.sample() for _ in range(200)]
+        assert all(0 <= r < 5 for r in ranks)
+
+    def test_theta_zero_matches_randrange_stream(self):
+        # The uniform special case must consume the RNG exactly like the
+        # legacy randrange-based code paths it replaces (RPR002 replays).
+        import random
+
+        sampler = ZipfSampler(8, 0.0, seed=3)
+        rng = random.Random(3)
+        assert [sampler.sample() for _ in range(40)] == [
+            rng.randrange(8) for _ in range(40)
+        ]
+
+    def test_skew_concentrates_on_rank_zero(self):
+        from collections import Counter
+
+        sampler = ZipfSampler(6, 3.0, seed=0)
+        counts = Counter(sampler.sample() for _ in range(2000))
+        assert counts[0] > counts[1] > counts[5]
+        assert counts[0] / 2000 > 0.5
+
+    def test_large_theta_is_the_hot_key_regime(self):
+        sampler = ZipfSampler(4, 50.0, seed=2)
+        assert {sampler.sample() for _ in range(300)} == {0}
+
+    def test_shared_rng_is_used(self):
+        import random
+
+        rng = random.Random(11)
+        sampler = ZipfSampler(5, 1.0, rng=rng)
+        before = rng.getstate()
+        sampler.sample()
+        assert rng.getstate() != before
+
+    def test_choose_maps_rank_zero_to_first_item(self):
+        sampler = ZipfSampler(3, 50.0, seed=0)
+        assert sampler.choose(["hot", "warm", "cold"]) == "hot"
+
+    def test_choose_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(3, 1.0).choose(["a", "b"])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(4, -0.5)
+
+
+class TestZipfReadWorkload:
+    KEYS = [("V0", (w,)) for w in range(6)]
+
+    def test_deterministic(self):
+        a = zipf_read_workload(self.KEYS, 30, theta=1.2, seed=4)
+        b = zipf_read_workload(self.KEYS, 30, theta=1.2, seed=4)
+        assert a == b
+
+    def test_draws_only_given_keys(self):
+        reads = zipf_read_workload(self.KEYS, 50, theta=0.8, seed=1)
+        assert len(reads) == 50
+        assert set(reads) <= set(self.KEYS)
+
+    def test_hot_key_varies_with_seed(self):
+        # Rank order is shuffled per seed, so the hottest key is not
+        # pinned to the lexicographically-first one.
+        hot = {
+            max(set(r), key=r.count)
+            for r in (
+                zipf_read_workload(self.KEYS, 80, theta=5.0, seed=s)
+                for s in range(6)
+            )
+        }
+        assert len(hot) > 1
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_read_workload([], 5)
 
 
 class TestPaperScenarios:

@@ -12,7 +12,11 @@ every markdown link, and verifies:
   attributes to ``repro lint`` / ``python -m repro.analysis`` exists in
   the linter's argument parser (``src/repro/analysis/__main__.py``,
   read via ``ast`` — never imported), so the analysis docs cannot
-  drift from the CLI.
+  drift from the CLI;
+- **runtime CLI flags**: likewise, every ``--flag`` that
+  ``docs/SERVING.md`` attributes to ``repro runtime`` exists in the
+  main CLI's argument parser (``src/repro/cli.py``), so the serving
+  docs cannot drift from the runtime flags they document.
 
 External schemes (http/https/mailto) are skipped — CI must not depend
 on the network.  Fenced code blocks and inline code spans are ignored
@@ -42,9 +46,15 @@ DOC_GLOBS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/*.md")
 ANALYSIS_DOC = "docs/ANALYSIS.md"
 ANALYSIS_CLI = "src/repro/analysis/__main__.py"
 
+#: The document whose ``repro runtime --flag`` references are validated,
+#: and the argparse module they must resolve against.
+SERVING_DOC = "docs/SERVING.md"
+RUNTIME_CLI = "src/repro/cli.py"
+
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _FLAG = re.compile(r"(--[A-Za-z0-9][\w-]*)")
 _LINT_INVOCATION = re.compile(r"repro\.analysis|repro lint")
+_RUNTIME_INVOCATION = re.compile(r"repro runtime|-m repro runtime")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$")
 _FENCE = re.compile(r"^(```|~~~)")
 _CODE_SPAN = re.compile(r"`[^`]*`")
@@ -138,8 +148,8 @@ def check_file(path: Path, root: Path) -> List[Broken]:
     return broken
 
 
-def lint_cli_flags(root: Path) -> Set[str]:
-    """The ``--flags`` the lint CLI's argparse actually defines.
+def _parser_flags(root: Path, cli_module: str) -> Set[str]:
+    """The ``--flags`` an argparse module actually defines.
 
     Read from the source with ``ast`` rather than imported: the checker
     must work without ``src`` on ``sys.path`` and must not execute
@@ -147,7 +157,7 @@ def lint_cli_flags(root: Path) -> Set[str]:
     """
 
     flags: Set[str] = set()
-    tree = ast.parse((root / ANALYSIS_CLI).read_text(encoding="utf-8"))
+    tree = ast.parse((root / cli_module).read_text(encoding="utf-8"))
     for node in ast.walk(tree):
         if (
             isinstance(node, ast.Call)
@@ -161,17 +171,30 @@ def lint_cli_flags(root: Path) -> Set[str]:
     return flags
 
 
-def lint_flag_references(text: str) -> Iterator[Tuple[int, str]]:
-    """``(lineno, flag)`` for every lint-CLI flag the document mentions.
+def lint_cli_flags(root: Path) -> Set[str]:
+    """The ``--flags`` the lint CLI's argparse actually defines."""
+
+    return _parser_flags(root, ANALYSIS_CLI)
+
+
+def runtime_cli_flags(root: Path) -> Set[str]:
+    """The ``--flags`` the main ``repro`` CLI's argparse defines."""
+
+    return _parser_flags(root, RUNTIME_CLI)
+
+
+def _flag_references(
+    text: str, invocation: "re.Pattern[str]"
+) -> Iterator[Tuple[int, str]]:
+    """``(lineno, flag)`` for every CLI flag the document mentions.
 
     Two reference shapes count:
 
-    - inside fenced code blocks, flags on lines that invoke the linter
-      (``python -m repro.analysis ...`` / ``repro lint ...``);
+    - inside fenced code blocks, flags on lines matching ``invocation``;
     - inline code spans that either contain such an invocation or *are*
       a flag (``` `--format json` ```, ``` `--list-rules` ```) — by
-      this document's convention a span starting with ``--`` refers to
-      the lint CLI.
+      convention a span starting with ``--`` refers to the document's
+      CLI.
     """
 
     fence: Optional[str] = None
@@ -185,15 +208,27 @@ def lint_flag_references(text: str) -> Iterator[Tuple[int, str]]:
                 fence = None
             continue
         if fence is not None:
-            if _LINT_INVOCATION.search(line):
+            if invocation.search(line):
                 for flag in _FLAG.findall(line):
                     yield lineno, flag
             continue
         for span in _CODE_SPAN.findall(line):
             content = span.strip("`")
-            if _LINT_INVOCATION.search(content) or content.startswith("--"):
+            if invocation.search(content) or content.startswith("--"):
                 for flag in _FLAG.findall(content):
                     yield lineno, flag
+
+
+def lint_flag_references(text: str) -> Iterator[Tuple[int, str]]:
+    """``(lineno, flag)`` for every lint-CLI flag the document mentions."""
+
+    return _flag_references(text, _LINT_INVOCATION)
+
+
+def runtime_flag_references(text: str) -> Iterator[Tuple[int, str]]:
+    """``(lineno, flag)`` for every runtime-CLI flag the doc mentions."""
+
+    return _flag_references(text, _RUNTIME_INVOCATION)
 
 
 def check_lint_flags(root: Path) -> List[Broken]:
@@ -217,12 +252,35 @@ def check_lint_flags(root: Path) -> List[Broken]:
     return broken
 
 
+def check_runtime_flags(root: Path) -> List[Broken]:
+    """Dangling ``repro runtime`` flag references in ``docs/SERVING.md``."""
+
+    doc = root / SERVING_DOC
+    if not doc.exists() or not (root / RUNTIME_CLI).exists():
+        return []
+    known = runtime_cli_flags(root)
+    broken: List[Broken] = []
+    for lineno, flag in runtime_flag_references(doc.read_text(encoding="utf-8")):
+        if flag not in known:
+            broken.append(
+                Broken(
+                    doc,
+                    lineno,
+                    flag,
+                    "no such repro runtime flag "
+                    f"(parser defines: {sorted(known)})",
+                )
+            )
+    return broken
+
+
 def check_tree(root: Path) -> List[Broken]:
     broken: List[Broken] = []
     for pattern in DOC_GLOBS:
         for path in sorted(root.glob(pattern)):
             broken.extend(check_file(path, root))
     broken.extend(check_lint_flags(root))
+    broken.extend(check_runtime_flags(root))
     return broken
 
 
