@@ -31,7 +31,10 @@ from repro.experiments.measured import (
     run_example6_once,
 )
 from repro.experiments.report import render_series
+from repro.relational.engine import evaluate_query, evaluate_query_scalar
 from repro.simulation.schedules import BestCaseSchedule, WorstCaseSchedule
+from repro.source.memory import MemorySource
+from repro.workloads.example6 import build_example6
 
 
 @pytest.fixture(scope="module")
@@ -116,6 +119,44 @@ def test_bench_measured_compensation_visible_in_query_complexity(benchmark, para
     assert best.terms_evaluated == 9  # one single-term query per update
     assert worst.terms_evaluated > best.terms_evaluated
     assert best.messages == worst.messages == 18  # M = 2k regardless
+
+
+def test_bench_batched_engine_matches_scalar_oracle(benchmark, params):
+    """The CI `bench-smoke` divergence gate (docs/PERFORMANCE.md).
+
+    The columnar engine earns its speedup only if it computes exactly
+    what the retired row-at-a-time plan computed.  On the measured
+    workload's own data — Example 6 states before and after each
+    update, plus every substituted delta query — `evaluate_query` and
+    `evaluate_query_scalar` must agree bag-for-bag.
+    """
+
+    def divergence_sweep():
+        checked = 0
+        for seed in (0, 4):
+            setup = build_example6(params, 6, seed)
+            source = MemorySource(setup.schemas, setup.initial)
+            view_query = setup.view.as_query()
+            for update in setup.workload:
+                state = source.snapshot()
+                delta = setup.view.substitute(
+                    update.relation, update.signed_tuple()
+                )
+                for query in (view_query, delta):
+                    assert evaluate_query(query, state) == evaluate_query_scalar(
+                        query, state
+                    )
+                    checked += 1
+                source.apply_update(update)
+            final = source.snapshot()
+            assert evaluate_query(view_query, final) == evaluate_query_scalar(
+                view_query, final
+            )
+            checked += 1
+        return checked
+
+    checked = benchmark.pedantic(divergence_sweep, rounds=1, iterations=1)
+    assert checked == 2 * (6 * 2 + 1)
 
 
 def test_bench_measured_sqlite_source_agrees(benchmark, params):

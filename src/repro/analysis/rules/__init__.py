@@ -9,6 +9,7 @@ RPR005       obs-guard: observability hooks dominated by None checks
 RPR006       registry-completeness: every algorithm honors codec v2
 RPR007       partitioner-purity: ``shard_of`` is pure in the key
 RPR008       serving-readonly: the serving tier never writes state
+RPR009       hot-path: no per-tuple wrappers in relational operator loops
 ===========  ==========================================================
 
 Rationale and per-rule examples live in ``docs/ANALYSIS.md``.
@@ -18,6 +19,7 @@ from repro.analysis.rules import (  # noqa: F401  (import = register)
     async_safety,
     determinism,
     dispatch_bypass,
+    hot_path,
     obs_guard,
     purity,
     registry_complete,

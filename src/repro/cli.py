@@ -458,6 +458,8 @@ def cmd_runtime(args: argparse.Namespace) -> int:
             crash_shard=args.crash_shard,
             cache=cache,
             read_workload=read_workload,
+            batch_k=args.batch_k,
+            wire_codec=args.wire_codec,
         )
     finally:
         if temp_wal is not None:
@@ -685,6 +687,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-view algorithm (registry name)",
     )
     p.add_argument("--seed", type=int, default=0, help="master determinism seed")
+    p.add_argument(
+        "--batch-k",
+        type=int,
+        default=1,
+        help="coalesce up to k consecutive pending update notifications "
+        "into one atomic W_up event answered by a single compensating "
+        "query (1 = legacy per-update protocol)",
+    )
+    from repro.messaging.wire import WIRE_CODECS
+
+    p.add_argument(
+        "--wire-codec",
+        default="none",
+        choices=WIRE_CODECS,
+        help="charge sent_bytes with real framed message bytes: 'frame' "
+        "(length-prefixed canonical JSON), 'zlib'/'zstd' (compressed); "
+        "'none' keeps the abstract sizer estimate",
+    )
     p.add_argument(
         "--faults", action="store_true", help="run over the fault-injecting transport"
     )

@@ -23,8 +23,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro.core.compensation import batch_delta_query, pending_compensation
 from repro.core.protocol import WarehouseAlgorithm
-from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
+from repro.messaging.messages import (
+    QueryAnswer,
+    QueryRequest,
+    UpdateBatch,
+    UpdateNotification,
+)
 from repro.relational.bag import SignedBag
 from repro.relational.expressions import Query
 from repro.relational.views import View
@@ -69,6 +75,25 @@ class ECA(WarehouseAlgorithm):
         query = self.view.substitute(update.relation, signed)
         for pending in self.uqs_queries():
             query = query - pending.substitute(update.relation, signed)
+        return self._dispatch(query)
+
+    def handle_update_batch(self, batch: UpdateBatch) -> List[QueryRequest]:
+        """The k-update generalization: one ``Q<U1,...,Uk>`` per batch.
+
+        The batch's own delta is ``sum_j D(V<U_j>, rest-of-batch)``
+        (Lemma B.2 backdating, so each member's incremental query reads as
+        of its own source state), and every in-flight query gets one
+        compensation ``D(Q_j, batch) - Q_j`` covering all k members at
+        once — k round trips become one.
+        """
+        updates = [
+            n.update for n in batch.notifications if self.relevant(n)
+        ]
+        if not updates:
+            return []
+        query = batch_delta_query(self.view, updates)
+        for pending in self.uqs_queries():
+            query = query + pending_compensation(pending, updates)
         return self._dispatch(query)
 
     def _dispatch(self, query: Query) -> List[QueryRequest]:

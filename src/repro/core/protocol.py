@@ -25,7 +25,12 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Set, Tuple, cast
 
 from repro.errors import ProtocolError
-from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
+from repro.messaging.messages import (
+    QueryAnswer,
+    QueryRequest,
+    UpdateBatch,
+    UpdateNotification,
+)
 from repro.relational.bag import SignedBag
 from repro.relational.expressions import Query
 from repro.relational.views import View
@@ -88,6 +93,25 @@ class WarehouseAlgorithm:
         """
         return self._route_all(self.handle_update(notification))
 
+    def on_update_batch(self, source: Optional[str], batch: UpdateBatch) -> Routed:
+        """Process a kernel-coalesced run of updates as **one** ``W_up`` event.
+
+        Kernels running with ``batch_k > 1`` drain consecutive
+        notifications from one inbox into an
+        :class:`~repro.messaging.messages.UpdateBatch` and deliver it here
+        atomically — no answer or other update interleaves between the
+        members.  The default preserves each family's per-update behavior
+        by replaying the members in arrival order inside the one event;
+        single-source families that can answer the whole run with a single
+        compensating query override :meth:`handle_update_batch` instead.
+        """
+        if self.multi_source:
+            routed: Routed = []
+            for notification in batch.notifications:
+                routed.extend(self.on_update(source, notification))
+            return routed
+        return self._route_all(self.handle_update_batch(batch))
+
     def on_answer(self, source: Optional[str], answer: QueryAnswer) -> Routed:
         """Process ``W_ans``: a query answer arrived from ``source``.
 
@@ -106,6 +130,18 @@ class WarehouseAlgorithm:
     def handle_update(self, notification: UpdateNotification) -> List[QueryRequest]:
         """Single-source ``W_up`` hook; requests are routed by owner."""
         raise NotImplementedError
+
+    def handle_update_batch(self, batch: UpdateBatch) -> List[QueryRequest]:
+        """Single-source batched ``W_up`` hook (one atomic event).
+
+        Default: the members one after another, concatenating the
+        requests.  ECA overrides this with the paper's ``Q<U1,...,Uk>``
+        generalization — one compensating query for the whole run.
+        """
+        requests: List[QueryRequest] = []
+        for notification in batch.notifications:
+            requests.extend(self.handle_update(notification))
+        return requests
 
     def handle_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
         """Single-source ``W_ans`` hook; requests are routed by owner."""

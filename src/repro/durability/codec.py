@@ -30,6 +30,7 @@ from repro.messaging.messages import (
     QueryAnswer,
     QueryRequest,
     RefreshRequest,
+    UpdateBatch,
     UpdateNotification,
 )
 from repro.relational.bag import SignedBag
@@ -207,6 +208,13 @@ def _encode_message(message: Message) -> Dict[str, object]:
         }
     if isinstance(message, RefreshRequest):
         return {"$": "msg.refresh", "serial": message.serial}
+    if isinstance(message, UpdateBatch):
+        return {
+            "$": "msg.batch",
+            "notifications": [
+                _encode_message(n) for n in message.notifications
+            ],
+        }
     raise CodecError(f"cannot encode message {message!r}")
 
 
@@ -290,6 +298,12 @@ _DECODERS: Dict[str, Callable[[Dict[str, Any]], object]] = {
     "msg.query": lambda d: QueryRequest(d["id"], decode_value(d["query"])),
     "msg.answer": lambda d: QueryAnswer(d["id"], decode_value(d["answer"])),
     "msg.refresh": lambda d: RefreshRequest(d["serial"]),
+    "msg.batch": lambda d: UpdateBatch(
+        tuple(
+            cast(UpdateNotification, decode_value(n))
+            for n in d["notifications"]
+        )
+    ),
 }
 
 

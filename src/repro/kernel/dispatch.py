@@ -23,6 +23,7 @@ from repro.messaging.messages import (
     QueryAnswer,
     QueryRequest,
     RefreshRequest,
+    UpdateBatch,
     UpdateNotification,
 )
 from repro.relational.expressions import Query
@@ -43,6 +44,9 @@ DispatchResult = Tuple[
 def event_kind(message: Message) -> str:
     """The warehouse trace kind this message produces when dispatched."""
     if isinstance(message, UpdateNotification):
+        return W_UP
+    if isinstance(message, UpdateBatch):
+        # A coalesced run of updates is still one W_up event.
         return W_UP
     if isinstance(message, QueryAnswer):
         return W_ANS
@@ -118,6 +122,19 @@ def dispatch_event(
             detail = f"U{message.serial} from {origin}, {len(routed)} query(ies)"
         else:
             detail = f"U{message.serial} processed, {len(routed)} query(ies) sent"
+    elif isinstance(message, UpdateBatch):
+        if origin is None:
+            raise ProtocolError("update batch arrived on a client channel")
+        routed = validate_routed(
+            algorithm,
+            "on_update_batch",
+            list(algorithm.on_update_batch(origin, message)),
+        )
+        span = f"U{message.first_serial}..U{message.serial} (k={len(message)})"
+        if qualified:
+            detail = f"{span} from {origin}, {len(routed)} query(ies)"
+        else:
+            detail = f"{span} processed, {len(routed)} query(ies) sent"
     elif isinstance(message, QueryAnswer):
         if origin is None:
             raise ProtocolError("query answer arrived on a client channel")

@@ -16,7 +16,13 @@ Actions (all strings, chooseable by a schedule):
 - ``"answer:<source>"``    — that source evaluates its oldest pending
   query and sends the answer;
 - ``"warehouse:<name>"``   — the warehouse processes the oldest message
-  on ``<name>``'s channel (``<name>`` is a source or a client);
+  on ``<name>``'s channel (``<name>`` is a source or a client); with
+  ``batch_k > 1`` a run of up to ``batch_k`` consecutive update
+  notifications is coalesced into one atomic
+  :class:`~repro.messaging.messages.UpdateBatch` event;
+- ``"warehouse:<name>@<n>"`` — as above but coalescing *exactly* ``n``
+  notifications (how conformance replay reproduces a concurrent run's
+  batching decisions from its action log);
 - ``"refresh:<client>"``   — client ``<client>`` enqueues a refresh
   request on its own warehouse channel (used by conformance replay).
 """
@@ -50,6 +56,7 @@ from repro.messaging.messages import (
     QueryAnswer,
     QueryRequest,
     RefreshRequest,
+    UpdateBatch,
     UpdateNotification,
 )
 from repro.relational.bag import SignedBag
@@ -142,6 +149,12 @@ class SyncKernel:
         warehouse event streams its dirtied view keys into the cache, so
         reads served through the cache between steps see precise
         maintenance-driven invalidation.
+    batch_k:
+        Maximum run of consecutive update notifications a
+        ``warehouse:<name>`` step coalesces into one atomic
+        :class:`~repro.messaging.messages.UpdateBatch` event.  The
+        default 1 never constructs a batch — byte-for-byte the legacy
+        per-update protocol.
     """
 
     def __init__(
@@ -152,16 +165,20 @@ class SyncKernel:
         recorder: Optional[Recorder] = None,
         qualified: bool = True,
         cache: Optional["ServingCacheLike"] = None,
+        batch_k: int = 1,
     ) -> None:
         self.sources = dict(sources)
         if not self.sources:
             raise SimulationError("the kernel needs at least one source")
         if CLIENT in self.sources:
             raise SimulationError(f"source name {CLIENT!r} is reserved for clients")
+        if batch_k < 1:
+            raise SimulationError(f"batch_k must be >= 1, got {batch_k}")
         self.algorithm = algorithm
         self.recorder = recorder
         self._qualified = qualified
         self.cache = cache
+        self.batch_k = batch_k
         self._updates: Deque[WorkloadItem] = deque(workload)
         self.owners = relation_owners(self.sources)
         algorithm.bind_owners(self.owners)
@@ -238,7 +255,14 @@ class SyncKernel:
         elif action.startswith("answer:"):
             self._do_answer(action.split(":", 1)[1])
         elif action.startswith("warehouse:"):
-            self._do_warehouse(action.split(":", 1)[1])
+            target = action.split(":", 1)[1]
+            if "@" in target:
+                # Replay form: coalesce exactly n notifications (how a
+                # logged concurrent run's batching decisions replay).
+                name, _, count = target.rpartition("@")
+                self._do_warehouse(name, exactly=int(count))
+            else:
+                self._do_warehouse(target)
         elif action.startswith("refresh:"):
             self._do_refresh(action.split(":", 1)[1])
         else:
@@ -314,10 +338,36 @@ class SyncKernel:
             self.recorder.record_answer(reply)
         self.inbound[name].send(reply)
 
-    def _do_warehouse(self, name: str) -> None:
+    def _do_warehouse(self, name: str, exactly: Optional[int] = None) -> None:
         """``W_up`` / ``W_ans`` / ``W_ref``: process the oldest message
-        from ``name``'s channel atomically."""
-        message = self.inbound[name].receive()
+        from ``name``'s channel atomically.
+
+        With ``batch_k > 1`` (or an explicit ``exactly`` count from a
+        replayed ``warehouse:<name>@<n>`` action) a run of consecutive
+        update notifications at the head of the channel is coalesced into
+        one :class:`UpdateBatch` and dispatched as a single event.
+        """
+        channel = self.inbound[name]
+        message = channel.receive()
+        limit = exactly if exactly is not None else self.batch_k
+        if limit > 1 and isinstance(message, UpdateNotification):
+            members = [message]
+            while len(members) < limit and isinstance(
+                channel.peek(), UpdateNotification
+            ):
+                members.append(channel.receive())
+            if exactly is not None and len(members) != exactly:
+                raise SimulationError(
+                    f"replay asked to batch {exactly} notifications from "
+                    f"{name!r} but only {len(members)} were available"
+                )
+            if len(members) > 1:
+                message = UpdateBatch(tuple(members))
+        elif exactly is not None and exactly > 1:
+            raise SimulationError(
+                f"replay asked to batch {exactly} notifications from "
+                f"{name!r} but the channel head is {message!r}"
+            )
         origin = name if name in self.sources else None
         kind, detail, routed, dirtied = dispatch_event(
             self.algorithm, origin, message, qualified=self._qualified

@@ -13,12 +13,23 @@ FIFO channels:
 """
 
 from repro.messaging.channel import FifoChannel
-from repro.messaging.messages import Message, QueryAnswer, QueryRequest, UpdateNotification
+from repro.messaging.messages import (
+    Message,
+    QueryAnswer,
+    QueryRequest,
+    UpdateBatch,
+    UpdateNotification,
+)
+from repro.messaging.wire import WIRE_CODECS, WireCodec, create_codec
 
 __all__ = [
     "FifoChannel",
     "Message",
     "QueryAnswer",
     "QueryRequest",
+    "UpdateBatch",
     "UpdateNotification",
+    "WIRE_CODECS",
+    "WireCodec",
+    "create_codec",
 ]

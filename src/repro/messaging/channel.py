@@ -5,15 +5,23 @@ sent.  It also counts messages and (via a pluggable sizer) bytes, feeding
 the cost model's ``M`` and ``B`` metrics: pass a ``sizer`` callable (for
 example :meth:`repro.costmodel.counters.CostRecorder.message_size`) and
 :attr:`FifoChannel.sent_bytes` accumulates the size of every message sent.
+
+Alternatively pass a :class:`repro.messaging.wire.WireCodec` and
+``sent_bytes`` accumulates *real framed bytes* — the length-prefixed
+(optionally compressed) serialization each send would put on a socket.
+When both are given, the codec wins.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Iterator, List, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Iterator, List, Optional
 
 from repro.errors import ChannelEmpty
 from repro.messaging.messages import Message
+
+if TYPE_CHECKING:
+    from repro.messaging.wire import WireCodec
 
 #: Computes the on-the-wire size of one message, in bytes.
 Sizer = Callable[[Message], int]
@@ -22,19 +30,28 @@ Sizer = Callable[[Message], int]
 class FifoChannel:
     """A reliable, ordered, unidirectional message queue."""
 
-    def __init__(self, name: str, sizer: Optional[Sizer] = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        sizer: Optional[Sizer] = None,
+        codec: Optional["WireCodec"] = None,
+    ) -> None:
         self.name = name
         self._queue: Deque[Message] = deque()
         self._sizer = sizer
+        self._codec = codec
         self.sent_count = 0
         self.delivered_count = 0
-        #: Total sized bytes sent; stays 0 without a sizer.
+        #: Total bytes sent: real framed bytes with a codec, sized bytes
+        #: with a sizer, 0 with neither.
         self.sent_bytes = 0
 
     def send(self, message: Message) -> None:
         self._queue.append(message)
         self.sent_count += 1
-        if self._sizer is not None:
+        if self._codec is not None:
+            self.sent_bytes += self._codec.size(message)
+        elif self._sizer is not None:
             self.sent_bytes += self._sizer(message)
 
     def receive(self) -> Message:

@@ -50,6 +50,49 @@ class UpdateNotification(Message):
         return f"UpdateNotification(#{self.serial}, {self.update!r})"
 
 
+class UpdateBatch(Message):
+    """A run of same-source update notifications, coalesced by the kernel.
+
+    The paper's Section 6 / Appendix D performance study generalizes
+    compensation to k-update batches ``Q<U1,...,Uk>``; this message is the
+    protocol-level carrier.  Kernels build it by draining up to
+    ``batch_k`` consecutive :class:`UpdateNotification` messages off one
+    warehouse inbox and deliver it as **one atomic** ``W_up`` event, so
+    the algorithm may answer the whole run with a single compensating
+    query.  At ``batch_k == 1`` no batch is ever constructed — the legacy
+    per-update protocol is preserved byte for byte.
+    """
+
+    __slots__ = ("notifications",)
+
+    def __init__(self, notifications: Tuple[UpdateNotification, ...]) -> None:
+        if not notifications:
+            raise ValueError("an update batch needs at least one notification")
+        self.notifications = tuple(notifications)
+
+    @property
+    def serial(self) -> int:
+        """The last member's serial (the batch's causal identity)."""
+        return self.notifications[-1].serial
+
+    @property
+    def first_serial(self) -> int:
+        return self.notifications[0].serial
+
+    def updates(self) -> Tuple[object, ...]:
+        """The member updates, in arrival order."""
+        return tuple(n.update for n in self.notifications)
+
+    def __len__(self) -> int:
+        return len(self.notifications)
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateBatch(#{self.first_serial}..#{self.serial}, "
+            f"k={len(self.notifications)})"
+        )
+
+
 class QueryRequest(Message):
     """Warehouse -> source: "evaluate this query"."""
 

@@ -17,6 +17,15 @@ against:
 """
 
 from repro.relational.bag import SignedBag
+from repro.relational.batch_ops import (
+    batch_join,
+    batch_negate,
+    batch_project,
+    batch_select,
+    batch_union,
+    compile_mask,
+)
+from repro.relational.columns import ColumnBatch
 from repro.relational.conditions import (
     And,
     Attr,
@@ -39,6 +48,7 @@ __all__ = [
     "And",
     "Attr",
     "BoundOperand",
+    "ColumnBatch",
     "Comparison",
     "Condition",
     "Const",
@@ -57,5 +67,11 @@ __all__ = [
     "UnionView",
     "View",
     "attr",
+    "batch_join",
+    "batch_negate",
+    "batch_project",
+    "batch_select",
+    "batch_union",
+    "compile_mask",
     "conjunction",
 ]

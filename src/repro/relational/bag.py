@@ -20,7 +20,7 @@ construction.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.relational.tuples import MINUS, PLUS, SignedTuple, check_sign
 
@@ -67,6 +67,62 @@ class SignedBag:
         bag = cls()
         bag.add(tuple(row), check_sign(sign))
         return bag
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Sequence[Sequence[object]],
+        counts: Sequence[int],
+        coefficient: int = 1,
+    ) -> "SignedBag":
+        """Consolidate a columnar batch into a bag.
+
+        ``columns`` are parallel column lists and ``counts`` the signed
+        multiplicity vector (the representation of
+        :class:`~repro.relational.columns.ColumnBatch`).  Rows may repeat;
+        multiplicities accumulate and zeros annihilate, so the result is
+        canonical.  ``coefficient`` scales every count (the term
+        coefficient in :mod:`~repro.relational.engine`).
+        """
+        bag = cls()
+        if coefficient != 1:
+            counts = [coefficient * c for c in counts]
+        store = bag._counts
+        get = store.get
+        if not columns:
+            # Zero-arity rows all collapse onto the empty tuple.
+            total = sum(counts)
+            if total:
+                store[()] = total
+            return bag
+        for row, count in zip(zip(*columns), counts):
+            new = get(row, 0) + count
+            if new:
+                store[row] = new
+            elif row in store:
+                del store[row]
+        return bag
+
+    def to_columns(
+        self, width: Optional[int] = None
+    ) -> Tuple[List[List[object]], List[int]]:
+        """Transpose into parallel column lists plus a count vector.
+
+        The inverse of :meth:`from_columns` (up to row order, which is
+        insertion order here — canonical representations go through
+        :meth:`to_pairs`).  ``width`` disambiguates the column count for
+        the empty bag; for non-empty bags it is validated against the
+        stored rows.
+        """
+        if not self._counts:
+            return [[] for _ in range(width or 0)], []
+        rows = list(self._counts.keys())
+        if width is not None and len(rows[0]) != width:
+            raise ValueError(
+                f"bag rows have arity {len(rows[0])}, expected {width}"
+            )
+        columns = [list(column) for column in zip(*rows)]
+        return columns, list(self._counts.values())
 
     def copy(self) -> "SignedBag":
         clone = SignedBag()

@@ -1,9 +1,9 @@
-"""Hash-join evaluation engine for terms and queries.
+"""Columnar hash-join evaluation engine for terms and queries.
 
 :meth:`repro.relational.expressions.Term.evaluate` is the *reference*
-evaluator: it materializes the full cross product, which is exactly the
-paper's semantics but quadratic-to-cubic in relation size.  This module
-provides an equivalent evaluator that:
+evaluator: it materializes the full cross product one tuple at a time,
+which is exactly the paper's semantics but quadratic-to-cubic in relation
+size.  This module provides an equivalent evaluator that:
 
 1. flattens the condition into conjuncts;
 2. joins operands left to right, using attribute-equality conjuncts that
@@ -12,8 +12,17 @@ provides an equivalent evaluator that:
    of its attributes are available;
 4. projects and accumulates signed multiplicities.
 
+Since the columnar refactor the working set is a
+:class:`~repro.relational.columns.ColumnBatch` — parallel column lists
+plus a signed count vector — and every join/filter/projection step runs
+through the vectorized operators in :mod:`repro.relational.batch_ops`
+(``map``/``compress`` passes, no per-tuple objects; lint rule RPR009).
+:func:`evaluate_term_scalar` preserves the previous row-at-a-time plan as
+the divergence check used by the CI ``bench-smoke`` job.
+
 Equivalence with the reference evaluator is property-tested
-(``tests/property/test_engine_equivalence.py``).  The in-memory source and
+(``tests/property/test_engine_equivalence.py`` and
+``tests/property/test_columnar_properties.py``).  The in-memory source and
 the consistency oracle use this engine; the paper's cost model is *not*
 affected (I/O costs are modeled separately, following Appendix D).
 """
@@ -24,6 +33,8 @@ from typing import Callable, Dict, List, Mapping, Tuple
 
 from repro.errors import ExpressionError
 from repro.relational.bag import SignedBag
+from repro.relational.batch_ops import batch_join, compile_mask
+from repro.relational.columns import ColumnBatch
 from repro.relational.conditions import (
     Attr,
     Comparison,
@@ -31,10 +42,13 @@ from repro.relational.conditions import (
     flatten_conjuncts,
 )
 from repro.relational.expressions import Query, Term
-from repro.relational.views import View
 
 Row = Tuple[object, ...]
 State = Mapping[str, SignedBag]
+
+#: One join step of a term plan: the conjuncts to filter by once the step's
+#: operand is joined in, and the (prefix position, local position) key pairs.
+_Step = Tuple[List[Condition], List[Tuple[int, int]]]
 
 
 def _max_position(conjunct: Condition, term: Term) -> int:
@@ -45,33 +59,38 @@ def _max_position(conjunct: Condition, term: Term) -> int:
     return highest
 
 
-def evaluate_term(term: Term, state: State) -> SignedBag:
-    """Evaluate one term with hash joins; equivalent to ``term.evaluate``."""
-    # Operand extents and their product-position offsets.
-    extents: List[List[Tuple[Row, int]]] = []
+def _operand_batch(operand, state: State) -> ColumnBatch:
+    """An operand's extent as a columnar batch."""
+    if operand.is_bound:
+        return ColumnBatch(
+            [[value] for value in operand.tuple.values], [operand.tuple.sign]
+        )
+    try:
+        bag = state[operand.source_relation]
+    except KeyError:
+        raise ExpressionError(
+            f"state has no relation {operand.source_relation!r}"
+        ) from None
+    return ColumnBatch.from_bag(bag, operand.schema.arity)
+
+
+def _term_plan(term: Term) -> Tuple[List[_Step], List[int]]:
+    """Assign conjuncts to join steps and classify hash-join keys.
+
+    Step ``i`` covers product positions ``[0, widths[i])``; each conjunct
+    lands at the earliest step where it is decidable.  An attribute
+    equality with one side in the joined prefix and one in the new
+    operand becomes a hash-join key; everything else is a filter.
+    """
     offsets: List[int] = []
     offset = 0
     for operand in term.operands:
         offsets.append(offset)
-        if operand.is_bound:
-            extents.append([(operand.tuple.values, operand.tuple.sign)])
-        else:
-            try:
-                bag = state[operand.source_relation]
-            except KeyError:
-                raise ExpressionError(
-                    f"state has no relation {operand.source_relation!r}"
-                ) from None
-            extents.append(list(bag.items()))
         offset += operand.schema.arity
     widths = offsets[1:] + [offset]
 
-    # Assign each conjunct to the earliest join step where it is decidable:
-    # step i covers product positions [0, widths[i]).
-    conjuncts = flatten_conjuncts(term.condition)
-    step_filters: List[List[Condition]] = [[] for _ in term.operands]
-    step_join_keys: List[List[Tuple[int, int]]] = [[] for _ in term.operands]
-    for conjunct in conjuncts:
+    steps: List[_Step] = [([], []) for _ in term.operands]
+    for conjunct in flatten_conjuncts(term.condition):
         highest = _max_position(conjunct, term)
         step = 0
         while widths[step] <= highest:
@@ -91,12 +110,64 @@ def evaluate_term(term: Term, state: State) -> SignedBag:
             if sides[0] < prefix_width <= sides[1]:
                 # One side in the already-joined prefix, one in the new
                 # operand: a genuine hash-join key.
-                step_join_keys[step].append((sides[0], sides[1] - prefix_width))
+                steps[step][1].append((sides[0], sides[1] - prefix_width))
                 continue
-        step_filters[step].append(conjunct)
+        steps[step][0].append(conjunct)
+    return steps, widths
 
+
+def evaluate_term(term: Term, state: State) -> SignedBag:
+    """Evaluate one term with columnar hash joins; equals ``term.evaluate``."""
+    steps, _ = _term_plan(term)
+    resolve = term.product.resolve
+
+    joined = _operand_batch(term.operands[0], state)
+    filters, _ = steps[0]
+    for conjunct in filters:
+        mask = compile_mask(conjunct, resolve)
+        if mask is not None:
+            joined = joined.compress(mask(joined.columns, len(joined.counts)))
+
+    for step in range(1, len(term.operands)):
+        if joined.is_empty():
+            # The batch is narrower than the full product here, so the
+            # projection below could not resolve — but it is empty anyway.
+            return SignedBag()
+        filters, keys = steps[step]
+        joined = batch_join(joined, _operand_batch(term.operands[step], state), keys)
+        for conjunct in filters:
+            mask = compile_mask(conjunct, resolve)
+            if mask is not None:
+                joined = joined.compress(mask(joined.columns, len(joined.counts)))
+
+    positions = [resolve(name) for name in term.projection]
+    return joined.gather_columns(positions).to_bag(term.coefficient)
+
+
+def evaluate_term_scalar(term: Term, state: State) -> SignedBag:
+    """The pre-columnar row-at-a-time hash-join plan, kept as an oracle.
+
+    Same join/filter placement as :func:`evaluate_term`, executed one
+    candidate row at a time with bound row predicates.  The CI
+    ``bench-smoke`` job evaluates the measured workload through both
+    paths and fails on any divergence.
+    """
+    extents: List[List[Tuple[Row, int]]] = []
+    for operand in term.operands:
+        if operand.is_bound:
+            extents.append([(operand.tuple.values, operand.tuple.sign)])
+        else:
+            try:
+                bag = state[operand.source_relation]
+            except KeyError:
+                raise ExpressionError(
+                    f"state has no relation {operand.source_relation!r}"
+                ) from None
+            extents.append(list(bag.items()))
+
+    steps, _ = _term_plan(term)
     predicates: List[List[Callable[[Row], bool]]] = [
-        [c.bind(term.product) for c in filters] for filters in step_filters
+        [c.bind(term.product) for c in filters] for filters, _ in steps
     ]
 
     # Step 0: the first operand's extent, filtered.
@@ -108,7 +179,7 @@ def evaluate_term(term: Term, state: State) -> SignedBag:
     # Steps 1..n-1: hash join (or filtered cartesian) with each operand.
     for step in range(1, len(term.operands)):
         extent = extents[step]
-        keys = step_join_keys[step]
+        _, keys = steps[step]
         filters = predicates[step]
         fresh: List[Tuple[Row, int]] = []
         if keys:
@@ -146,6 +217,14 @@ def evaluate_query(query: Query, state: State) -> SignedBag:
     result = SignedBag()
     for term in query.terms:
         result.add_bag(evaluate_term(term, state))
+    return result
+
+
+def evaluate_query_scalar(query: Query, state: State) -> SignedBag:
+    """Sum of the scalar-oracle term evaluations (divergence checks)."""
+    result = SignedBag()
+    for term in query.terms:
+        result.add_bag(evaluate_term_scalar(term, state))
     return result
 
 

@@ -129,11 +129,17 @@ class Term:
             raise ExpressionError("a term needs a non-empty projection")
         self.condition: Condition = condition if condition is not None else TrueCondition()
         self.coefficient = coefficient
-        # Resolve eagerly so malformed terms fail at construction time.
+        # Resolve names eagerly so malformed terms fail at construction
+        # time; the condition's row predicate is bound lazily because
+        # compensation machinery builds thousands of terms that are
+        # evaluated (if at all) through the columnar engine, which
+        # compiles masks itself and never calls the predicate.
         self._proj_positions: Tuple[int, ...] = tuple(
             self.product.resolve(name) for name in self.projection
         )
-        self._predicate: Callable[[Row], bool] = self.condition.bind(self.product)
+        for name in self.condition.attributes():
+            self.product.resolve(name)
+        self._predicate: Optional[Callable[[Row], bool]] = None
 
     # ------------------------------------------------------------------ #
     # Structure
@@ -274,6 +280,9 @@ class Term:
                 extents.append(list(bag.items()))
         result = SignedBag()
         predicate = self._predicate
+        if predicate is None:
+            predicate = self.condition.bind(self.product)
+            self._predicate = predicate
         positions = self._proj_positions
         for combo in itertools.product(*extents):
             row: Row = tuple(itertools.chain.from_iterable(part for part, _ in combo))

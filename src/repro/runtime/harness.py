@@ -31,6 +31,7 @@ from repro.durability.wal import WriteAheadLog
 from repro.errors import SimulationError, WarehouseCrashed
 from repro.kernel.dispatch import relation_owners
 from repro.messaging.messages import QueryRequest
+from repro.messaging.wire import create_codec
 from repro.relational.bag import SignedBag
 from repro.runtime.actors import (
     ActorMetrics,
@@ -314,6 +315,8 @@ def run_concurrent(
     cache: Optional[ServingCache] = None,
     read_workload: Optional[Sequence[Tuple[str, Tuple[object, ...]]]] = None,
     verify_reads: bool = False,
+    batch_k: int = 1,
+    wire_codec: Optional[str] = None,
 ) -> RuntimeResult:
     """Run sources, warehouse, and clients concurrently to quiescence.
 
@@ -394,8 +397,34 @@ def run_concurrent(
         Compare every cached answer against a direct backend read taken
         atomically with it; divergences land in
         ``RuntimeResult.read_mismatches`` (empty at staleness bound 0).
+    batch_k:
+        Maximum run of consecutive already-delivered update notifications
+        the warehouse coalesces into one atomic
+        :class:`~repro.messaging.messages.UpdateBatch` event, answered by
+        a single compensating query ``Q<U1,...,Uk>``.  The default 1
+        never batches — byte-for-byte the legacy per-update protocol.
+        Not yet supported together with ``shards``.
+    wire_codec:
+        Name of a :mod:`repro.messaging.wire` codec (``"none"``,
+        ``"frame"``, ``"zlib"``, ``"zstd"``).  When set (and not
+        ``"none"``), every channel's ``sent_bytes`` counts the real
+        framed (optionally compressed) serialization of each message
+        instead of the abstract sizer estimate.
     """
+    if batch_k < 1:
+        raise SimulationError(f"batch_k must be >= 1, got {batch_k}")
     if shards is not None:
+        if batch_k > 1:
+            raise SimulationError(
+                "batch_k > 1 is not supported with sharding yet: the "
+                "router splits update runs across shards, so per-shard "
+                "coalescing would not match the global action log"
+            )
+        if wire_codec not in (None, "none"):
+            raise SimulationError(
+                "wire_codec is not supported with sharding yet: the "
+                "router's envelope channels bypass the codec accounting"
+            )
         from repro.sharding.harness import run_sharded
 
         return run_sharded(
@@ -430,7 +459,8 @@ def run_concurrent(
     if crash is not None and wal_dir is None:
         raise SimulationError("crash injection requires wal_dir= (recovery source)")
 
-    inner = InMemoryTransport(sizer=sizer)
+    codec = create_codec(wire_codec) if wire_codec is not None else None
+    inner = InMemoryTransport(sizer=sizer, codec=codec)
     transport: AsyncTransport = (
         FaultyTransport(inner, plan=faults, seed=seed + 0x5EED) if faults else inner
     )
@@ -462,6 +492,7 @@ def run_concurrent(
         crash_run=crash_run,
         obs=obs,
         cache=cache,
+        batch_k=batch_k,
     )
     handle = WarehouseHandle(warehouse)
     recorder.record_initial(handle)
@@ -552,6 +583,7 @@ def run_concurrent(
             event_index=fault.event_index,
             obs=obs,
             cache=cache,
+            batch_k=batch_k,
         )
         crashes.append(
             {

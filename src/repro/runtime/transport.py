@@ -37,6 +37,7 @@ from typing import Deque, Dict, Optional, Sequence, Tuple
 from repro.errors import ChannelEmpty, ProtocolError, TransportClosed
 from repro.messaging.channel import Sizer
 from repro.messaging.messages import Message
+from repro.messaging.wire import WireCodec
 
 
 class ChannelStats:
@@ -177,6 +178,15 @@ class AsyncTransport(ABC):
         """Deliver the next message, or raise :class:`ChannelEmpty`."""
 
     @abstractmethod
+    def peek_nowait(self, channel: str) -> Optional[Message]:
+        """The next message *iff* it is deliverable now, else ``None``.
+
+        "Now" is the current virtual clock: a message still in flight
+        under a fault plan's latency is invisible, so update batching
+        coalesces only notifications that have actually arrived.
+        """
+
+    @abstractmethod
     async def recv_any(self, channels: Sequence[str]) -> Tuple[str, Message]:
         """Wait for the earliest deliverable message on any of ``channels``.
 
@@ -215,11 +225,18 @@ class InMemoryTransport(AsyncTransport):
     channels break on the global send sequence number.
     """
 
-    def __init__(self, sizer: Optional[Sizer] = None) -> None:
+    def __init__(
+        self,
+        sizer: Optional[Sizer] = None,
+        codec: Optional[WireCodec] = None,
+    ) -> None:
         self._queues: Dict[str, Deque[_Entry]] = {}
         self._stats: Dict[str, ChannelStats] = {}
         self._waiters: Deque[Tuple[Tuple[str, ...], "asyncio.Future[None]"]] = deque()
         self._sizer = sizer
+        #: Wire codec: when set, ``sent_bytes`` counts real framed bytes
+        #: (the codec wins over the sizer).
+        self._codec = codec
         self._seq = itertools.count()
         self._clock = 0.0
         self._closed = False
@@ -247,7 +264,9 @@ class InMemoryTransport(AsyncTransport):
             stats.reordered += 1
         queue.insert(position, entry)
         stats.sent += 1
-        if self._sizer is not None:
+        if self._codec is not None:
+            stats.sent_bytes += self._codec.size(message)
+        elif self._sizer is not None:
             stats.sent_bytes += self._sizer(message)
         stats.max_pending = max(stats.max_pending, len(queue))
         self._wake(channel)
@@ -271,6 +290,12 @@ class InMemoryTransport(AsyncTransport):
         if head is None:
             raise ChannelEmpty(f"receive on empty channel {channel!r}")
         return self._pop(channel)
+
+    def peek_nowait(self, channel: str) -> Optional[Message]:
+        head = self._head(channel)
+        if head is None or head[0] > self._clock:
+            return None
+        return head[2]
 
     def _pop(self, channel: str) -> Message:
         deliver_at, _, message = self._queues[channel].popleft()
@@ -397,6 +422,9 @@ class FaultyTransport(AsyncTransport):
 
     def receive_nowait(self, channel: str) -> Message:
         return self.inner.receive_nowait(channel)
+
+    def peek_nowait(self, channel: str) -> Optional[Message]:
+        return self.inner.peek_nowait(channel)
 
     async def recv_any(self, channels: Sequence[str]) -> Tuple[str, Message]:
         return await self.inner.recv_any(channels)

@@ -32,7 +32,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import ProtocolError
-from repro.messaging.messages import QueryAnswer, QueryRequest, UpdateNotification
+from repro.messaging.messages import (
+    QueryAnswer,
+    QueryRequest,
+    UpdateBatch,
+    UpdateNotification,
+)
 from repro.relational.bag import SignedBag
 
 if TYPE_CHECKING:  # avoid a package-level import cycle with repro.core
@@ -81,6 +86,21 @@ class WarehouseCatalog:
         out: "Routed" = []
         for view_name, algorithm in self.algorithms.items():
             for destination, request in algorithm.on_update(source, notification):
+                out.append((destination, self._remap(view_name, request)))
+        self._record()
+        return out
+
+    def on_update_batch(self, source: Optional[str], batch: "UpdateBatch") -> "Routed":
+        """Fan a kernel-coalesced run out to every member as one event.
+
+        Each member sees the same atomic ``UpdateBatch``, so views whose
+        algorithm family answers a run with a single compensating query
+        keep that behavior inside the catalog; the catalog itself only
+        remaps the resulting query ids, exactly as :meth:`on_update`.
+        """
+        out: "Routed" = []
+        for view_name, algorithm in self.algorithms.items():
+            for destination, request in algorithm.on_update_batch(source, batch):
                 out.append((destination, self._remap(view_name, request)))
         self._record()
         return out

@@ -1,0 +1,49 @@
+"""RPR009 fixture: per-tuple wrappers allocated inside operator loops.
+
+Named ``engine.py`` under a ``repro/relational/`` directory so the rule's
+module scoping (``repro.relational.engine``) applies; the directory is a
+fixture, so normal lint walks skip it.
+"""
+
+
+class SignedTuple:
+    def __init__(self, values, sign):
+        self.values = values
+        self.sign = sign
+
+
+class BoundOperand:
+    def __init__(self, tuple_):
+        self.tuple = tuple_
+
+
+class Term:
+    def __init__(self, operands):
+        self.operands = operands
+
+
+def per_row_wrapper_in_for_loop(rows):
+    out = []
+    for row in rows:
+        out.append(SignedTuple(row, 1))  # RPR009: one allocation per row
+    return out
+
+
+def wrapper_in_while_loop(rows):
+    out = []
+    index = 0
+    while index < len(rows):
+        out.append(BoundOperand(rows[index]))  # RPR009
+        index += 1
+    return out
+
+
+def wrapper_in_comprehension(rows):
+    return [Term((row,)) for row in rows]  # RPR009
+
+
+def wrapper_outside_loops(rows):
+    # Legal: built once per call (planning-time), not once per row.
+    first = SignedTuple(rows[0], 1) if rows else None
+    columns = [list(column) for column in zip(*rows)]  # plain lists are fine
+    return first, columns

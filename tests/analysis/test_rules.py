@@ -203,6 +203,32 @@ class TestServingReadOnlyRule:
         assert [f for f in run_analysis([path]) if f.rule_id == "RPR008"] == []
 
 
+class TestHotPathRule:
+    def test_fixture_produces_exactly_the_expected_findings(self):
+        findings = findings_for("relational/engine.py")
+        assert golden(findings) == [
+            (28, "RPR009"),  # SignedTuple per row in a for body
+            (36, "RPR009"),  # BoundOperand per row in a while body
+            (42, "RPR009"),  # Term per row in a comprehension
+        ]
+
+    def test_planning_time_construction_is_clean(self):
+        findings = findings_for("relational/engine.py")
+        assert 47 not in {f.line for f in findings}
+
+    def test_shipped_hot_path_modules_are_clean(self):
+        paths = [
+            os.path.join(REPO_ROOT, "src", "repro", "relational", name)
+            for name in ("engine.py", "columns.py", "batch_ops.py")
+        ]
+        assert [f for f in run_analysis(paths) if f.rule_id == "RPR009"] == []
+
+    def test_rule_does_not_apply_outside_hot_path_modules(self):
+        # bag.py iterates signed tuples by design; the rule must not fire.
+        path = os.path.join(REPO_ROOT, "src", "repro", "relational", "bag.py")
+        assert [f for f in run_analysis([path]) if f.rule_id == "RPR009"] == []
+
+
 class TestSeverityAndOrdering:
     def test_findings_are_sorted_and_error_severity(self):
         findings = findings_for("runtime/rpr002_determinism.py")

@@ -15,6 +15,7 @@ from check_doc_links import (  # noqa: E402
     ANALYSIS_CLI,
     ANALYSIS_DOC,
     RUNTIME_CLI,
+    RUNTIME_FLAG_DOCS,
     SERVING_DOC,
     anchors_of,
     check_file,
@@ -125,9 +126,14 @@ class TestLintFlags:
 class TestRuntimeFlags:
     """docs/SERVING.md's `repro runtime` flag references must resolve."""
 
-    def _tree(self, tmp_path, doc_text):
+    def _tree(self, tmp_path, doc_text, extra=None, extra_text=None):
         (tmp_path / "docs").mkdir()
         (tmp_path / "docs" / Path(SERVING_DOC).name).write_text(doc_text)
+        if extra is not None:
+            (tmp_path / extra).write_text(
+                extra_text
+                or "Pass `--hyper-batch` to `repro runtime` to batch harder.\n"
+            )
         cli = tmp_path / RUNTIME_CLI
         cli.parent.mkdir(parents=True)
         cli.write_text((REPO_ROOT / RUNTIME_CLI).read_text(encoding="utf-8"))
@@ -174,6 +180,28 @@ class TestRuntimeFlags:
         refs = list(runtime_flag_references(doc))
         assert refs, "SERVING.md documents no CLI flags — scan is vacuous"
         assert check_runtime_flags(REPO_ROOT) == []
+
+    def test_parser_defines_the_batching_flags(self):
+        assert {"--batch-k", "--wire-codec"} <= runtime_cli_flags(REPO_ROOT)
+
+    def test_relational_and_performance_docs_are_scanned(self):
+        # The k-update docs must be in the validated set, reference the
+        # batching flags, and resolve cleanly against the parser.
+        assert "docs/RELATIONAL.md" in RUNTIME_FLAG_DOCS
+        assert "docs/PERFORMANCE.md" in RUNTIME_FLAG_DOCS
+        for relpath in ("docs/RELATIONAL.md", "docs/PERFORMANCE.md"):
+            doc = (REPO_ROOT / relpath).read_text(encoding="utf-8")
+            flags = {flag for _, flag in runtime_flag_references(doc)}
+            assert {"--batch-k", "--wire-codec"} <= flags, relpath
+        assert check_runtime_flags(REPO_ROOT) == []
+
+    def test_dangling_flag_in_a_new_runtime_doc_is_reported(self, tmp_path):
+        root = self._tree(
+            tmp_path, "# serving\n", extra="docs/RELATIONAL.md"
+        )
+        (broken,) = check_runtime_flags(root)
+        assert broken.target == "--hyper-batch"
+        assert broken.file.name == "RELATIONAL.md"
 
 
 class TestRealRepository:

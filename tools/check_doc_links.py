@@ -13,10 +13,12 @@ every markdown link, and verifies:
   the linter's argument parser (``src/repro/analysis/__main__.py``,
   read via ``ast`` — never imported), so the analysis docs cannot
   drift from the CLI;
-- **runtime CLI flags**: likewise, every ``--flag`` that
-  ``docs/SERVING.md`` attributes to ``repro runtime`` exists in the
-  main CLI's argument parser (``src/repro/cli.py``), so the serving
-  docs cannot drift from the runtime flags they document.
+- **runtime CLI flags**: likewise, every ``--flag`` that a
+  runtime-documenting file (``docs/SERVING.md``, ``docs/RELATIONAL.md``,
+  ``docs/PERFORMANCE.md``) attributes to ``repro runtime`` exists in
+  the main CLI's argument parser (``src/repro/cli.py``), so those docs
+  cannot drift from the runtime flags they document (``--batch-k``,
+  ``--wire-codec``, the serving flags, ...).
 
 External schemes (http/https/mailto) are skipped — CI must not depend
 on the network.  Fenced code blocks and inline code spans are ignored
@@ -46,9 +48,14 @@ DOC_GLOBS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/*.md")
 ANALYSIS_DOC = "docs/ANALYSIS.md"
 ANALYSIS_CLI = "src/repro/analysis/__main__.py"
 
-#: The document whose ``repro runtime --flag`` references are validated,
-#: and the argparse module they must resolve against.
+#: The documents whose ``repro runtime --flag`` references are
+#: validated, and the argparse module they must resolve against.
 SERVING_DOC = "docs/SERVING.md"
+RUNTIME_FLAG_DOCS = (
+    SERVING_DOC,
+    "docs/RELATIONAL.md",
+    "docs/PERFORMANCE.md",
+)
 RUNTIME_CLI = "src/repro/cli.py"
 
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
@@ -253,24 +260,31 @@ def check_lint_flags(root: Path) -> List[Broken]:
 
 
 def check_runtime_flags(root: Path) -> List[Broken]:
-    """Dangling ``repro runtime`` flag references in ``docs/SERVING.md``."""
+    """Dangling ``repro runtime`` flag references in the runtime docs."""
 
-    doc = root / SERVING_DOC
-    if not doc.exists() or not (root / RUNTIME_CLI).exists():
+    if not (root / RUNTIME_CLI).exists():
         return []
-    known = runtime_cli_flags(root)
+    known: Optional[Set[str]] = None
     broken: List[Broken] = []
-    for lineno, flag in runtime_flag_references(doc.read_text(encoding="utf-8")):
-        if flag not in known:
-            broken.append(
-                Broken(
-                    doc,
-                    lineno,
-                    flag,
-                    "no such repro runtime flag "
-                    f"(parser defines: {sorted(known)})",
+    for relpath in RUNTIME_FLAG_DOCS:
+        doc = root / relpath
+        if not doc.exists():
+            continue
+        if known is None:
+            known = runtime_cli_flags(root)
+        for lineno, flag in runtime_flag_references(
+            doc.read_text(encoding="utf-8")
+        ):
+            if flag not in known:
+                broken.append(
+                    Broken(
+                        doc,
+                        lineno,
+                        flag,
+                        "no such repro runtime flag "
+                        f"(parser defines: {sorted(known)})",
+                    )
                 )
-            )
     return broken
 
 
