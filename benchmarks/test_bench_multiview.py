@@ -1,0 +1,143 @@
+"""Fan-in: N overlapping views behind one catalog, sharing on vs off.
+
+The shared-compensation planner (``docs/MULTIVIEW.md``) collapses
+signature-equal compensating queries within one atomic event, so a
+warehouse maintaining N structurally identical views over one source
+should pay roughly the round trips of maintaining one.  This benchmark
+sweeps N over {1, 4, 16, 64} and reports, for both catalog modes, the
+distinct source round trips the planner issued and the paper's
+cost-model ``M`` (query + answer messages) / ``B`` (answer bytes)
+measured by a :class:`~repro.costmodel.counters.CostRecorder`.
+
+Acceptance (the ISSUE's bar): at N=16, sharing cuts source round trips
+by at least 2x — and every view's final state is identical either way.
+"""
+
+from __future__ import annotations
+
+from _bench_util import emit
+
+from repro.core.registry import create_algorithm
+from repro.costmodel.counters import CostRecorder
+from repro.experiments.report import render_table
+from repro.relational.engine import evaluate_view
+from repro.relational.schema import RelationSchema
+from repro.relational.views import View
+from repro.simulation.driver import Simulation
+from repro.simulation.schedules import WorstCaseSchedule
+from repro.source.memory import MemorySource
+from repro.source.updates import insert
+from repro.warehouse.catalog import WarehouseCatalog
+
+SCHEMAS = [
+    RelationSchema("r1", ("W", "X"), key=("W",)),
+    RelationSchema("r2", ("X", "Y"), key=("Y",)),
+]
+INITIAL = {"r1": [(1, 2), (2, 3)], "r2": [(2, 5), (3, 6)]}
+
+WORKLOAD = [
+    insert("r1", (10, 2)),
+    insert("r2", (2, 20)),
+    insert("r1", (11, 3)),
+    insert("r1", (12, 2)),
+    insert("r2", (3, 21)),
+    insert("r1", (13, 9)),
+]
+
+FAN_INS = (1, 4, 16, 64)
+
+
+def build(n_views, share):
+    source = MemorySource(SCHEMAS, INITIAL)
+    algorithms = {}
+    for index in range(n_views):
+        view = View.natural_join(f"V{index}", SCHEMAS, ["W", "Y"])
+        algorithms[f"V{index}"] = create_algorithm(
+            "eca", view, evaluate_view(view, source.snapshot())
+        )
+    return source, WarehouseCatalog(algorithms, share_compensation=share)
+
+
+def run_once(n_views, share):
+    """One maintenance run under the compensation-heavy schedule.
+
+    WorstCaseSchedule executes every update before any answer returns,
+    so each event's compensating queries are the interesting, deeply
+    compensated kind — the regime where N-way duplication hurts most.
+    """
+    source, catalog = build(n_views, share)
+    recorder = CostRecorder()
+    Simulation(source, catalog, list(WORKLOAD), recorder).run(
+        WorstCaseSchedule()
+    )
+    issued, saved = catalog.shared_query_stats()
+    states = {name: catalog.state_of(name) for name in catalog.algorithms}
+    return {
+        "round_trips": issued,
+        "saved": saved,
+        "M": recorder.messages,
+        "B": recorder.bytes,
+        "states": states,
+    }
+
+
+def test_bench_multiview_fan_in(benchmark):
+    def sweep():
+        rows = []
+        measures = {}
+        for n_views in FAN_INS:
+            for share in (False, True):
+                out = run_once(n_views, share)
+                measures[(n_views, share)] = out
+                rows.append(
+                    {
+                        "N views": n_views,
+                        "sharing": "on" if share else "off",
+                        "round trips": out["round_trips"],
+                        "absorbed": out["saved"],
+                        "M": out["M"],
+                        "B": out["B"],
+                    }
+                )
+        return measures, rows
+
+    measures, rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(render_table("Fan-in: shared vs independent compensation", rows))
+
+    for n_views in FAN_INS:
+        off = measures[(n_views, False)]
+        on = measures[(n_views, True)]
+        # Identity first: sharing never changes any view's final state.
+        assert off["states"] == on["states"], n_views
+        # Independent catalogs pay one round trip per view; sharing pays
+        # for the distinct expressions only.
+        assert off["round_trips"] == n_views * measures[(1, False)]["round_trips"]
+        if n_views == 1:
+            assert off["round_trips"] == on["round_trips"]
+        else:
+            assert on["saved"] > 0
+
+    # The acceptance bar: >= 2x fewer source round trips at N=16.
+    assert (
+        measures[(16, False)]["round_trips"]
+        >= 2 * measures[(16, True)]["round_trips"]
+    ), measures[(16, True)]
+    # Cost-model M and B scale down the same way (B only when answers
+    # actually carry tuples).
+    assert measures[(16, False)]["M"] >= 2 * measures[(16, True)]["M"]
+    assert measures[(16, False)]["B"] >= measures[(16, True)]["B"]
+
+
+def test_bench_multiview_savings_grow_with_fan_in(benchmark):
+    """Absorbed round trips grow linearly in N while issued stays flat."""
+
+    def sweep():
+        return {n: run_once(n, True) for n in FAN_INS}
+
+    by_n = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    issued = [by_n[n]["round_trips"] for n in FAN_INS]
+    emit(f"issued round trips by fan-in {FAN_INS}: {issued}")
+    # One shared expression per event regardless of N: issued is constant.
+    assert len(set(issued)) == 1
+    for n in FAN_INS:
+        assert by_n[n]["saved"] == (n - 1) * by_n[1]["round_trips"]

@@ -6,10 +6,11 @@ RPR002       determinism: no wall-clock / unseeded randomness in repro
 RPR003       async-safety: no blocking calls inside actor coroutines
 RPR004       dispatch-bypass: algorithms never touch channels directly
 RPR005       obs-guard: observability hooks dominated by None checks
-RPR006       registry-completeness: every algorithm honors codec v2
+RPR006       registry-completeness: every algorithm honors codec v3
 RPR007       partitioner-purity: ``shard_of`` is pure in the key
 RPR008       serving-readonly: the serving tier never writes state
 RPR009       hot-path: no per-tuple wrappers in relational operator loops
+RPR010       planner-purity: shared-compensation planning is deterministic
 ===========  ==========================================================
 
 Rationale and per-rule examples live in ``docs/ANALYSIS.md``.
@@ -21,6 +22,7 @@ from repro.analysis.rules import (  # noqa: F401  (import = register)
     dispatch_bypass,
     hot_path,
     obs_guard,
+    planner_purity,
     purity,
     registry_complete,
     routed,

@@ -1,0 +1,138 @@
+"""RPR010 — planner purity: shared-compensation planning is deterministic.
+
+The shared-compensation engine's byte-identity guarantee (``docs/
+MULTIVIEW.md``) rests on two static properties.  First, canonical term
+signatures (:mod:`repro.relational.signature`) must be pure functions of
+the query expression — the WAL replays planning after a crash and the
+conformance suite replays action logs, and both must regroup members
+into the *identical* shared queries.  Second, the
+:class:`~repro.warehouse.planner.CompensationPlanner` is a bookkeeping
+component behind the catalog, not an actor: it must never touch a
+channel, a clock, or a random number, because its decisions are part of
+the algorithm state the codec persists and recovery reconstructs.
+
+Checked inside any class whose name (or base class) ends with
+``Planner`` and in every function of a ``signature`` module:
+
+- no wall-clock or randomness calls (``time.*``, ``datetime.now`` and
+  friends, ``random.*`` — *including* seeded RNGs, whose output depends
+  on call order — and ``os.urandom``);
+- no builtin ``hash()``: Python salts string hashing per process, so the
+  same query would group differently on every run (signatures are
+  structural tuples compared by value instead);
+- no channel I/O (``FifoChannel`` construction or ``.send()`` /
+  ``.receive()`` calls): the planner returns routed pairs and the
+  kernels ship them, exactly like every algorithm (cf. RPR004).
+
+Unlike RPR007, mutating ``self`` is *allowed*: the planner legitimately
+owns mutable route state (``plan`` installs routes, ``retire`` pops
+them); what must be pure is the mapping from queries to groups, not the
+bookkeeping around it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.engine import FileContext, Rule, register
+from repro.analysis.findings import Finding
+from repro.analysis.rules.common import (
+    call_name,
+    dotted_name,
+    in_repro_package,
+    module_of,
+)
+
+_DATETIME_ATTRS = ("now", "utcnow", "today")
+
+_CHANNEL_METHODS = ("send", "receive", "recv", "receive_nowait")
+
+
+def _is_planner(node: ast.ClassDef) -> bool:
+    if node.name.endswith("Planner"):
+        return True
+    for base in node.bases:
+        name = dotted_name(base)
+        if name is not None and name.split(".")[-1].endswith("Planner"):
+            return True
+    return False
+
+
+def _impurity(name: str) -> Optional[str]:
+    """Why a called name breaks deterministic planning, or None."""
+    parts = name.split(".")
+    if name == "hash":
+        return (
+            "builtin hash() is salted per process, so the same query "
+            "groups differently on every run; signatures are structural "
+            "tuples compared by value"
+        )
+    if parts[0] == "time":
+        return "a clock makes grouping a function of when it runs, not of the query"
+    if len(parts) >= 2 and parts[-1] in _DATETIME_ATTRS and parts[-2] in (
+        "datetime",
+        "date",
+    ):
+        return "a clock makes grouping a function of when it runs, not of the query"
+    if parts[0] == "random" or name == "os.urandom":
+        return (
+            "randomness (even seeded — its output depends on call order) "
+            "makes shared-query grouping diverge between a run and its replay"
+        )
+    return None
+
+
+@register
+class PlannerPurityRule(Rule):
+    rule_id = "RPR010"
+    title = "CompensationPlanner and signature code plan deterministically"
+
+    def applies_to(self, path: str) -> bool:
+        return in_repro_package(path)
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        module = module_of(context.path)
+        if module and module[-1] == "signature":
+            # Signature modules are checked whole: every function is part
+            # of the canonical-form computation.
+            tree: ast.AST = context.tree
+            yield from self._check_body(context, tree, module[-1])
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef) and _is_planner(node):
+                yield from self._check_body(context, node, node.name)
+
+    def _check_body(
+        self, context: FileContext, scope: ast.AST, where: str
+    ) -> Iterator[Finding]:
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is not None:
+                reason = _impurity(name)
+                if reason is not None:
+                    yield context.finding(
+                        node,
+                        self.rule_id,
+                        f"{where} calls {name}(): {reason}",
+                    )
+                    continue
+                if name.split(".")[-1] == "FifoChannel":
+                    yield context.finding(
+                        node,
+                        self.rule_id,
+                        f"{where} constructs a channel: the planner returns "
+                        f"routed pairs and repro.kernel.dispatch ships them",
+                    )
+                    continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _CHANNEL_METHODS
+            ):
+                yield context.finding(
+                    node,
+                    self.rule_id,
+                    f"{where} calls .{node.func.attr}(): channel I/O belongs "
+                    f"to the kernels, never to planning code",
+                )

@@ -1,4 +1,4 @@
-"""RPR006 — registry-completeness: every algorithm honors codec v2.
+"""RPR006 — registry-completeness: every algorithm honors codec v3.
 
 WAL recovery rebuilds any algorithm by name: ``durable_config()`` feeds
 :func:`repro.core.registry.create_algorithm`, ``pending_state()`` is
@@ -59,7 +59,7 @@ def _required_params(func: object) -> Optional[int]:
 @register
 class RegistryCompletenessRule(Rule):
     rule_id = "RPR006"
-    title = "every registry entry implements the codec-v2 hook surface"
+    title = "every registry entry implements the codec-v3 hook surface"
     project_rule = True
 
     def check_project(
@@ -107,7 +107,7 @@ class RegistryCompletenessRule(Rule):
             method = getattr(cls, hook, None)
             if method is None or not callable(method):
                 yield (
-                    f"{label} is missing the codec-v2 hook {hook}(); "
+                    f"{label} is missing the codec-v3 hook {hook}(); "
                     f"WAL snapshots and the metrics poller call it bare"
                 )
                 continue
@@ -115,7 +115,7 @@ class RegistryCompletenessRule(Rule):
             if required:
                 yield (
                     f"{label}.{hook}() takes {required} required "
-                    f"argument(s); codec v2 calls it with none"
+                    f"argument(s); codec v3 calls it with none"
                 )
         restore = getattr(cls, "restore_pending_state", None)
         if restore is None or not callable(restore):

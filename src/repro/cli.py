@@ -256,6 +256,52 @@ def cmd_staleness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fanout_topology(n_sources: int, updates: int, seed: int, algorithm: str = "eca"):
+    """The Section 7 fan-out: N autonomous sources, one join view each.
+
+    Source ``s<i>`` owns ``s<i>r1(W, X)`` / ``s<i>r2(X, Y)`` and view
+    ``V<i>`` joins them; the chosen per-view ``algorithm`` maintains each
+    view separately.  Shared by ``repro runtime`` and ``repro freshness``
+    so both commands measure the same topology.
+    """
+    from repro.core.registry import create_algorithm
+    from repro.relational.engine import evaluate_view
+    from repro.relational.schema import RelationSchema
+    from repro.relational.views import View
+    from repro.source.memory import MemorySource
+    from repro.workloads.random_gen import random_workload
+
+    sources = {}
+    algorithms = {}
+    workload = []
+    for index in range(n_sources):
+        prefix = f"s{index}"
+        schemas = [
+            RelationSchema(f"{prefix}r1", ("W", "X"), key=("W",)),
+            RelationSchema(f"{prefix}r2", ("X", "Y"), key=("Y",)),
+        ]
+        initial = {
+            f"{prefix}r1": [(1, 2), (2, 3)],
+            f"{prefix}r2": [(2, 5), (3, 6)],
+        }
+        source = MemorySource(schemas, initial)
+        sources[prefix] = source
+        view = View.natural_join(f"V{index}", schemas, ["W", "Y"])
+        algorithms[f"V{index}"] = create_algorithm(
+            algorithm, view, evaluate_view(view, source.snapshot())
+        )
+        workload.extend(
+            random_workload(
+                schemas,
+                updates,
+                seed=seed + index,
+                initial=initial,
+                respect_keys=True,
+            )
+        )
+    return sources, algorithms, workload
+
+
 def cmd_runtime(args: argparse.Namespace) -> int:
     from repro.consistency import check_trace
     from repro.core.registry import ALGORITHMS, create_algorithm
@@ -270,6 +316,15 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     from repro.workloads.random_gen import random_workload
 
     multi = getattr(ALGORITHMS[args.algorithm], "multi_source", False)
+    if multi and args.share_compensation == "on":
+        print(
+            "--share-compensation dedupes compensating queries across the "
+            "catalog's member views; the multi-source topology maintains a "
+            "single spanning view, so there is nothing to share — drop the "
+            "flag or pick a single-source algorithm",
+            file=sys.stderr,
+        )
+        return 2
     if multi and args.shards:
         print(
             "--shards places whole views on shards; a view spanning several "
@@ -332,39 +387,17 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         # Topology: N autonomous sources, each owning a two-relation join
         # view maintained by the chosen algorithm (Section 7: "ECA is
         # simply applied to each view separately").
-        algorithms = {}
-        for index in range(args.sources):
-            prefix = f"s{index}"
-            schemas = [
-                RelationSchema(f"{prefix}r1", ("W", "X"), key=("W",)),
-                RelationSchema(f"{prefix}r2", ("X", "Y"), key=("Y",)),
-            ]
-            initial = {
-                f"{prefix}r1": [(1, 2), (2, 3)],
-                f"{prefix}r2": [(2, 5), (3, 6)],
-            }
-            source = MemorySource(schemas, initial)
-            sources[prefix] = source
-            view = View.natural_join(f"V{index}", schemas, ["W", "Y"])
-            algorithms[f"V{index}"] = create_algorithm(
-                args.algorithm, view, evaluate_view(view, source.snapshot())
-            )
-            workload.extend(
-                random_workload(
-                    schemas,
-                    args.updates,
-                    seed=args.seed + index,
-                    initial=initial,
-                    respect_keys=True,
-                )
-            )
-        if len(algorithms) == 1 and not args.shards:
+        sources, algorithms, workload = _fanout_topology(
+            args.sources, args.updates, args.seed, args.algorithm
+        )
+        share = args.share_compensation == "on"
+        if len(algorithms) == 1 and not args.shards and not share:
             warehouse = next(iter(algorithms.values()))
             checkable = warehouse.view
         else:
             # Sharded runs always go through a catalog: shards merge into
             # one tagged global view, so the oracle must be tagged too.
-            warehouse = WarehouseCatalog(algorithms)
+            warehouse = WarehouseCatalog(algorithms, share_compensation=share)
             checkable = warehouse
 
     faults = None
@@ -526,6 +559,20 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         )
     if args.crash and not result.crashes:
         print("crash policy never fired (no eligible event boundary)")
+    if not multi and args.share_compensation == "on":
+        if args.shards and result.shard_info is not None:
+            stats = [
+                catalog.shared_query_stats()
+                for catalog in result.shard_info["algorithms"].values()
+            ]
+            issued = sum(s[0] for s in stats)
+            saved = sum(s[1] for s in stats)
+        else:
+            issued, saved = warehouse.shared_query_stats()
+        print(
+            f"shared compensation: {issued} distinct quer{'y' if issued == 1 else 'ies'} "
+            f"issued, {saved} member quer{'y' if saved == 1 else 'ies'} absorbed"
+        )
     if result.serving is not None:
         serving = result.serving
         if "hit_rate" in serving:
@@ -571,6 +618,54 @@ def cmd_runtime(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def cmd_freshness(args: argparse.Namespace) -> int:
+    """Run a cached read-serving workload and report per-view freshness as JSON."""
+    import json
+
+    from repro.runtime import run_concurrent
+    from repro.serving import ServingCache, reader_for
+    from repro.warehouse.catalog import WarehouseCatalog
+    from repro.workloads.random_gen import zipf_read_workload
+
+    sources, algorithms, workload = _fanout_topology(
+        args.sources, args.updates, args.seed
+    )
+    share = args.share_compensation == "on"
+    warehouse = WarehouseCatalog(algorithms, share_compensation=share)
+    cache = ServingCache(
+        capacity=args.cache_capacity, staleness_bound=args.staleness_bound
+    )
+    keys = reader_for(warehouse).current_keys()
+    reads = zipf_read_workload(
+        keys,
+        max(1, args.reads * args.sources),
+        theta=args.theta,
+        seed=args.seed,
+    )
+    result = run_concurrent(
+        sources,
+        warehouse,
+        workload,
+        clients=0,
+        seed=args.seed,
+        cache=cache,
+        read_workload=reads,
+    )
+    serving = dict(result.serving or {})
+    issued, saved = warehouse.shared_query_stats()
+    report = {
+        "views": sorted(algorithms),
+        "updates": result.updates,
+        "staleness_bound": args.staleness_bound,
+        "share_compensation": args.share_compensation,
+        "shared_queries": {"issued": issued, "saved": saved},
+        "freshness": serving.pop("freshness", {}),
+        "serving": serving,
+    }
+    print(json.dumps(report, indent=2, sort_keys=True))
     return 0
 
 
@@ -796,6 +891,16 @@ def build_parser() -> argparse.ArgumentParser:
         "zipf:THETA (theta 0 = uniform, larger = hotter head)",
     )
     p.add_argument(
+        "--share-compensation",
+        default="off",
+        choices=["on", "off"],
+        help="dedupe structurally-identical compensating queries across "
+        "the catalog's member views: each atomic event ships one query "
+        "per distinct term signature and fans the answer back to every "
+        "subscribed view ('off' preserves the independent per-view "
+        "fan-out byte for byte)",
+    )
+    p.add_argument(
         "--require-consistent",
         action="store_true",
         help="exit nonzero unless the run is consistent and convergent",
@@ -816,6 +921,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the metrics registry in Prometheus text format",
     )
     p.set_defaults(func=cmd_runtime)
+
+    p = sub.add_parser(
+        "freshness",
+        help="per-view serving freshness report (JSON) from a cached read run",
+    )
+    p.add_argument("--sources", type=int, default=2, help="number of sources")
+    p.add_argument("--updates", type=int, default=12, help="updates per source")
+    p.add_argument("--reads", type=int, default=16, help="serving reads per source")
+    p.add_argument("--seed", type=int, default=0, help="master determinism seed")
+    p.add_argument(
+        "--staleness-bound",
+        type=int,
+        default=1,
+        help="invalidations a cached entry may lag before a forced reload",
+    )
+    p.add_argument(
+        "--cache-capacity", type=int, default=64, help="serving-cache entry budget"
+    )
+    p.add_argument(
+        "--theta", type=float, default=1.0, help="zipf skew of the read mix"
+    )
+    p.add_argument(
+        "--share-compensation",
+        default="off",
+        choices=["on", "off"],
+        help="dedupe structurally-identical compensating queries across views",
+    )
+    p.set_defaults(func=cmd_freshness)
 
     p = sub.add_parser(
         "trace", help="render a recorded trace file as a causal timeline"

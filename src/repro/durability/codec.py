@@ -58,8 +58,11 @@ if TYPE_CHECKING:
 
 #: Bumped whenever the encoded layout changes incompatibly.  v2: the
 #: routed-protocol unification folded the ``algo.multi`` envelope into
-#: the generic ``algo`` form (owners travel in ``config``).
-CODEC_VERSION = 2
+#: the generic ``algo`` form (owners travel in ``config``).  v3: the
+#: ``algo.catalog`` envelope carries the shared-compensation planner —
+#: a ``share`` flag plus routes whose values are subscriber *lists*
+#: (one shared query may fan out to several member views).
+CODEC_VERSION = 3
 
 _PRIMITIVES = (str, int, float, bool, type(None))
 
@@ -360,6 +363,7 @@ def encode_algorithm(algorithm: WarehouseAlgorithm) -> Dict[str, object]:
         catalog = cast("WarehouseCatalog", algorithm)
         return {
             "$": "algo.catalog",
+            "share": catalog.share_compensation,
             "members": [
                 [name, encode_algorithm(member)]
                 for name, member in catalog.algorithms.items()
@@ -386,7 +390,9 @@ def decode_algorithm(data: Dict[str, Any]) -> WarehouseAlgorithm:
         members = {
             name: decode_algorithm(payload) for name, payload in data["members"]
         }
-        catalog = WarehouseCatalog(members)
+        catalog = WarehouseCatalog(
+            members, share_compensation=bool(data.get("share", False))
+        )
         catalog.restore_pending_state(
             cast(Dict[str, Any], decode_value(data["pending"]))
         )

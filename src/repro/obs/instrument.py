@@ -165,6 +165,17 @@ class Observability:
             "algorithm-reported in-flight state (see WarehouseAlgorithm.gauges)",
             ("gauge",) + shard_dim,
         )
+        self._shared_issued = registry.gauge(
+            "repro_shared_queries_issued",
+            "distinct compensating queries the catalog planner shipped",
+            shard_dim,
+        )
+        self._shared_saved = registry.gauge(
+            "repro_shared_queries_saved",
+            "member compensating queries absorbed into an already-issued "
+            "shared query (source round trips avoided)",
+            shard_dim,
+        )
         self._staleness = LiveStaleness()
         self._last_crash_span: Optional[Span] = None
 
@@ -347,6 +358,11 @@ class Observability:
         if gauges is not None:
             for name, value in gauges().items():
                 self._algo_gauges.set(value, gauge=name, **self._shard_labels)
+        shared_stats = getattr(algorithm, "shared_query_stats", None)
+        if shared_stats is not None:
+            issued, saved = shared_stats()
+            self._shared_issued.set(issued, **self._shard_labels)
+            self._shared_saved.set(saved, **self._shard_labels)
         serial = getattr(message, "serial", None)
         if kind == "W_up" and serial is not None:
             self._staleness.processed(serial)

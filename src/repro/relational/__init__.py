@@ -13,7 +13,10 @@ against:
   ``pi_proj(sigma_cond(r1 x ... x rn))``, sum-of-term queries, and the
   substitution operator ``Q<U>``;
 - :mod:`repro.relational.views` — select-project-join view definitions with
-  a natural-join convenience constructor.
+  a natural-join convenience constructor;
+- :mod:`repro.relational.signature` — canonical structural signatures for
+  terms and queries under renaming (the shared-compensation planner's
+  grouping key).
 """
 
 from repro.relational.bag import SignedBag
@@ -40,6 +43,11 @@ from repro.relational.conditions import (
 )
 from repro.relational.expressions import BoundOperand, Query, RelationOperand, Term
 from repro.relational.schema import ProductSchema, RelationSchema
+from repro.relational.signature import (
+    condition_signature,
+    query_signature,
+    term_signature,
+)
 from repro.relational.tuples import MINUS, PLUS, SignedTuple
 from repro.relational.unions import UnionView
 from repro.relational.views import View
@@ -73,5 +81,8 @@ __all__ = [
     "batch_select",
     "batch_union",
     "compile_mask",
+    "condition_signature",
     "conjunction",
+    "query_signature",
+    "term_signature",
 ]

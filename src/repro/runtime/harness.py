@@ -48,7 +48,7 @@ from repro.runtime.transport import (
     FaultyTransport,
     InMemoryTransport,
 )
-from repro.serving import ReadClientActor, ReadMismatch, ServingCache, reader_for
+from repro.serving import ReadClientActor, ReadMismatch, ServingCache, reader_for, serving_report
 from repro.simulation.trace import C_REF, S_QU, S_UP, W_CRASH, W_REC, Trace
 from repro.source.base import Source
 from repro.source.updates import Update
@@ -640,13 +640,7 @@ def run_concurrent(
     for reader_actor in reader_actors:
         metrics[reader_actor.name] = reader_actor.metrics
 
-    serving = None
-    if cache is not None:
-        serving = cache.report()
-        serving["backend_reads"] = reader.reads if reader is not None else 0
-        serving["freshness"] = cache.freshness()
-    elif reader is not None:
-        serving = {"reads": reader.reads, "backend_reads": reader.reads}
+    serving = serving_report(cache, reader)
 
     result = RuntimeResult(
         trace=recorder.trace,

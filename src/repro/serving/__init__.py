@@ -20,6 +20,7 @@ from repro.serving.cache import (
 )
 from repro.serving.client import ReadClientActor, ReadMismatch
 from repro.serving.keys import Key, ViewKey, row_key
+from repro.serving.report import serving_report
 
 __all__ = [
     "FIFOPolicy",
@@ -34,4 +35,5 @@ __all__ = [
     "WarehouseReader",
     "reader_for",
     "row_key",
+    "serving_report",
 ]

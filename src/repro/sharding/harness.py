@@ -66,7 +66,7 @@ from repro.runtime.transport import (
     FaultyTransport,
     InMemoryTransport,
 )
-from repro.serving import ReadClientActor, ServingCache, WarehouseReader
+from repro.serving import ReadClientActor, ServingCache, WarehouseReader, serving_report
 from repro.sharding.partition import Partitioner
 from repro.sharding.plan import ShardPlan, plan_shards
 from repro.sharding.router import (
@@ -452,13 +452,7 @@ def run_sharded(
     for reader_actor in reader_actors:
         metrics[reader_actor.name] = reader_actor.metrics
 
-    serving = None
-    if cache is not None:
-        serving = cache.report()
-        serving["backend_reads"] = reader.reads if reader is not None else 0
-        serving["freshness"] = cache.freshness()
-    elif reader is not None:
-        serving = {"reads": reader.reads, "backend_reads": reader.reads}
+    serving = serving_report(cache, reader)
 
     partitioner_kind = (
         partitioner.kind if isinstance(partitioner, Partitioner) else str(partitioner)

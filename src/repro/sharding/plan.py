@@ -116,8 +116,13 @@ def plan_shards(
         assignment[name] = shard
         per_shard.setdefault(shard, {})[name] = members[name]
 
+    # The planner is scoped per shard: each per-shard catalog inherits the
+    # source catalog's sharing mode and dedupes only among its own views
+    # (cross-shard sharing would need answer fan-out across actors).
+    share = getattr(algorithm, "share_compensation", False)
     algorithms = {
-        shard: WarehouseCatalog(views) for shard, views in per_shard.items()
+        shard: WarehouseCatalog(views, share_compensation=share)
+        for shard, views in per_shard.items()
     }
     # Invert view -> relations rather than probing every (relation, view)
     # pair with ``involves``: a view reacts to each of its schemas' alias

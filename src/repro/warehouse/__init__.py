@@ -8,6 +8,7 @@ of Section 5.4).
 """
 
 from repro.warehouse.catalog import WarehouseCatalog
+from repro.warehouse.planner import CompensationPlanner
 from repro.warehouse.state import MaterializedView
 
-__all__ = ["MaterializedView", "WarehouseCatalog"]
+__all__ = ["CompensationPlanner", "MaterializedView", "WarehouseCatalog"]

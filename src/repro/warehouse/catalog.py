@@ -6,8 +6,17 @@ separately."  :class:`WarehouseCatalog` is that sentence as a component:
 it implements the same event protocol as a single algorithm, fans every
 notification out to the per-view algorithms (each of which may be a
 different member of the family — ECA here, ECA-Key there, a deferred view
-in the corner), multiplexes their query ids onto one id space, and routes
-answers back.
+in the corner), and routes answers back.
+
+Between the members and the wire sits a
+:class:`~repro.warehouse.planner.CompensationPlanner`: with
+``share_compensation=False`` (the default) it is a byte-identical
+re-expression of the historical 1:1 query-id multiplexer, while with
+``share_compensation=True`` member queries with equal canonical
+signatures inside one atomic event collapse into a single
+:class:`~repro.messaging.messages.QueryRequest` whose one answer fans
+back through every subscribing view's own compensation — N overlapping
+views cost one source round trip instead of N (``docs/MULTIVIEW.md``).
 
 For trace-based checking, the catalog is itself a "view" whose rows are
 tagged with their view name: ``catalog.view_state()`` returns
@@ -34,11 +43,11 @@ from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Set, Tuple
 from repro.errors import ProtocolError
 from repro.messaging.messages import (
     QueryAnswer,
-    QueryRequest,
     UpdateBatch,
     UpdateNotification,
 )
 from repro.relational.bag import SignedBag
+from repro.warehouse.planner import CompensationPlanner, MemberRequest
 
 if TYPE_CHECKING:  # avoid a package-level import cycle with repro.core
     from repro.core.protocol import Routed, WarehouseAlgorithm
@@ -51,20 +60,27 @@ class WarehouseCatalog:
     multi_source = False
     codec_tag = "algo.catalog"
 
-    def __init__(self, algorithms: "Mapping[str, WarehouseAlgorithm]") -> None:
+    def __init__(
+        self,
+        algorithms: "Mapping[str, WarehouseAlgorithm]",
+        share_compensation: bool = False,
+    ) -> None:
         if not algorithms:
             raise ProtocolError("a warehouse catalog needs at least one view")
         self.algorithms: "Dict[str, WarehouseAlgorithm]" = dict(algorithms)
-        self._next_query_id = 1
         self.owners: Dict[str, str] = {}
-        #: global query id -> (view name, that view's local query id)
-        self._routes: Dict[int, Tuple[str, int]] = {}
+        self._planner = CompensationPlanner(share=share_compensation)
         #: Per-view state history, one snapshot per warehouse event (the
         #: initial state first) — feeds :meth:`per_view_trace`.
         self._history: Dict[str, List[SignedBag]] = {
             name: [algorithm.view_state()]
             for name, algorithm in self.algorithms.items()
         }
+
+    @property
+    def share_compensation(self) -> bool:
+        """Whether same-event duplicate compensating queries are shared."""
+        return self._planner.share
 
     def _record(self) -> None:
         for name, algorithm in self.algorithms.items():
@@ -83,10 +99,11 @@ class WarehouseCatalog:
     def on_update(
         self, source: Optional[str], notification: UpdateNotification
     ) -> "Routed":
-        out: "Routed" = []
+        members: List[MemberRequest] = []
         for view_name, algorithm in self.algorithms.items():
             for destination, request in algorithm.on_update(source, notification):
-                out.append((destination, self._remap(view_name, request)))
+                members.append((view_name, destination, request))
+        out = self._planner.plan(members)
         self._record()
         return out
 
@@ -96,44 +113,46 @@ class WarehouseCatalog:
         Each member sees the same atomic ``UpdateBatch``, so views whose
         algorithm family answers a run with a single compensating query
         keep that behavior inside the catalog; the catalog itself only
-        remaps the resulting query ids, exactly as :meth:`on_update`.
+        plans the resulting query ids, exactly as :meth:`on_update`.
         """
-        out: "Routed" = []
+        members: List[MemberRequest] = []
         for view_name, algorithm in self.algorithms.items():
             for destination, request in algorithm.on_update_batch(source, batch):
-                out.append((destination, self._remap(view_name, request)))
+                members.append((view_name, destination, request))
+        out = self._planner.plan(members)
         self._record()
         return out
 
     def on_answer(self, source: Optional[str], answer: QueryAnswer) -> "Routed":
-        try:
-            view_name, local_id = self._routes.pop(answer.query_id)
-        except KeyError:
-            raise ProtocolError(
-                f"catalog received answer for unknown query {answer.query_id}"
-            ) from None
-        algorithm = self.algorithms[view_name]
-        out: "Routed" = []
-        for destination, request in algorithm.on_answer(
-            source, QueryAnswer(local_id, answer.answer)
-        ):
-            out.append((destination, self._remap(view_name, request)))
+        """Fan one (possibly shared) answer to every subscribing view.
+
+        All subscribers absorb the answer within this one atomic event —
+        exactly the bag each would have received from its own private
+        request, because sharing only ever merged signature-equal
+        queries.  Follow-up requests the subscribers emit are planned
+        together, so even recovery-time or refresh-time duplicates
+        collapse.
+        """
+        subscribers = self._planner.retire(answer.query_id)
+        members: List[MemberRequest] = []
+        for view_name, local_id in subscribers:
+            algorithm = self.algorithms[view_name]
+            for destination, request in algorithm.on_answer(
+                source, QueryAnswer(local_id, answer.answer)
+            ):
+                members.append((view_name, destination, request))
+        out = self._planner.plan(members)
         self._record()
         return out
 
     def on_refresh(self) -> "Routed":
-        out: "Routed" = []
+        members: List[MemberRequest] = []
         for view_name, algorithm in self.algorithms.items():
             for destination, request in algorithm.on_refresh():
-                out.append((destination, self._remap(view_name, request)))
+                members.append((view_name, destination, request))
+        out = self._planner.plan(members)
         self._record()
         return out
-
-    def _remap(self, view_name: str, request: QueryRequest) -> QueryRequest:
-        global_id = self._next_query_id
-        self._next_query_id += 1
-        self._routes[global_id] = (view_name, request.query_id)
-        return QueryRequest(global_id, request.query)
 
     # ------------------------------------------------------------------ #
     # State — the catalog poses as one big tagged view
@@ -164,7 +183,9 @@ class WarehouseCatalog:
 
         A member's own view name may differ from the name it is registered
         under, so entries carry the registration key — the name clients
-        address reads with.
+        address reads with.  A shared answer dirties every subscriber
+        view within the one event, so the serving tier's invalidation
+        stream stays precise under sharing.
         """
         out: Set[Tuple[str, Tuple[object, ...]]] = set()
         for view_name, algorithm in self.algorithms.items():
@@ -199,13 +220,10 @@ class WarehouseCatalog:
     @property
     def uqs(self) -> Dict[int, object]:
         """Pending global query ids (driver quiescence check)."""
-        return {
-            global_id: None
-            for global_id, (view_name, local_id) in self._routes.items()
-        }
+        return {global_id: None for global_id in self._planner.pending_ids()}
 
     def is_quiescent(self) -> bool:
-        return not self._routes and all(
+        return self._planner.is_quiescent() and all(
             algorithm.is_quiescent() for algorithm in self.algorithms.values()
         )
 
@@ -216,17 +234,10 @@ class WarehouseCatalog:
     def pending_state(self) -> Dict[str, Any]:
         """Catalog-level bookkeeping only; member algorithms persist
         their own state through the durability codec."""
-        return {
-            "next_query_id": self._next_query_id,
-            "routes": dict(self._routes),
-        }
+        return self._planner.state()
 
     def restore_pending_state(self, state: Dict[str, Any]) -> None:
-        self._next_query_id = state["next_query_id"]
-        self._routes = {
-            global_id: (view_name, local_id)
-            for global_id, (view_name, local_id) in state["routes"].items()
-        }
+        self._planner.restore(state)
         # Per-view history restarts at the recovered state; per_view_trace
         # over a crash-spanning run is out of scope for recovery.
         self._history = {
@@ -235,32 +246,52 @@ class WarehouseCatalog:
         }
 
     def pending_requests(self) -> "Routed":
-        # Members report their own in-flight requests (with destinations);
-        # remap local ids back to this catalog's global id space.
-        local_to_global = {
-            (view_name, local_id): global_id
-            for global_id, (view_name, local_id) in self._routes.items()
-        }
-        out: "Routed" = []
+        """Re-issue one request per pending global id after a crash.
+
+        A shared query is re-sent **once**: the first subscriber's local
+        pending query stands in for the group (signature equality makes
+        every subscriber's expression interchangeable), and the recovered
+        answer fans back through the restored route table exactly as the
+        lost answer would have.
+        """
+        from repro.messaging.messages import QueryRequest
+
+        local_pending: Dict[Tuple[str, int], Tuple[Optional[str], QueryRequest]] = {}
         for view_name, algorithm in self.algorithms.items():
             for destination, request in algorithm.pending_requests():
-                global_id = local_to_global[(view_name, request.query_id)]
-                out.append((destination, QueryRequest(global_id, request.query)))
-        out.sort(key=lambda pair: pair[1].query_id)
+                local_pending[(view_name, request.query_id)] = (
+                    destination,
+                    request,
+                )
+        out: "Routed" = []
+        for global_id in self._planner.pending_ids():
+            view_name, local_id = self._planner.subscribers(global_id)[0]
+            destination, request = local_pending[(view_name, local_id)]
+            out.append((destination, QueryRequest(global_id, request.query)))
         return out
 
     def pending_query_ids(self) -> List[int]:
-        return sorted(self._routes)
+        return self._planner.pending_ids()
 
     def gauges(self) -> Dict[str, int]:
         """Per-view UQS sizes plus the global route count (obs layer)."""
-        out = {"uqs": len(self._routes)}
+        out = {"uqs": self._planner.pending_count()}
         for name, algorithm in self.algorithms.items():
             out[f"uqs:{name}"] = len(algorithm.uqs)
         return out
+
+    def shared_query_stats(self) -> Tuple[int, int]:
+        """``(issued, saved)`` — requests shipped vs. round trips avoided.
+
+        Exported by the observability layer as the
+        ``repro_shared_queries_issued`` / ``repro_shared_queries_saved``
+        series; both counters are cumulative over the catalog's life.
+        """
+        return self._planner.issued, self._planner.saved
 
     def __repr__(self) -> str:
         parts = ", ".join(
             f"{name}:{algo.name}" for name, algo in self.algorithms.items()
         )
-        return f"WarehouseCatalog({parts})"
+        mode = ", shared" if self.share_compensation else ""
+        return f"WarehouseCatalog({parts}{mode})"

@@ -1,0 +1,51 @@
+"""Fixture: RPR010 planner-purity violations (deliberately broken)."""
+
+import random
+import time
+
+
+class SaltedPlanner:
+    def plan(self, members):
+        return {hash(request.query): view for view, _, request in members}
+
+
+class ClockPlanner:
+    def plan(self, members):
+        return {time.time(): tuple(members)}
+
+
+class LotteryPlanner:
+    def plan(self, members):
+        return members[random.randrange(len(members))]
+
+
+class ChattyPlanner:
+    def __init__(self, channel):
+        self.channel = channel
+
+    def plan(self, members):
+        self.channel.send(members[0])
+        return []
+
+
+class EagerPlanner:
+    def plan(self, members):
+        from repro.messaging.channels import FifoChannel
+
+        return FifoChannel()
+
+
+class LegalPlanner:
+    # Stateful bookkeeping is fine (unlike RPR007): what must be pure is
+    # the query-to-group mapping, not the route table around it.
+    def __init__(self):
+        self.routes = {}
+
+    def plan(self, members):
+        self.routes[len(self.routes)] = tuple(members)
+        return sorted(self.routes)
+
+
+class SuppressedPlanner:
+    def plan(self, members):
+        return hash(members)  # repro: ignore[RPR010] -- fixture demonstrates pragmas

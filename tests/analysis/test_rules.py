@@ -136,7 +136,7 @@ class TestRegistryCompletenessRule:
         assert "whose .name is 'mismatched'" in messages
         assert "multi_source must be a plain bool" in messages
         assert "pending_state() takes 1 required argument" in messages
-        assert "missing the codec-v2 hook durable_config()" in messages
+        assert "missing the codec-v3 hook durable_config()" in messages
         assert "missing restore_pending_state" in messages
 
 
@@ -227,6 +227,50 @@ class TestHotPathRule:
         # bag.py iterates signed tuples by design; the rule must not fire.
         path = os.path.join(REPO_ROOT, "src", "repro", "relational", "bag.py")
         assert [f for f in run_analysis([path]) if f.rule_id == "RPR009"] == []
+
+
+class TestPlannerPurityRule:
+    def test_fixture_produces_exactly_the_expected_findings(self):
+        findings = findings_for("warehouse/rpr010_planner.py")
+        assert golden(findings) == [
+            (9, "RPR010"),  # builtin hash() (process-salted) on a signature
+            (14, "RPR002"),  # time.time() also trips determinism
+            (14, "RPR010"),  # wall clock in plan()
+            (19, "RPR002"),  # module-level random.* also trips determinism
+            (19, "RPR010"),  # randomness in plan()
+            (27, "RPR004"),  # .send() also trips dispatch-bypass
+            (27, "RPR008"),  # ...and serving-readonly's egress check
+            (27, "RPR010"),  # channel I/O from the planner
+            (35, "RPR004"),  # FifoChannel() also trips dispatch-bypass
+            (35, "RPR010"),  # channel construction in plan()
+        ]
+
+    def test_stateful_bookkeeping_is_allowed(self):
+        # Unlike RPR007: the planner legitimately mutates its route table.
+        findings = findings_for("warehouse/rpr010_planner.py")
+        flagged = {f.line for f in findings if f.rule_id == "RPR010"}
+        assert not flagged & {41, 42, 44, 45, 46}  # the LegalPlanner body
+
+    def test_pragma_suppresses_the_final_violation(self):
+        findings = findings_for("warehouse/rpr010_planner.py")
+        assert 51 not in {f.line for f in findings}
+
+    def test_messages_name_the_planner_class(self):
+        findings = findings_for("warehouse/rpr010_planner.py")
+        messages = {
+            f.line: f.message for f in findings if f.rule_id == "RPR010"
+        }
+        assert "SaltedPlanner" in messages[9]
+        assert "ChattyPlanner" in messages[27]
+
+    def test_shipped_planner_and_signature_modules_are_clean(self):
+        paths = [
+            os.path.join(REPO_ROOT, "src", "repro", "warehouse", "planner.py"),
+            os.path.join(
+                REPO_ROOT, "src", "repro", "relational", "signature.py"
+            ),
+        ]
+        assert [f for f in run_analysis(paths) if f.rule_id == "RPR010"] == []
 
 
 class TestSeverityAndOrdering:

@@ -202,7 +202,7 @@ class TestMultiSourceBatchedConformance:
         assert live.level() == replayed.level()
 
 
-def catalog_setup():
+def catalog_setup(share=False):
     """The CLI's multi-source topology: one independent two-relation
     join view per source, all behind one :class:`WarehouseCatalog`."""
     sources = {}
@@ -223,7 +223,7 @@ def catalog_setup():
         algorithms[f"V{index}"] = create_algorithm(
             "eca", view, evaluate_view(view, source.snapshot())
         )
-    return sources, WarehouseCatalog(algorithms)
+    return sources, WarehouseCatalog(algorithms, share_compensation=share)
 
 
 CATALOG_WORKLOADS = {
@@ -241,27 +241,52 @@ class TestCatalogBatched:
     ``--batch-k > 1`` died with an ``AttributeError`` inside dispatch.
     """
 
+    @pytest.mark.parametrize("share", [False, True])
     @pytest.mark.parametrize("k", [2, 4])
     @pytest.mark.parametrize("seed", range(2))
-    def test_batched_catalog_runs_converge_and_replay(self, k, seed):
-        sources, catalog = catalog_setup()
+    def test_batched_catalog_runs_converge_and_replay(self, k, seed, share):
+        sources, catalog = catalog_setup(share)
         result = run_concurrent(
             sources, catalog, CATALOG_WORKLOADS, seed=seed, max_burst=4, batch_k=k
         )
-        baseline_sources, baseline = catalog_setup()
+        baseline_sources, baseline = catalog_setup(share)
         plain = run_concurrent(
             baseline_sources, baseline, CATALOG_WORKLOADS, seed=seed,
             max_burst=4, batch_k=1,
         )
         assert result.final_view == plain.final_view
-        twin_sources, twin = catalog_setup()
+        twin_sources, twin = catalog_setup(share)
         kernel = replay_concurrent(
             result.action_log, twin_sources, twin, CATALOG_WORKLOADS
         )
         assert_conforms(result, kernel)
 
-    def test_catalog_batch_coalescing_is_logged(self):
-        sources, catalog = catalog_setup()
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    @pytest.mark.parametrize("seed", range(2))
+    def test_shared_axis_is_byte_identical_per_view(self, k, seed):
+        """The shared-vs-independent axis: on this disjoint topology the
+        planner never finds a coincident query, so sharing must be a
+        byte-level no-op — same action log, same trace, and every member
+        view walking the identical state sequence."""
+        runs = {}
+        catalogs = {}
+        for share in (False, True):
+            sources, catalog = catalog_setup(share)
+            runs[share] = run_concurrent(
+                sources, catalog, CATALOG_WORKLOADS, seed=seed,
+                max_burst=4, batch_k=k,
+            )
+            catalogs[share] = catalog
+        assert runs[False].action_log == runs[True].action_log
+        assert runs[False].trace.view_states == runs[True].trace.view_states
+        for name in catalogs[False].algorithms:
+            assert catalogs[False].view_history(name) == catalogs[
+                True
+            ].view_history(name), name
+
+    @pytest.mark.parametrize("share", [False, True])
+    def test_catalog_batch_coalescing_is_logged(self, share):
+        sources, catalog = catalog_setup(share)
         result = run_concurrent(
             sources, catalog, CATALOG_WORKLOADS, seed=1, max_burst=8, batch_k=8
         )

@@ -203,6 +203,8 @@ class TestCacheOffMetricsRegression:
         "repro_uqs_size",
         "repro_staleness_lag_updates",
         "repro_algorithm_gauge",
+        "repro_shared_queries_issued",
+        "repro_shared_queries_saved",
         "repro_actor_sent_total",
         "repro_actor_received_total",
         "repro_actor_queries_answered_total",

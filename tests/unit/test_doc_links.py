@@ -21,12 +21,15 @@ from check_doc_links import (  # noqa: E402
     check_file,
     check_lint_flags,
     check_runtime_flags,
+    check_subcommands,
     check_tree,
     lint_cli_flags,
     lint_flag_references,
     runtime_cli_flags,
+    runtime_cli_subcommands,
     runtime_flag_references,
     slugify,
+    subcommand_references,
 )
 
 
@@ -202,6 +205,48 @@ class TestRuntimeFlags:
         (broken,) = check_runtime_flags(root)
         assert broken.target == "--hyper-batch"
         assert broken.file.name == "RELATIONAL.md"
+
+
+class TestSubcommands:
+    """Every ``repro <sub>`` a doc shows must be a registered subparser."""
+
+    def test_parser_registers_the_documented_subcommands(self):
+        subs = runtime_cli_subcommands(REPO_ROOT)
+        assert {"runtime", "freshness", "trace", "lint", "scenario"} <= subs
+
+    def test_references_come_from_code_positions_only(self):
+        refs = list(
+            subcommand_references(
+                "Prose about the repro warehouse is not scanned.\n"
+                "Run `repro freshness --reads 8` or `python -m repro trace t`.\n"
+                "```bash\n"
+                "python -m repro runtime --seed 7\n"
+                "```\n"
+                "```python\n"
+                "from repro import Simulation  # import, not an invocation\n"
+                "```\n"
+            )
+        )
+        assert refs == [(2, "freshness"), (2, "trace"), (4, "runtime")]
+
+    def test_dangling_subcommand_is_reported(self, tmp_path):
+        (tmp_path / "README.md").write_text("See `repro frobnicate --all`.\n")
+        cli = tmp_path / RUNTIME_CLI
+        cli.parent.mkdir(parents=True)
+        cli.write_text((REPO_ROOT / RUNTIME_CLI).read_text(encoding="utf-8"))
+        (broken,) = check_subcommands(tmp_path)
+        assert broken.target == "repro frobnicate"
+        assert "no such repro subcommand" in broken.reason
+
+    def test_multiview_doc_is_flag_checked_and_references_are_live(self):
+        assert "docs/MULTIVIEW.md" in RUNTIME_FLAG_DOCS
+        doc = (REPO_ROOT / "docs" / "MULTIVIEW.md").read_text(encoding="utf-8")
+        flags = {flag for _, flag in runtime_flag_references(doc)}
+        assert "--share-compensation" in flags
+        subs = {sub for _, sub in subcommand_references(doc)}
+        assert {"runtime", "freshness"} <= subs
+        assert check_runtime_flags(REPO_ROOT) == []
+        assert check_subcommands(REPO_ROOT) == []
 
 
 class TestRealRepository:

@@ -1,0 +1,215 @@
+"""Canonical term/query signatures: the shared-compensation contract.
+
+The planner (:mod:`repro.warehouse.planner`) groups member views'
+compensating queries by :func:`repro.relational.signature.query_signature`
+and ships one request per group, so the entire soundness of sharing
+rests on one implication, pinned here both by construction (alias
+invariance, sensitivity to every semantic ingredient) and by a
+Hypothesis property: **signature equality implies evaluation equality on
+every state**.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.bag import SignedBag
+from repro.relational.conditions import And, Attr, Comparison, Const, Not, TrueCondition
+from repro.relational.expressions import BoundOperand, Query, RelationOperand, Term
+from repro.relational.schema import RelationSchema
+from repro.relational.signature import query_signature, term_signature
+from repro.relational.tuples import MINUS, PLUS, SignedTuple
+
+R1 = RelationSchema("r1", ("W", "X"), key=("W",))
+R2 = RelationSchema("r2", ("X", "Y"), key=("Y",))
+
+
+def join_term(
+    aliases=None,
+    projection=("W", "Y"),
+    condition=None,
+    coefficient=1,
+    bound=None,
+):
+    """``pi_projection(sigma_condition(r1 x r2))``, optionally aliased.
+
+    ``bound`` replaces the r1 operand with a :class:`BoundOperand` over
+    the given signed tuple — the shape compensating queries take.
+    """
+    s1 = R1.aliased(aliases[0]) if aliases else R1
+    s2 = R2.aliased(aliases[1]) if aliases else R2
+    first = BoundOperand(s1, bound) if bound is not None else RelationOperand(s1)
+    return Term(
+        [first, RelationOperand(s2)],
+        projection,
+        condition=condition,
+        coefficient=coefficient,
+    )
+
+
+SAMPLE_STATE = {
+    "r1": SignedBag({(1, 2): 1, (2, 3): 1, (4, 2): 2}),
+    "r2": SignedBag({(2, 5): 1, (3, 6): 1, (2, 7): 1}),
+}
+
+
+class TestAliasInvariance:
+    def test_renamed_operands_share_a_signature(self):
+        plain = join_term()
+        renamed = join_term(aliases=("left", "right"))
+        assert term_signature(plain) == term_signature(renamed)
+        assert plain.evaluate(SAMPLE_STATE) == renamed.evaluate(SAMPLE_STATE)
+
+    def test_qualified_condition_names_resolve_before_comparison(self):
+        plain = join_term(condition=Comparison(Attr("r1.W"), "<", Const(3)))
+        renamed = join_term(
+            aliases=("a", "b"),
+            condition=Comparison(Attr("a.W"), "<", Const(3)),
+        )
+        assert term_signature(plain) == term_signature(renamed)
+        assert plain.evaluate(SAMPLE_STATE) == renamed.evaluate(SAMPLE_STATE)
+
+    def test_bound_operand_survives_renaming(self):
+        update = SignedTuple((9, 2), PLUS)
+        plain = join_term(bound=update)
+        renamed = join_term(aliases=("a", "b"), bound=update)
+        assert term_signature(plain) == term_signature(renamed)
+
+
+class TestSensitivity:
+    def test_different_constant_differs(self):
+        one = join_term(condition=Comparison(Attr("W"), "<", Const(3)))
+        two = join_term(condition=Comparison(Attr("W"), "<", Const(4)))
+        assert term_signature(one) != term_signature(two)
+
+    def test_different_projection_differs(self):
+        assert term_signature(join_term(projection=("W", "Y"))) != term_signature(
+            join_term(projection=("Y", "W"))
+        )
+
+    def test_coefficient_differs(self):
+        assert term_signature(join_term()) != term_signature(
+            join_term(coefficient=-1)
+        )
+
+    def test_bound_tuple_value_and_sign_differ(self):
+        plus = join_term(bound=SignedTuple((9, 2), PLUS))
+        minus = join_term(bound=SignedTuple((9, 2), MINUS))
+        other = join_term(bound=SignedTuple((8, 2), PLUS))
+        signatures = {term_signature(t) for t in (plus, minus, other)}
+        assert len(signatures) == 3
+
+    def test_condition_structure_differs(self):
+        cmp_ = Comparison(Attr("W"), "<", Const(3))
+        assert term_signature(join_term(condition=cmp_)) != term_signature(
+            join_term(condition=Not(cmp_))
+        )
+        assert term_signature(join_term(condition=And(cmp_, TrueCondition()))) != (
+            term_signature(join_term(condition=cmp_))
+        )
+
+    def test_different_base_relation_differs(self):
+        other = RelationSchema("r3", ("W", "X"), key=("W",))
+        one = Term([RelationOperand(R1)], ("W",))
+        two = Term([RelationOperand(other)], ("W",))
+        assert term_signature(one) != term_signature(two)
+
+
+class TestQuerySignature:
+    def test_term_order_is_a_multiset(self):
+        a = join_term(coefficient=1)
+        b = join_term(coefficient=-1)
+        assert query_signature(Query([a, b])) == query_signature(Query([b, a]))
+
+    def test_duplicate_terms_are_counted(self):
+        a = join_term()
+        assert query_signature(Query([a])) != query_signature(Query([a, a]))
+
+    def test_signatures_are_hashable_dict_keys(self):
+        groups = {}
+        groups[query_signature(Query([join_term()]))] = "first"
+        groups[query_signature(Query([join_term(aliases=("a", "b"))]))] = "second"
+        assert list(groups.values()) == ["second"]
+
+
+# --------------------------------------------------------------------- #
+# The load-bearing property: signature equality => evaluation equality.
+# Queries are drawn from a deliberately small space so collisions (the
+# interesting case) are common, and the second query is built over
+# renamed operands so the invariance is exercised, not assumed.
+# --------------------------------------------------------------------- #
+
+_values = st.integers(min_value=0, max_value=3)
+
+_conditions = st.one_of(
+    st.none(),
+    st.builds(
+        lambda col, op, value: Comparison(Attr(col), op, Const(value)),
+        st.sampled_from(["W", "Y"]),
+        st.sampled_from(["=", "<", ">="]),
+        _values,
+    ),
+)
+
+_terms = st.builds(
+    lambda projection, condition, coefficient, bound: {
+        "projection": projection,
+        "condition": condition,
+        "coefficient": coefficient,
+        "bound": bound,
+    },
+    st.sampled_from([("W", "Y"), ("W",), ("Y", "W")]),
+    _conditions,
+    st.sampled_from([1, -1]),
+    st.one_of(
+        st.none(),
+        st.builds(
+            lambda w, x, sign: SignedTuple((w, x), sign),
+            _values,
+            _values,
+            st.sampled_from([PLUS, MINUS]),
+        ),
+    ),
+)
+
+
+def _rows(pairs):
+    bag = SignedBag()
+    for row in pairs:
+        bag.add(tuple(row))
+    return bag
+
+
+_states = st.builds(
+    lambda r1, r2: {"r1": _rows(r1), "r2": _rows(r2)},
+    st.lists(st.tuples(_values, _values), max_size=6),
+    st.lists(st.tuples(_values, _values), max_size=6),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    specs_one=st.lists(_terms, min_size=1, max_size=2),
+    specs_two=st.lists(_terms, min_size=1, max_size=2),
+    aliased=st.booleans(),
+    state=_states,
+)
+def test_signature_equality_implies_evaluation_equality(
+    specs_one, specs_two, aliased, state
+):
+    def build(spec, aliases):
+        return join_term(aliases=aliases, **spec)
+
+    one = Query([build(spec, None) for spec in specs_one])
+    two = Query(
+        [build(spec, ("a", "b") if aliased else None) for spec in specs_two]
+    )
+    if query_signature(one) == query_signature(two):
+        assert one.evaluate(state) == two.evaluate(state)
+    else:
+        # Not required by the planner (it only needs the implication
+        # above), but drawing from this small space the distinct-signature
+        # case should dominate; evaluating both keeps it exercised.
+        one.evaluate(state)
+        two.evaluate(state)

@@ -5,7 +5,7 @@ Three surfaces under test:
 - :mod:`repro.messaging.wire` — frame layout, round trips, compression,
   tag/length validation, the registry, and the ``zstd`` import gate;
 - :class:`repro.messaging.messages.UpdateBatch` — the protocol carrier
-  for coalesced runs, including its codec-v2 persistence tag;
+  for coalesced runs, including its codec-v3 persistence tag;
 - :class:`repro.kernel.sync.SyncKernel` — ``batch_k`` coalescing and the
   ``warehouse:<name>@<n>`` replay action that pins a logged run's exact
   batching decisions.
@@ -144,7 +144,7 @@ class TestUpdateBatch:
     def test_repr_names_the_serial_span(self):
         assert repr(self.batch()) == "UpdateBatch(#4..#6, k=3)"
 
-    def test_codec_v2_round_trip(self):
+    def test_codec_v3_round_trip(self):
         batch = self.batch()
         assert decode_value(encode_value(batch)) == batch
 

@@ -15,10 +15,16 @@ every markdown link, and verifies:
   drift from the CLI;
 - **runtime CLI flags**: likewise, every ``--flag`` that a
   runtime-documenting file (``docs/SERVING.md``, ``docs/RELATIONAL.md``,
-  ``docs/PERFORMANCE.md``) attributes to ``repro runtime`` exists in
-  the main CLI's argument parser (``src/repro/cli.py``), so those docs
-  cannot drift from the runtime flags they document (``--batch-k``,
-  ``--wire-codec``, the serving flags, ...).
+  ``docs/PERFORMANCE.md``, ``docs/MULTIVIEW.md``) attributes to
+  ``repro runtime`` exists in the main CLI's argument parser
+  (``src/repro/cli.py``), so those docs cannot drift from the runtime
+  flags they document (``--batch-k``, ``--wire-codec``,
+  ``--share-compensation``, the serving flags, ...);
+- **CLI subcommands**: every ``repro <sub>`` invocation any checked
+  document shows (in a fenced block or an inline code span) names a
+  subparser ``src/repro/cli.py`` actually registers, so a doc cannot
+  advertise a ``repro freshness``-style entry point that does not
+  exist.
 
 External schemes (http/https/mailto) are skipped — CI must not depend
 on the network.  Fenced code blocks and inline code spans are ignored
@@ -55,6 +61,7 @@ RUNTIME_FLAG_DOCS = (
     SERVING_DOC,
     "docs/RELATIONAL.md",
     "docs/PERFORMANCE.md",
+    "docs/MULTIVIEW.md",
 )
 RUNTIME_CLI = "src/repro/cli.py"
 
@@ -62,6 +69,9 @@ _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _FLAG = re.compile(r"(--[A-Za-z0-9][\w-]*)")
 _LINT_INVOCATION = re.compile(r"repro\.analysis|repro lint")
 _RUNTIME_INVOCATION = re.compile(r"repro runtime|-m repro runtime")
+#: ``repro <sub>`` with a guard against ``from repro import ...`` lines
+#: in fenced python examples (``repro`` followed by a keyword there).
+_SUBCOMMAND = re.compile(r"(?<!from\s)\brepro\s+([a-z][a-z0-9-]*)")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$")
 _FENCE = re.compile(r"^(```|~~~)")
 _CODE_SPAN = re.compile(r"`[^`]*`")
@@ -190,6 +200,28 @@ def runtime_cli_flags(root: Path) -> Set[str]:
     return _parser_flags(root, RUNTIME_CLI)
 
 
+def runtime_cli_subcommands(root: Path) -> Set[str]:
+    """The subcommand names the main CLI's argparse registers.
+
+    The first positional string argument of every ``add_parser(...)``
+    call, read via ``ast`` like :func:`_parser_flags`.
+    """
+
+    subs: Set[str] = set()
+    tree = ast.parse((root / RUNTIME_CLI).read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_parser"
+            and node.args
+        ):
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                subs.add(first.value)
+    return subs
+
+
 def _flag_references(
     text: str, invocation: "re.Pattern[str]"
 ) -> Iterator[Tuple[int, str]]:
@@ -288,6 +320,57 @@ def check_runtime_flags(root: Path) -> List[Broken]:
     return broken
 
 
+def subcommand_references(text: str) -> Iterator[Tuple[int, str]]:
+    """``(lineno, sub)`` for every ``repro <sub>`` invocation shown.
+
+    Only code positions count — lines inside fenced blocks and inline
+    code spans — so prose like "the repro warehouse" never matches.
+    """
+
+    fence: Optional[str] = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _FENCE.match(line.strip())
+        if match:
+            marker = match.group(1)
+            if fence is None:
+                fence = marker
+            elif marker == fence:
+                fence = None
+            continue
+        if fence is not None:
+            for hit in _SUBCOMMAND.finditer(line):
+                yield lineno, hit.group(1)
+            continue
+        for span in _CODE_SPAN.findall(line):
+            for hit in _SUBCOMMAND.finditer(span.strip("`")):
+                yield lineno, hit.group(1)
+
+
+def check_subcommands(root: Path) -> List[Broken]:
+    """Dangling ``repro <sub>`` invocations anywhere in the doc set."""
+
+    if not (root / RUNTIME_CLI).exists():
+        return []
+    known = runtime_cli_subcommands(root)
+    broken: List[Broken] = []
+    for pattern in DOC_GLOBS:
+        for path in sorted(root.glob(pattern)):
+            for lineno, sub in subcommand_references(
+                path.read_text(encoding="utf-8")
+            ):
+                if sub not in known:
+                    broken.append(
+                        Broken(
+                            path,
+                            lineno,
+                            f"repro {sub}",
+                            "no such repro subcommand "
+                            f"(parser defines: {sorted(known)})",
+                        )
+                    )
+    return broken
+
+
 def check_tree(root: Path) -> List[Broken]:
     broken: List[Broken] = []
     for pattern in DOC_GLOBS:
@@ -295,6 +378,7 @@ def check_tree(root: Path) -> List[Broken]:
             broken.extend(check_file(path, root))
     broken.extend(check_lint_flags(root))
     broken.extend(check_runtime_flags(root))
+    broken.extend(check_subcommands(root))
     return broken
 
 
