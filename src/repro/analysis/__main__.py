@@ -4,11 +4,14 @@ Usage::
 
     python -m repro.analysis src tests benchmarks --format json
     python -m repro.analysis src/repro/runtime/actors.py
+    python -m repro.analysis src --changed --jobs 4
+    python -m repro.analysis src --sarif lint.sarif
     python -m repro.analysis --list-rules
 
 Exit status: 0 when no error-severity finding survives pragma
 suppression, 1 otherwise.  ``repro lint`` is the same engine behind the
-main CLI (see ``docs/ANALYSIS.md``).
+main CLI — both build their flags with :func:`add_lint_arguments`, so
+the two entry points cannot drift apart (see ``docs/ANALYSIS.md``).
 """
 
 from __future__ import annotations
@@ -18,13 +21,16 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import all_rules, lint_paths, render_json, render_text
+from repro.analysis.cache import DEFAULT_CACHE_DIR
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis",
-        description="AST-based invariant checker for the repro codebase",
-    )
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared lint flags to ``parser``.
+
+    Used by both ``python -m repro.analysis`` and ``repro lint`` so the
+    two front-ends accept the same surface; ``tools/check_doc_links.py``
+    validates the docs against this function's source.
+    """
     parser.add_argument(
         "paths",
         nargs="*",
@@ -33,29 +39,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="also write a SARIF 2.1.0 report to PATH (for code scanning)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "incremental mode: re-analyze only files whose content hash "
+            "changed, plus their call-graph-reachable dependents"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse and run file rules with N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"incremental-analysis cache directory (default: {DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
     )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute one lint invocation from parsed shared flags."""
+    if args.list_rules:
+        for rule in all_rules():
+            kinds = []
+            if rule.project_rule:
+                kinds.append("project")
+            if rule.effect_rule:
+                kinds.append("effect")
+            if not rule.project_rule and rule.check.__qualname__ != "Rule.check":
+                kinds.append("file")
+            label = "+".join(kinds) or "file"
+            print(f"{rule.rule_id}  [{label:>12}]  {rule.title}")
+        return 0
+    if args.format == "sarif":
+        from repro.analysis.report import render_sarif
+
+        reporter = render_sarif
+    elif args.format == "json":
+        reporter = render_json
+    else:
+        reporter = render_text
+    report, status = lint_paths(
+        args.paths or ["src"],
+        reporter,
+        jobs=max(1, args.jobs),
+        changed=args.changed,
+        cache_dir=args.cache_dir,
+        sarif_path=args.sarif,
+    )
+    print(report)
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant checker for the repro codebase",
+    )
+    add_lint_arguments(parser)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.list_rules:
-        for rule in all_rules():
-            kind = "project" if rule.project_rule else "file"
-            print(f"{rule.rule_id}  [{kind:>7}]  {rule.title}")
-        return 0
-    reporter = render_json if args.format == "json" else render_text
-    report, status = lint_paths(args.paths or ["src"], reporter)
-    print(report)
-    return status
+    return run_lint(build_parser().parse_args(argv))
 
 
 if __name__ == "__main__":

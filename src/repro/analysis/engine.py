@@ -1,13 +1,20 @@
 """The analysis driver: collect files, parse once, run every rule.
 
-Two rule shapes exist:
+Three rule shapes exist:
 
 - **file rules** implement :meth:`Rule.check` and run once per analyzed
   file, over its parsed AST (:class:`FileContext`);
 - **project rules** implement :meth:`Rule.check_project` and run once
   per invocation, over the whole file set — used by import-and-inspect
   rules like RPR006 that reason about the live registry rather than one
-  file's syntax.
+  file's syntax;
+- **effect rules** set :attr:`Rule.effect_rule` and implement
+  :meth:`Rule.check_effects` over the whole-program
+  :class:`~repro.analysis.effects.ProjectAnalysis` (symbol table, call
+  graph, inferred effects) — the interprocedural passes of RPR004/007/
+  010 and all of RPR011/012 live here.  A rule may be both a file rule
+  and an effect rule: the file pass catches direct violations, the
+  effect pass catches transitive ones.
 
 Scoping: each rule declares :meth:`Rule.applies_to` over the file's
 normalized (posix, repo-relative) path.  Files under a ``fixtures/``
@@ -15,16 +22,38 @@ directory are special-cased twice: directory walks skip them (so linting
 ``tests`` does not flag the deliberately-broken rule fixtures), and when
 named explicitly every rule applies to them regardless of its scope (so
 one fixture file per rule can prove the rule fires).
+
+The same file reached twice in one invocation (named explicitly *and*
+found by a directory walk, or named via two spellings) is analyzed once:
+:func:`collect_files` dedupes on the resolved filesystem path, and the
+final merge additionally dedupes findings on ``(path, line, col, rule)``.
 """
 
 from __future__ import annotations
 
 import ast
+import multiprocessing
+import os
+from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
-from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.analysis.findings import ERROR, Finding
 from repro.analysis.pragmas import collect_pragmas, suppressed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.effects import ProjectAnalysis
 
 #: Rule id reserved for files the driver cannot parse.
 PARSE_ERROR = "RPR000"
@@ -74,8 +103,8 @@ class Rule:
 
     Subclasses set :attr:`rule_id` (stable ``RPR###`` identifier),
     :attr:`title` (one-line summary for ``--list-rules``), and override
-    either :meth:`check` (file rule) or :meth:`check_project` (project
-    rule).
+    :meth:`check` (file rule), :meth:`check_project` (project rule), or
+    :meth:`check_effects` (effect rule, with :attr:`effect_rule` True).
     """
 
     rule_id: str = ""
@@ -83,6 +112,8 @@ class Rule:
     severity: str = ERROR
     #: Project rules run once per invocation instead of once per file.
     project_rule: bool = False
+    #: Effect rules additionally run over the whole-program analysis.
+    effect_rule: bool = False
 
     def applies_to(self, path: str) -> bool:
         """Whether this (file) rule runs over ``path``."""
@@ -92,9 +123,26 @@ class Rule:
         """Yield findings for one file (file rules override this)."""
         return iter(())
 
-    def check_project(self, contexts: Sequence[FileContext]) -> Iterator[Finding]:
+    def check_project(
+        self, contexts: Sequence[FileContext]
+    ) -> Iterator[Finding]:
         """Yield findings for the whole run (project rules override)."""
         return iter(())
+
+    def check_effects(
+        self, analysis: "ProjectAnalysis"
+    ) -> Iterator[Finding]:
+        """Yield interprocedural findings (effect rules override)."""
+        return iter(())
+
+    def effect_contexts(
+        self, analysis: "ProjectAnalysis"
+    ) -> Iterator[FileContext]:
+        """The contexts this effect rule covers, honoring the fixture
+        override exactly like the file-rule dispatch does."""
+        for context in analysis.contexts:
+            if is_fixture(context.path) or self.applies_to(context.path):
+                yield context
 
 
 #: rule id -> rule instance, in registration order.
@@ -150,7 +198,9 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[Tuple[Path, str]]:
     """``(filesystem path, display path)`` for every ``.py`` under ``paths``.
 
     Directories are walked recursively, skipping :data:`SKIPPED_DIRS`;
-    explicitly named files are always yielded, fixtures included.
+    explicitly named files are always yielded, fixtures included.  May
+    yield the same file twice when the inputs overlap — use
+    :func:`collect_files` for the deduplicated list.
     """
     for raw in paths:
         path = Path(raw)
@@ -168,82 +218,318 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[Tuple[Path, str]]:
             yield found, display
 
 
+def collect_files(paths: Sequence[str]) -> List[Tuple[Path, str]]:
+    """:func:`iter_python_files`, deduplicated on the resolved path.
+
+    A file reached both as an explicit argument and through a directory
+    walk (``repro lint src src/repro/cli.py``) is analyzed exactly once,
+    under the first display path it was reached by.
+    """
+    entries: List[Tuple[Path, str]] = []
+    seen: Set[str] = set()
+    for path, display in iter_python_files(paths):
+        key = os.path.realpath(path)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append((path, display))
+    return entries
+
+
 # --------------------------------------------------------------------- #
 # Running
 # --------------------------------------------------------------------- #
 
 
-def run_analysis(
+@dataclass
+class AnalysisResult:
+    """Bucketed output of one :func:`execute_analysis` invocation.
+
+    Findings are kept per origin so the incremental cache can reuse the
+    per-file buckets of unchanged files while recomputing the rest.
+    All buckets are already pragma-suppressed.
+    """
+
+    contexts: List[FileContext] = field(default_factory=list)
+    #: display path → file-rule findings (parse errors included).
+    file_findings: Dict[str, List[Finding]] = field(default_factory=dict)
+    #: display path → effect-rule (interprocedural) findings.
+    effect_findings: Dict[str, List[Finding]] = field(default_factory=dict)
+    #: project-rule findings (global, recomputed every run).
+    project_findings: List[Finding] = field(default_factory=list)
+    #: display path → display paths its functions call into.
+    file_deps: Dict[str, List[str]] = field(default_factory=dict)
+
+    def findings(self) -> List[Finding]:
+        return merge_findings(
+            self.file_findings, self.effect_findings, self.project_findings
+        )
+
+
+def merge_findings(
+    file_findings: Dict[str, List[Finding]],
+    effect_findings: Dict[str, List[Finding]],
+    project_findings: Sequence[Finding],
+) -> List[Finding]:
+    """Merge the buckets, deduping on ``(path, line, col, rule)``.
+
+    Dedup is *across* passes: file-rule findings win ties (their
+    messages cite the direct violation; an effect finding at the same
+    site is the same fact seen transitively).  Within one pass, several
+    findings may legitimately share a position with distinct messages
+    (RPR006 reports every contract breach of a registry entry at the
+    class line), so only exact message duplicates collapse there.
+    """
+    merged: List[Finding] = []
+    seen: Set[Tuple[str, int, int, str]] = set()
+    groups: List[List[Finding]] = [
+        [f for bucket in file_findings.values() for f in bucket],
+        [f for bucket in effect_findings.values() for f in bucket],
+        list(project_findings),
+    ]
+    for group in groups:
+        kept: List[Finding] = []
+        local: Set[Tuple[str, int, int, str, str]] = set()
+        for finding in group:
+            key = (finding.path, finding.line, finding.col, finding.rule_id)
+            if key in seen:
+                continue
+            full = key + (finding.message,)
+            if full in local:
+                continue
+            local.add(full)
+            kept.append(finding)
+        seen.update(
+            (f.path, f.line, f.col, f.rule_id) for f in kept
+        )
+        merged.extend(kept)
+    return sorted(merged)
+
+
+def _load_context(
+    path: Path, display: str
+) -> Tuple[Optional[FileContext], Optional[Finding]]:
+    try:
+        return FileContext.load(path, display), None
+    except SyntaxError as exc:
+        return None, Finding(
+            path=display,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            rule_id=PARSE_ERROR,
+            message=f"cannot parse file: {exc.msg}",
+        )
+
+
+def _check_file(
+    context: FileContext, rules: Sequence[Rule]
+) -> List[Finding]:
+    fixture = is_fixture(context.path)
+    found: List[Finding] = []
+    for rule in rules:
+        if not fixture and not rule.applies_to(context.path):
+            continue
+        found.extend(rule.check(context))
+    return found
+
+
+def _worker_analyze(
+    payload: Tuple[str, str, Optional[Tuple[str, ...]]]
+) -> Tuple[str, List[Finding]]:
+    """Multiprocessing worker: parse one file, run the file rules.
+
+    Returns only the findings — never the :class:`FileContext`.  ASTs
+    are expensive to pickle across the process boundary, and the parent
+    re-parses every file anyway for the whole-program pass.
+    """
+    raw_path, display, select = payload
+    context, parse_finding = _load_context(Path(raw_path), display)
+    if context is None:
+        return display, [parse_finding] if parse_finding else []
+    rules = [rule for rule in all_rules() if not rule.project_rule]
+    if select is not None:
+        chosen = set(select)
+        rules = [rule for rule in rules if rule.rule_id in chosen]
+    return display, _check_file(context, rules)
+
+
+def execute_analysis(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
     select: Optional[FrozenSet[str]] = None,
-) -> List[Finding]:
-    """Analyze every Python file under ``paths`` with every rule.
+    *,
+    jobs: int = 1,
+    interprocedural: bool = True,
+    limit: Optional[Set[str]] = None,
+) -> AnalysisResult:
+    """Run the full pipeline, returning bucketed findings.
 
-    ``rules`` overrides the registry (used by the self-tests);
-    ``select`` keeps only the named rule ids.  Findings come back sorted
-    and pragma-suppressed.
+    ``limit`` restricts which display paths get file-rule and
+    effect-rule findings recorded (the incremental cache supplies the
+    rest) — every file is still parsed, because the whole-program
+    passes need the complete symbol table either way.
     """
     active = list(rules) if rules is not None else all_rules()
     if select is not None:
         active = [rule for rule in active if rule.rule_id in select]
     file_rules = [rule for rule in active if not rule.project_rule]
     project_rules = [rule for rule in active if rule.project_rule]
+    effect_rules = (
+        [rule for rule in active if rule.effect_rule]
+        if interprocedural
+        else []
+    )
 
-    findings: List[Finding] = []
-    contexts: List[FileContext] = []
-    for path, display in iter_python_files(paths):
-        try:
-            context = FileContext.load(path, display)
-        except SyntaxError as exc:
-            findings.append(
-                Finding(
-                    path=display,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 0) + 1,
-                    rule_id=PARSE_ERROR,
-                    message=f"cannot parse file: {exc.msg}",
-                )
-            )
-            continue
-        contexts.append(context)
-        fixture = is_fixture(display)
-        for rule in file_rules:
-            if not fixture and not rule.applies_to(display):
+    result = AnalysisResult()
+    entries = collect_files(paths)
+    select_key = tuple(sorted(select)) if select is not None else None
+
+    # Custom rule instances cannot be rebuilt inside a worker process,
+    # so --jobs only parallelizes registry-driven runs.
+    if jobs > 1 and rules is None:
+        payloads = [
+            (str(path), display, select_key)
+            for path, display in entries
+            if limit is None or display in limit
+        ]
+        with multiprocessing.Pool(processes=jobs) as pool:
+            pending = pool.map_async(_worker_analyze, payloads)
+            # Parse in the parent while the workers run the file rules:
+            # the whole-program pass needs every AST in-process anyway,
+            # and the ASTs are exactly what is too expensive to pickle
+            # back from the pool.
+            for path, display in entries:
+                context, parse_finding = _load_context(path, display)
+                if context is None:
+                    if (
+                        limit is None or display in limit
+                    ) and parse_finding is not None:
+                        result.file_findings[display] = [parse_finding]
+                    continue
+                result.contexts.append(context)
+            for display, found in pending.get():
+                result.file_findings[display] = found
+    else:
+        for path, display in entries:
+            context, parse_finding = _load_context(path, display)
+            in_limit = limit is None or display in limit
+            if context is None:
+                if in_limit and parse_finding is not None:
+                    result.file_findings[display] = [parse_finding]
                 continue
-            findings.extend(rule.check(context))
+            result.contexts.append(context)
+            if in_limit:
+                result.file_findings[display] = _check_file(
+                    context, file_rules
+                )
+
+    contexts_by_path = {context.path: context for context in result.contexts}
+
+    def suppress(findings: Sequence[Finding]) -> List[Finding]:
+        kept = []
+        for finding in findings:
+            context = contexts_by_path.get(finding.path)
+            if context is not None and suppressed(
+                context.pragmas, finding.line, finding.rule_id
+            ):
+                continue
+            kept.append(finding)
+        return kept
+
+    for display in list(result.file_findings):
+        result.file_findings[display] = suppress(
+            result.file_findings[display]
+        )
+
+    if effect_rules:
+        from repro.analysis.effects import ProjectAnalysis
+
+        analysis = ProjectAnalysis(result.contexts)
+        for rule in effect_rules:
+            for finding in suppress(list(rule.check_effects(analysis))):
+                if limit is not None and finding.path not in limit:
+                    continue
+                result.effect_findings.setdefault(finding.path, []).append(
+                    finding
+                )
+        result.file_deps = {
+            display: sorted(deps)
+            for display, deps in analysis.file_dependencies().items()
+        }
+
     for rule in project_rules:
-        findings.extend(rule.check_project(contexts))
+        result.project_findings.extend(
+            suppress(list(rule.check_project(result.contexts)))
+        )
 
-    kept = [
-        finding
-        for finding in findings
-        for context in [_context_for(contexts, finding.path)]
-        if context is None
-        or not suppressed(context.pragmas, finding.line, finding.rule_id)
-    ]
-    return sorted(kept)
+    return result
 
 
-def _context_for(
-    contexts: Sequence[FileContext], path: str
-) -> Optional[FileContext]:
-    for context in contexts:
-        if context.path == path:
-            return context
-    return None
+def run_analysis(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[FrozenSet[str]] = None,
+    *,
+    jobs: int = 1,
+    interprocedural: bool = True,
+) -> List[Finding]:
+    """Analyze every Python file under ``paths`` with every rule.
+
+    ``rules`` overrides the registry (used by the self-tests);
+    ``select`` keeps only the named rule ids; ``jobs`` fans the per-file
+    pass out over processes; ``interprocedural=False`` skips the
+    whole-program effect passes (per-file rules only, the pre-PR-10
+    behavior).  Findings come back sorted, deduplicated, and
+    pragma-suppressed.
+    """
+    return execute_analysis(
+        paths,
+        rules,
+        select,
+        jobs=jobs,
+        interprocedural=interprocedural,
+    ).findings()
 
 
 def lint_paths(
     paths: Sequence[str],
     reporter: Callable[[Sequence[Finding]], str],
+    *,
+    jobs: int = 1,
+    changed: bool = False,
+    cache_dir: Optional[str] = None,
+    sarif_path: Optional[str] = None,
 ) -> Tuple[str, int]:
     """Run the full analysis and render it: ``(report text, exit code)``.
 
     Exit code 1 when any error-severity finding survives suppression,
-    0 otherwise — warnings never fail the build.
+    0 otherwise — warnings never fail the build.  ``changed=True``
+    consults the content-hash cache under ``cache_dir`` and re-analyzes
+    only dirty files plus their call-graph dependents; a full run
+    (re)populates the same cache so the next ``--changed`` run is warm.
+    ``sarif_path`` additionally writes a SARIF 2.1.0 log there.
     """
-    findings = run_analysis(paths)
+    from repro.analysis.cache import (
+        DEFAULT_CACHE_DIR,
+        incremental_analysis,
+        store_result,
+    )
+
+    directory = cache_dir or DEFAULT_CACHE_DIR
+    if changed:
+        findings, _stats = incremental_analysis(
+            paths, cache_dir=directory, jobs=jobs
+        )
+    else:
+        result = execute_analysis(paths, jobs=jobs)
+        store_result(result, cache_dir=directory)
+        findings = result.findings()
     text = reporter(findings)
+    if sarif_path is not None:
+        from repro.analysis.report import render_sarif
+
+        Path(sarif_path).write_text(
+            render_sarif(findings), encoding="utf-8"
+        )
     failed = any(finding.severity == ERROR for finding in findings)
     return text, 1 if failed else 0

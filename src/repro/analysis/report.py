@@ -1,11 +1,15 @@
-"""Reporters: render a finding list for humans (text) or CI (JSON)."""
+"""Reporters: text (humans), JSON (CI), SARIF 2.1.0 (code scanning)."""
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence
 
 from repro.analysis.findings import ERROR, Finding
+
+#: SARIF schema pin: GitHub code scanning ingests exactly this version.
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -35,3 +39,70 @@ def render_json(findings: Sequence[Finding]) -> str:
         },
     }
     return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """A SARIF 2.1.0 log: the full rule catalog plus one result per
+    finding, shaped for GitHub code-scanning upload."""
+    from repro import __version__
+    from repro.analysis.engine import PARSE_ERROR, all_rules
+
+    rules_meta: List[Dict[str, object]] = [
+        {
+            "id": PARSE_ERROR,
+            "name": "ParseError",
+            "shortDescription": {"text": "file could not be parsed"},
+        }
+    ]
+    for rule in all_rules():
+        rules_meta.append(
+            {
+                "id": rule.rule_id,
+                "name": type(rule).__name__,
+                "shortDescription": {"text": rule.title},
+                "defaultConfiguration": {
+                    "level": "error" if rule.severity == ERROR else "warning"
+                },
+            }
+        )
+    indices = {meta["id"]: index for index, meta in enumerate(rules_meta)}
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        result: Dict[str, object] = {
+            "ruleId": finding.rule_id,
+            "level": "error" if finding.severity == ERROR else "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        index = indices.get(finding.rule_id)
+        if index is not None:
+            result["ruleIndex"] = index
+        results.append(result)
+    payload = {
+        "version": _SARIF_VERSION,
+        "$schema": _SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": __version__,
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)

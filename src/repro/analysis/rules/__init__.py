@@ -11,15 +11,24 @@ RPR007       partitioner-purity: ``shard_of`` is pure in the key
 RPR008       serving-readonly: the serving tier never writes state
 RPR009       hot-path: no per-tuple wrappers in relational operator loops
 RPR010       planner-purity: shared-compensation planning is deterministic
+RPR011       await-atomicity: no yield between mutation and WAL append
+RPR012       exception-safety: handlers validate before mutating state
 ===========  ==========================================================
 
-Rationale and per-rule examples live in ``docs/ANALYSIS.md``.
+RPR004, RPR007, and RPR010 are *effect rules* as well as file rules:
+besides their syntactic pass they consult the whole-program effect
+inference (:mod:`repro.analysis.effects`) and flag transitive
+violations the per-file pass cannot see.  RPR011 and RPR012 are pure
+effect rules.  Rationale and per-rule examples live in
+``docs/ANALYSIS.md``.
 """
 
 from repro.analysis.rules import (  # noqa: F401  (import = register)
     async_safety,
+    await_atomicity,
     determinism,
     dispatch_bypass,
+    exception_safety,
     hot_path,
     obs_guard,
     planner_purity,

@@ -40,6 +40,25 @@ def iter_functions(
                 yield parent, child
 
 
+def walk_body(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs.
+
+    A ``raise`` or mutation inside a nested ``def``/``lambda``/class
+    body does not execute inline, so the ordering-sensitive rules
+    (RPR011/RPR012) must not attribute it to the enclosing method.
+    """
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(
+            child,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
 def in_repro_package(path: str) -> bool:
     """Whether the file is part of the installed ``repro`` package."""
     return repro_module(path) is not None

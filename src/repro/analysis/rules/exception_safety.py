@@ -1,0 +1,199 @@
+"""RPR012 — exception-safety: handlers validate before mutating state.
+
+A protocol handler (``on_update`` / ``on_answer`` / ``handle_*``) that
+pops its pending-query bookkeeping *and then* raises on a validation
+failure leaves the algorithm in a state no legal execution produces:
+the UQS entry is gone but no routed return was built, so compensation
+never fires and recovery replays into the same half-mutated shape.
+Section 4's correctness argument assumes every event either completes
+or leaves the state untouched — validate first, mutate after.
+
+Scope: methods named ``on_update`` / ``on_update_batch`` / ``on_answer``
+/ ``on_refresh`` or ``handle_*`` on classes in the algorithm layers
+(``repro.core``, ``repro.multisource``, ``repro.warehouse``).
+
+Mechanics: within one handler body (nested defs excluded), find the
+first *mutation* — an assignment/``del`` targeting a ``self`` chain, a
+container mutator (``.pop()``, ``.update()``, …) on a ``self`` chain,
+or a ``self.method()`` call whose inferred effects include state or
+self mutation (the interprocedural part: ``self._retire(...)`` counts
+even though the pops live two files away).  Every ``raise`` statement
+lexically after it is flagged — *except* raises inside ``except``
+handlers, which are the legitimate translate-and-reraise idiom
+(``try: pop / except KeyError: raise ProtocolError``): the pop that
+failed did not mutate anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+from repro.analysis.engine import FileContext, Rule, register
+from repro.analysis.findings import Finding
+from repro.analysis.rules.common import dotted_name, module_of, walk_body
+
+if TYPE_CHECKING:
+    from repro.analysis.effects import ProjectAnalysis
+    from repro.analysis.project import FunctionInfo
+
+_ALGORITHM_PACKAGES = ("core", "multisource", "warehouse")
+
+_HANDLER_NAMES = frozenset(
+    {"on_update", "on_update_batch", "on_answer", "on_refresh"}
+)
+
+#: Container mutators that count as mutation when rooted at ``self``.
+_MUTATOR_LEAVES = frozenset(
+    {
+        "append",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+
+def _pos(node: ast.AST) -> Tuple[int, int]:
+    return (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+
+
+def _self_rooted(node: ast.AST) -> bool:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _is_handler(name: str) -> bool:
+    return name in _HANDLER_NAMES or name.startswith("handle_")
+
+
+def _raises_outside_handlers(
+    body: List[ast.stmt],
+) -> List[ast.Raise]:
+    """Every ``raise`` in execution position, skipping except-handler
+    bodies and nested function/class definitions."""
+    found: List[ast.Raise] = []
+
+    def visit(statements: List[ast.stmt]) -> None:
+        for stmt in statements:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(stmt, ast.Raise):
+                found.append(stmt)
+                continue
+            if isinstance(stmt, ast.Try):
+                visit(stmt.body)
+                visit(stmt.orelse)
+                visit(stmt.finalbody)
+                continue  # handler bodies are the legal reraise idiom
+            for attr in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, attr, None)
+                if isinstance(nested, list):
+                    visit(nested)
+
+    visit(body)
+    found.sort(key=_pos)
+    return found
+
+
+def _raised_name(node: ast.Raise) -> str:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        name = dotted_name(exc.func)
+    else:
+        name = dotted_name(exc) if exc is not None else None
+    return name or "an exception"
+
+
+@register
+class ExceptionSafetyRule(Rule):
+    rule_id = "RPR012"
+    title = "protocol handlers validate before mutating algorithm state"
+    effect_rule = True
+
+    def applies_to(self, path: str) -> bool:
+        module = module_of(path)
+        return len(module) >= 2 and module[1] in _ALGORITHM_PACKAGES
+
+    def check_effects(self, analysis: "ProjectAnalysis") -> Iterator[Finding]:
+        for context in self.effect_contexts(analysis):
+            for function in analysis.functions_in(context):
+                if function.class_name is None:
+                    continue
+                if not _is_handler(function.name):
+                    continue
+                yield from self._check_handler(analysis, context, function)
+
+    def _check_handler(
+        self,
+        analysis: "ProjectAnalysis",
+        context: FileContext,
+        function: "FunctionInfo",
+    ) -> Iterator[Finding]:
+        from repro.analysis.effects import MUTATES_SELF, STATE
+
+        mutation: Optional[Tuple[Tuple[int, int], int, str]] = None
+
+        def note(node: ast.AST, what: str) -> None:
+            nonlocal mutation
+            candidate = (_pos(node), node.lineno, what)
+            if mutation is None or candidate[0] < mutation[0]:
+                mutation = candidate
+
+        for node in walk_body(function.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(
+                        target, (ast.Attribute, ast.Subscript)
+                    ) and _self_rooted(target):
+                        note(node, "assigns self state")
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(
+                        target, (ast.Attribute, ast.Subscript)
+                    ) and _self_rooted(target):
+                        note(node, "deletes self state")
+            elif isinstance(node, ast.Call):
+                callee = dotted_name(node.func)
+                if callee is None or not _self_rooted(node.func):
+                    continue
+                leaf = callee.split(".")[-1]
+                if "." in callee and leaf in _MUTATOR_LEAVES:
+                    note(node, f"mutates via {callee}()")
+        for site in analysis.sites_of(function):
+            if not site.self_receiver or site.target is None:
+                continue
+            effects = analysis.call_effects(site)
+            if STATE in effects or MUTATES_SELF in effects:
+                note(site.node, f"mutates via {site.raw}()")
+
+        if mutation is None:
+            return
+        mutated_at, mutation_line, what = mutation
+        for raised in _raises_outside_handlers(function.node.body):
+            if _pos(raised) <= mutated_at:
+                continue
+            yield context.finding(
+                raised,
+                self.rule_id,
+                f"{function.display} raises {_raised_name(raised)} after "
+                f"it {what} at line {mutation_line}: a handler that "
+                f"mutates and then raises leaves UQS/pending state "
+                f"half-applied for compensation and recovery — validate "
+                f"before mutating",
+            )

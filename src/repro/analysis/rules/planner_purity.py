@@ -28,12 +28,19 @@ Unlike RPR007, mutating ``self`` is *allowed*: the planner legitimately
 owns mutable route state (``plan`` installs routes, ``retire`` pops
 them); what must be pure is the mapping from queries to groups, not the
 bookkeeping around it.
+
+The file pass above catches direct violations.  The *effect pass*
+consults the whole-program inference: a planner method (or signature
+function) calling a resolved helper whose inferred effects include a
+clock, randomness, or channel I/O is the violation the per-file rule
+provably could not see — the seeded transitive fixture and its golden
+test pin exactly that diff.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.analysis.engine import FileContext, Rule, register
 from repro.analysis.findings import Finding
@@ -43,6 +50,9 @@ from repro.analysis.rules.common import (
     in_repro_package,
     module_of,
 )
+
+if TYPE_CHECKING:
+    from repro.analysis.effects import ProjectAnalysis
 
 _DATETIME_ATTRS = ("now", "utcnow", "today")
 
@@ -87,9 +97,42 @@ def _impurity(name: str) -> Optional[str]:
 class PlannerPurityRule(Rule):
     rule_id = "RPR010"
     title = "CompensationPlanner and signature code plan deterministically"
+    effect_rule = True
 
     def applies_to(self, path: str) -> bool:
         return in_repro_package(path)
+
+    def check_effects(self, analysis: "ProjectAnalysis") -> Iterator[Finding]:
+        from repro.analysis.effects import CHANNEL, CLOCK, RANDOMNESS
+
+        reasons = {
+            CLOCK: "reaches a clock",
+            RANDOMNESS: "reaches randomness (or process-salted hash())",
+            CHANNEL: "reaches channel I/O",
+        }
+        for context in self.effect_contexts(analysis):
+            module = module_of(context.path)
+            signature_module = bool(module) and module[-1] == "signature"
+            for function in analysis.functions_in(context):
+                if not signature_module:
+                    klass = analysis.project.class_of(function)
+                    if klass is None or not _is_planner(klass.node):
+                        continue
+                for site in analysis.sites_of(function):
+                    if site.target is None:
+                        continue
+                    hit = analysis.call_effects(site) & set(reasons)
+                    for effect in sorted(hit):
+                        chain = analysis.describe(site.target, effect)
+                        yield context.finding(
+                            site.node,
+                            self.rule_id,
+                            f"{function.display} calls {site.raw}(), which "
+                            f"transitively {reasons[effect]} ({chain}); "
+                            f"planning must be a pure function of the "
+                            f"query so WAL replay regroups identically",
+                        )
+                        break
 
     def check(self, context: FileContext) -> Iterator[Finding]:
         module = module_of(context.path)

@@ -22,16 +22,25 @@ Checked inside any class whose name (or base class) ends with
 - no assignments to ``self`` attributes (a ``shard_of`` that mutates its
   partitioner is a function of history, not of the key);
 - no ``global`` / ``nonlocal`` declarations (captured mutable state).
+
+The file pass above catches direct violations.  The *effect pass*
+consults the whole-program inference: a ``shard_of`` that calls a
+resolved helper whose inferred effects include a clock, randomness
+(builtin ``hash()`` included — it is process-salted), or mutation of
+the partitioner's own state is exactly as impure, one hop removed.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.analysis.engine import FileContext, Rule, register
 from repro.analysis.findings import Finding
 from repro.analysis.rules.common import call_name, dotted_name, in_repro_package
+
+if TYPE_CHECKING:
+    from repro.analysis.effects import ProjectAnalysis
 
 _METHOD = "shard_of"
 
@@ -72,9 +81,41 @@ def _impurity(name: str) -> Optional[str]:
 class PartitionerPurityRule(Rule):
     rule_id = "RPR007"
     title = "Partitioner.shard_of is a deterministic pure function of the key"
+    effect_rule = True
 
     def applies_to(self, path: str) -> bool:
         return in_repro_package(path)
+
+    def check_effects(self, analysis: "ProjectAnalysis") -> Iterator[Finding]:
+        from repro.analysis.effects import CLOCK, MUTATES_SELF, RANDOMNESS
+
+        reasons = {
+            CLOCK: "reaches a clock",
+            RANDOMNESS: "reaches randomness (or process-salted hash())",
+            MUTATES_SELF: "mutates the partitioner's own state",
+        }
+        for context in self.effect_contexts(analysis):
+            for function in analysis.functions_in(context):
+                if function.name != _METHOD or function.class_name is None:
+                    continue
+                klass = analysis.project.class_of(function)
+                if klass is None or not _is_partitioner(klass.node):
+                    continue
+                for site in analysis.sites_of(function):
+                    if site.target is None:
+                        continue
+                    hit = analysis.call_effects(site) & set(reasons)
+                    for effect in sorted(hit):
+                        chain = analysis.describe(site.target, effect)
+                        yield context.finding(
+                            site.node,
+                            self.rule_id,
+                            f"{function.display} calls {site.raw}(), which "
+                            f"transitively {reasons[effect]} ({chain}); "
+                            f"recovery re-plans from the same catalog and "
+                            f"must reproduce the identical assignment",
+                        )
+                        break
 
     def check(self, context: FileContext) -> Iterator[Finding]:
         for node in ast.walk(context.tree):

@@ -16,7 +16,7 @@ Scope: every module in the ``repro.serving`` package.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Tuple
 
 from repro.analysis.engine import FileContext, Rule, register
 from repro.analysis.findings import Finding
@@ -48,7 +48,7 @@ _SEND_METHODS = ("send", "send_nowait", "put", "put_nowait")
 _REBIND_ATTRS = ("algorithms", "mv")
 
 
-def _receiver_parts(node: ast.Attribute) -> tuple:
+def _receiver_parts(node: ast.Attribute) -> Tuple[str, ...]:
     name = dotted_name(node.value)
     return tuple(name.split(".")) if name else ()
 

@@ -707,12 +707,9 @@ def cmd_crossovers(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis import lint_paths, render_json, render_text
+    from repro.analysis.__main__ import run_lint
 
-    reporter = render_json if args.format == "json" else render_text
-    report, status = lint_paths(args.paths, reporter)
-    print(report)
-    return status
+    return run_lint(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -967,18 +964,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint", help="AST-based invariant checker (see docs/ANALYSIS.md)"
     )
-    p.add_argument(
-        "paths",
-        nargs="*",
-        default=["src"],
-        help="files or directories to analyze (default: src)",
-    )
-    p.add_argument(
-        "--format",
-        choices=["text", "json"],
-        default="text",
-        help="report format (default: text)",
-    )
+    # Shared with ``python -m repro.analysis`` so the two entry points
+    # accept the same flags and cannot drift apart.
+    from repro.analysis.__main__ import add_lint_arguments
+
+    add_lint_arguments(p)
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("crossovers", help="headline crossover points")

@@ -107,17 +107,20 @@ class ECAKey(WarehouseAlgorithm):
     # ------------------------------------------------------------------ #
 
     def handle_answer(self, answer: QueryAnswer) -> List[QueryRequest]:
+        for row, count in answer.answer.items():
+            if count <= 0:
+                # Cannot happen for V<insert> answers; be defensive so a
+                # mis-wired source surfaces loudly in tests.  Validated
+                # *before* retiring (RPR012): the failure must leave the
+                # UQS and filter tables exactly as they were.
+                raise ValueError(
+                    f"ECA-Key received a negative answer tuple {row!r}"
+                )
         self._retire(answer)
         filters = self._filters.pop(answer.query_id, [])
         # Rule 4: merge, dropping duplicates.  Insert answers are all
         # positive (the bound tuple carries +, base tuples carry +).
         for row, count in answer.answer.items():
-            if count <= 0:
-                # Cannot happen for V<insert> answers; be defensive so a
-                # mis-wired source surfaces loudly in tests.
-                raise ValueError(
-                    f"ECA-Key received a negative answer tuple {row!r}"
-                )
             if any(
                 tuple(row[i] for i in positions) == key
                 for positions, key in filters

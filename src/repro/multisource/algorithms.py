@@ -89,15 +89,20 @@ class FragmentingIncremental(WarehouseAlgorithm):
         return routed
 
     def on_answer(self, source: Optional[str], answer: QueryAnswer) -> Routed:
+        # Validate before mutating (RPR012): a rejected answer must leave
+        # the pending tables exactly as they were, or compensation and
+        # recovery see a query that is neither pending nor answered.
         try:
-            pending = self._pending.pop(answer.query_id)
+            pending = self._pending[answer.query_id]
         except KeyError:
             raise ProtocolError(f"answer for unknown query {answer.query_id}") from None
-        expected = self._destination.pop(answer.query_id)
+        expected = self._destination[answer.query_id]
         if expected != source:
             raise ProtocolError(
                 f"fragment {answer.query_id} answered by {source}, sent to {expected}"
             )
+        del self._pending[answer.query_id]
+        del self._destination[answer.query_id]
         pending.answers[source] = answer.answer
         if pending.complete():
             # Naive: apply as soon as reassembled (clamping, like the

@@ -132,8 +132,11 @@ class StrobeStyle(WarehouseAlgorithm):
         return routed
 
     def on_answer(self, source: Optional[str], answer: QueryAnswer) -> Routed:
+        # Validate before mutating (RPR012): the route entry is popped
+        # only once the answer is known to be legal, so a protocol error
+        # leaves the strobe's bookkeeping untouched.
         try:
-            record, plan_index, destination = self._route.pop(answer.query_id)
+            record, plan_index, destination = self._route[answer.query_id]
         except KeyError:
             raise ProtocolError(
                 f"answer for unknown fragment {answer.query_id}"
@@ -143,6 +146,7 @@ class StrobeStyle(WarehouseAlgorithm):
                 f"fragment {answer.query_id} answered by {source}, "
                 f"sent to {destination}"
             )
+        del self._route[answer.query_id]
         plan, answers = record.plans[plan_index]
         answers[source] = answer.answer
         record.outstanding -= 1

@@ -384,6 +384,16 @@ class WarehouseActor:
             pending = len(self.algorithm.pending_query_ids())
             fired = self.crash_run.decide(self.event_index, kind, pending)
         drop_sends = fired and self.crash_run.policy.drop_sends
+        if self.wal is not None:
+            # Durability before visibility (RPR011): the event record must
+            # land in the log before the routed sends below await — a yield
+            # there lets other coroutines observe algorithm state the log
+            # does not hold yet.  Safe to reorder: recovery replays only
+            # RECV records; EVENT entries are informational.
+            self.wal.append(
+                EVENT, {"index": self.event_index, "kind": kind, "detail": detail}
+            )
+            self.wal.maybe_snapshot(self.algorithm)
         if not drop_sends:
             for destination, request in routed:
                 await self._send_request(destination, request)
@@ -393,11 +403,6 @@ class WarehouseActor:
             # replay reproduces this exact coalescing decision.
             label = f"{label}@{len(message)}"
         self.recorder.record_warehouse_event(kind, detail, label)
-        if self.wal is not None:
-            self.wal.append(
-                EVENT, {"index": self.event_index, "kind": kind, "detail": detail}
-            )
-            self.wal.maybe_snapshot(self.algorithm)
         if obs is not None:
             obs.wh_event_end(self._obs_span, kind, message, self.algorithm, pending_before)
             self._obs_span = None

@@ -202,7 +202,7 @@ class WarehouseCatalog:
         """
         return list(self._history[view_name])
 
-    def per_view_trace(self, view_name: str, trace) -> "object":
+    def per_view_trace(self, view_name: str, trace: Any) -> Any:
         """A trace whose view states are one member view's own history.
 
         ``check_trace(catalog.algorithms[name].view,

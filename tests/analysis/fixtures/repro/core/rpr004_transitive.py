@@ -1,0 +1,25 @@
+"""Fixture: RPR004 transitive dispatch bypass (deliberately broken).
+
+The handler never touches a channel; it calls a helper that does.  The
+per-file pass flags the helper's direct send, the effect pass flags the
+handler's call site as well.
+"""
+
+
+def _ship(channel, message):
+    channel.send(message)  # RPR004: direct channel I/O (file pass)
+
+
+class LaunderingAlgorithm:
+    def __init__(self, channel):
+        self._channel = channel
+
+    def on_update(self, source, notification):
+        # RPR004 (interprocedural only): on_update -> _ship -> send
+        _ship(self._channel, notification)
+        return []
+
+
+class LegalAlgorithm:
+    def on_update(self, source, notification):
+        return [(None, notification)]

@@ -1,0 +1,37 @@
+"""Fixture: RPR012 exception-safety violations (deliberately broken)."""
+
+
+class LeakyAlgorithm:
+    def on_answer(self, source, answer):
+        pending = self._pending.pop(answer.query_id)
+        if pending != source:
+            raise ValueError("wrong source")  # RPR012: pop already happened
+        return []
+
+
+class ValidatingAlgorithm:
+    def on_answer(self, source, answer):
+        if answer.source != source:
+            raise ValueError("wrong source")  # legal: nothing mutated yet
+        self._pending.pop(answer.query_id, None)
+        return []
+
+
+class HandlerAlgorithm:
+    def on_answer(self, source, answer):
+        try:
+            self._pending.pop(answer.query_id)
+        except KeyError:
+            # legal: the translate-and-reraise idiom — the failed pop
+            # did not mutate anything.
+            raise ValueError("unknown query") from None
+        return []
+
+
+class TransitiveAlgorithm:
+    def handle_refresh(self, event):
+        self._retire(event)
+        raise ValueError("late validation")  # RPR012: _retire mutates
+
+    def _retire(self, event):
+        self._pending.pop(event.query_id, None)

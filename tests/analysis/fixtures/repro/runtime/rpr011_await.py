@@ -1,0 +1,37 @@
+"""Fixture: RPR011 await-atomicity violations (deliberately broken)."""
+
+import asyncio
+
+
+class LeakyActor:
+    async def handle(self, event):
+        self.algorithm.apply_update(event)
+        await asyncio.sleep(0)  # RPR011: yield before the event is logged
+        self.wal.append("event", event)
+
+
+class AtomicActor:
+    async def handle(self, event):
+        self.algorithm.apply_update(event)
+        self.wal.append("event", event)
+        await asyncio.sleep(0)  # legal: the log already holds the event
+
+
+class TransitiveActor:
+    async def handle(self, event):
+        self._apply(event)
+        await self._flush()  # RPR011: the mutation hides inside _apply
+        self.wal.append("event", event)
+
+    def _apply(self, event):
+        self.algorithm.apply_update(event)
+
+    async def _flush(self):
+        await asyncio.sleep(0)
+
+
+class UnloggedActor:
+    async def handle(self, event):
+        # No WAL append at all: nothing for RPR011 to pair the await with.
+        self.algorithm.apply_update(event)
+        await asyncio.sleep(0)

@@ -75,7 +75,11 @@ class TestEngine:
     def test_rule_catalog_is_complete_and_ordered(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == sorted(ids)
-        assert ids == [f"RPR00{n}" for n in range(1, 10)] + ["RPR010"]
+        assert ids == [f"RPR00{n}" for n in range(1, 10)] + [
+            "RPR010",
+            "RPR011",
+            "RPR012",
+        ]
 
     def test_repro_module_resolution(self):
         assert repro_module("src/repro/runtime/actors.py") == (

@@ -284,3 +284,86 @@ class TestSeverityAndOrdering:
 def test_repository_lints_clean(tree):
     """The acceptance bar: the final tree carries zero violations."""
     assert run_analysis([os.path.join(REPO_ROOT, tree)]) == []
+
+
+class TestInterproceduralRewires:
+    """RPR004/RPR007/RPR010 now consult the whole-program effect pass
+    and catch violations the per-file syntactic pass provably misses."""
+
+    def test_planner_clock_two_hops_down(self):
+        findings = findings_for("warehouse/rpr010_transitive.py")
+        assert golden(findings) == [
+            (11, "RPR002"),  # the helper's direct time.time()
+            (21, "RPR010"),  # plan -> _delay -> _jitter -> clock
+        ]
+        messages = {f.rule_id: f.message for f in findings}
+        assert "_jitter -> time.time (line 11)" in messages["RPR010"]
+
+    def test_partitioner_randomness_behind_a_helper(self):
+        findings = findings_for("sharding/rpr007_transitive.py")
+        assert golden(findings) == [
+            (11, "RPR002"),  # the helper's direct random.random()
+            (21, "RPR007"),  # shard_of -> _bucket -> _salt
+        ]
+
+    def test_dispatch_bypass_laundered_through_a_helper(self):
+        findings = findings_for("core/rpr004_transitive.py")
+        assert golden(findings) == [
+            (10, "RPR004"),  # the helper's direct send (file pass)
+            (10, "RPR008"),  # same site, serving-readonly's syntactic net
+            (19, "RPR004"),  # on_update -> _ship -> send (effect pass)
+        ]
+
+    def test_per_file_pass_provably_misses_the_transitive_planner(self):
+        """The acceptance-criteria diff: the same fixture, the same rule,
+        zero findings without the whole-program pass and the transitive
+        hit with it."""
+        path = os.path.join(FIXTURES, "warehouse", "rpr010_transitive.py")
+        select = frozenset({"RPR010"})
+        flat = run_analysis([path], select=select, interprocedural=False)
+        deep = run_analysis([path], select=select, interprocedural=True)
+        assert golden(flat) == []
+        assert golden(deep) == [(21, "RPR010")]
+
+
+class TestAwaitAtomicityRule:
+    def test_fixture_produces_exactly_the_expected_findings(self):
+        findings = findings_for("runtime/rpr011_await.py")
+        assert golden(findings) == [
+            (9, "RPR011"),  # await between direct mutation and append
+            (23, "RPR011"),  # mutation hidden inside self._apply()
+        ]
+
+    def test_messages_cite_both_endpoints_of_the_window(self):
+        findings = findings_for("runtime/rpr011_await.py")
+        messages = {f.line: f.message for f in findings}
+        assert "state mutation at line 8" in messages[9]
+        assert "WAL append at line 10" in messages[9]
+        assert "self._apply" in messages[23]
+
+    def test_append_before_await_and_unlogged_actors_are_legal(self):
+        findings = findings_for("runtime/rpr011_await.py")
+        flagged = {f.line for f in findings}
+        assert not flagged & set(range(13, 19))  # AtomicActor
+        assert not flagged & set(range(33, 38))  # UnloggedActor
+
+
+class TestExceptionSafetyRule:
+    def test_fixture_produces_exactly_the_expected_findings(self):
+        findings = findings_for("core/rpr012_exception.py")
+        assert golden(findings) == [
+            (8, "RPR012"),  # raise after the handler's own pop
+            (34, "RPR012"),  # raise after the mutation inside _retire()
+        ]
+
+    def test_messages_cite_the_mutation_site(self):
+        findings = findings_for("core/rpr012_exception.py")
+        messages = {f.line: f.message for f in findings}
+        assert "self._pending.pop() at line 6" in messages[8]
+        assert "self._retire() at line 33" in messages[34]
+
+    def test_validate_first_and_reraise_idiom_are_legal(self):
+        findings = findings_for("core/rpr012_exception.py")
+        flagged = {f.line for f in findings}
+        assert not flagged & set(range(12, 18))  # ValidatingAlgorithm
+        assert not flagged & set(range(20, 29))  # HandlerAlgorithm

@@ -1,0 +1,183 @@
+"""Engine-level tests for the whole-program pipeline: input dedup,
+process fan-out, SARIF output, and the incremental (``--changed``) mode.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.analysis import run_analysis
+from repro.analysis.cache import incremental_analysis, load_cache, store_result
+from repro.analysis.engine import execute_analysis
+from repro.analysis.report import render_sarif
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "repro")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+_CLOCKED = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+def _write_tree(root, files):
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return str(root)
+
+
+class TestInputDedup:
+    def test_file_reached_via_walk_and_explicit_arg_reports_once(self, tmp_path):
+        tree = _write_tree(tmp_path, {"repro/runtime/bad.py": _CLOCKED})
+        explicit = str(tmp_path / "repro" / "runtime" / "bad.py")
+        findings = run_analysis([tree, explicit])
+        assert [(f.rule_id, f.line) for f in findings] == [("RPR002", 5)]
+
+    def test_same_file_named_twice_reports_once(self, tmp_path):
+        tree = _write_tree(tmp_path, {"repro/runtime/bad.py": _CLOCKED})
+        explicit = os.path.join(tree, "repro", "runtime", "bad.py")
+        findings = run_analysis([explicit, explicit])
+        assert len(findings) == 1
+
+
+class TestParallelJobs:
+    def test_jobs_fanout_matches_serial_findings(self):
+        serial = run_analysis([FIXTURES])
+        fanned = run_analysis([FIXTURES], jobs=2)
+        assert serial == fanned
+        assert serial  # the fixture tree is not accidentally empty
+
+
+class TestSarifReport:
+    def test_sarif_document_shape(self):
+        findings = run_analysis(
+            [os.path.join(FIXTURES, "runtime", "rpr002_determinism.py")]
+        )
+        document = json.loads(render_sarif(findings))
+        assert document["version"] == "2.1.0"
+        assert document["$schema"].endswith("sarif-2.1.0.json")
+        (run,) = document["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert "RPR000" in rule_ids  # the synthetic parse-error entry
+        assert {"RPR011", "RPR012"} <= set(rule_ids)
+        for result in run["results"]:
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"]
+            assert location["region"]["startLine"] >= 1
+        assert len(run["results"]) == len(findings)
+
+    def test_empty_run_is_still_a_valid_document(self):
+        document = json.loads(render_sarif([]))
+        assert document["runs"][0]["results"] == []
+
+
+class TestIncrementalMode:
+    TREE = {
+        "repro/warehouse/helper.py": (
+            "def scale(value):\n    return value * 2\n"
+        ),
+        "repro/warehouse/grouping.py": (
+            "from repro.warehouse.helper import scale\n"
+            "\n"
+            "\n"
+            "class GroupPlanner:\n"
+            "    def plan(self, members):\n"
+            "        return sorted(members)[: scale(1)]\n"
+        ),
+    }
+
+    def test_warm_run_is_a_full_hit_with_identical_findings(self, tmp_path):
+        tree = _write_tree(tmp_path / "proj", self.TREE)
+        cache_dir = str(tmp_path / "cache")
+        cold, cold_stats = incremental_analysis([tree], cache_dir=cache_dir)
+        warm, warm_stats = incremental_analysis([tree], cache_dir=cache_dir)
+        assert warm == cold
+        assert not cold_stats["full_hit"]
+        assert warm_stats["full_hit"]
+        assert warm_stats["reanalyzed"] == []
+
+    def test_editing_a_helper_dirties_its_callers(self, tmp_path):
+        tree = _write_tree(tmp_path / "proj", self.TREE)
+        cache_dir = str(tmp_path / "cache")
+        clean, _ = incremental_analysis([tree], cache_dir=cache_dir)
+        assert clean == []
+        helper = tmp_path / "proj" / "repro" / "warehouse" / "helper.py"
+        helper.write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "def scale(value):\n"
+            "    return value * int(time.time())\n",
+            encoding="utf-8",
+        )
+        findings, stats = incremental_analysis([tree], cache_dir=cache_dir)
+        assert not stats["full_hit"]
+        # The unchanged caller is re-analyzed because its dependency moved.
+        assert sorted(os.path.basename(p) for p in stats["reanalyzed"]) == [
+            "grouping.py",
+            "helper.py",
+        ]
+        by_rule = {f.rule_id: f for f in findings}
+        assert by_rule["RPR002"].path.endswith("helper.py")
+        assert by_rule["RPR010"].path.endswith("grouping.py")
+        assert "time.time" in by_rule["RPR010"].message
+
+    def test_cold_plain_run_primes_the_cache(self, tmp_path):
+        tree = _write_tree(tmp_path / "proj", self.TREE)
+        cache_dir = str(tmp_path / "cache")
+        result = execute_analysis([tree], None, None)
+        store_result(result, cache_dir=cache_dir)
+        payload = load_cache(cache_dir)
+        assert payload is not None
+        assert len(payload["files"]) == 2
+        _, stats = incremental_analysis([tree], cache_dir=cache_dir)
+        assert stats["full_hit"]
+
+    def test_warm_run_over_unchanged_tree_is_5x_faster(self, tmp_path):
+        """The acceptance bar: a full cache hit skips parsing entirely."""
+        cache_dir = str(tmp_path / "cache")
+        started = time.perf_counter()
+        cold, _ = incremental_analysis([SRC_REPRO], cache_dir=cache_dir)
+        cold_elapsed = time.perf_counter() - started
+        started = time.perf_counter()
+        warm, stats = incremental_analysis([SRC_REPRO], cache_dir=cache_dir)
+        warm_elapsed = time.perf_counter() - started
+        assert stats["full_hit"]
+        assert warm == cold == []
+        assert warm_elapsed * 5 <= cold_elapsed, (
+            f"warm {warm_elapsed:.3f}s not 5x faster than cold "
+            f"{cold_elapsed:.3f}s"
+        )
+
+
+class TestInterproceduralToggle:
+    def test_flat_mode_runs_no_effect_pass(self, tmp_path):
+        tree = _write_tree(
+            tmp_path,
+            {
+                "repro/warehouse/planner_mod.py": (
+                    "from repro.warehouse.helper import scale\n"
+                    "\n"
+                    "\n"
+                    "class LatePlanner:\n"
+                    "    def plan(self, members):\n"
+                    "        return members[: scale(1)]\n"
+                ),
+                "repro/warehouse/helper.py": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def scale(value):\n"
+                    "    return value * int(time.time())\n"
+                ),
+            },
+        )
+        flat = run_analysis([tree], interprocedural=False)
+        deep = run_analysis([tree], interprocedural=True)
+        assert {f.rule_id for f in flat} == {"RPR002"}
+        assert {f.rule_id for f in deep} == {"RPR002", "RPR010"}

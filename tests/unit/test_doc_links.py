@@ -96,7 +96,14 @@ class TestLintFlags:
         return tmp_path
 
     def test_parser_flags_read_without_import(self):
-        assert lint_cli_flags(REPO_ROOT) == {"--format", "--list-rules"}
+        assert lint_cli_flags(REPO_ROOT) == {
+            "--format",
+            "--list-rules",
+            "--sarif",
+            "--changed",
+            "--jobs",
+            "--cache-dir",
+        }
 
     def test_references_extracted_from_spans_and_fences(self):
         refs = list(

@@ -195,9 +195,19 @@ def lint_cli_flags(root: Path) -> Set[str]:
 
 
 def runtime_cli_flags(root: Path) -> Set[str]:
-    """The ``--flags`` the main ``repro`` CLI's argparse defines."""
+    """The ``--flags`` the main ``repro`` CLI's argparse defines.
 
-    return _parser_flags(root, RUNTIME_CLI)
+    The ``lint`` subcommand builds its flags by delegating to
+    ``repro.analysis.__main__.add_lint_arguments`` (a delegation pinned
+    by :func:`check_lint_delegation`), so the lint flags are part of the
+    main CLI's surface even though no ``add_argument`` call in
+    ``repro/cli.py`` names them.
+    """
+
+    flags = _parser_flags(root, RUNTIME_CLI)
+    if (root / ANALYSIS_CLI).exists() and not check_lint_delegation(root):
+        flags |= _parser_flags(root, ANALYSIS_CLI)
+    return flags
 
 
 def runtime_cli_subcommands(root: Path) -> Set[str]:
@@ -371,6 +381,43 @@ def check_subcommands(root: Path) -> List[Broken]:
     return broken
 
 
+def check_lint_delegation(root: Path) -> List[Broken]:
+    """The ``repro lint`` subparser must delegate to ``add_lint_arguments``.
+
+    :func:`check_lint_flags` validates ``docs/ANALYSIS.md`` against the
+    analysis module's parser — which is only sound while the main CLI
+    builds its ``lint`` subcommand from that same helper.  This check
+    pins the delegation, so a hand-rolled divergent flag set in
+    ``repro.cli`` fails the doc check instead of silently forking the
+    two front-ends.
+    """
+
+    cli = root / RUNTIME_CLI
+    if not cli.exists() or not (root / ANALYSIS_CLI).exists():
+        return []
+    tree = ast.parse(cli.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name == "add_lint_arguments":
+                return []
+    return [
+        Broken(
+            cli,
+            1,
+            "add_lint_arguments",
+            "the lint subparser no longer delegates to "
+            "repro.analysis.__main__.add_lint_arguments, so the "
+            "documented lint flags are not validated against it",
+        )
+    ]
+
+
 def check_tree(root: Path) -> List[Broken]:
     broken: List[Broken] = []
     for pattern in DOC_GLOBS:
@@ -379,6 +426,7 @@ def check_tree(root: Path) -> List[Broken]:
     broken.extend(check_lint_flags(root))
     broken.extend(check_runtime_flags(root))
     broken.extend(check_subcommands(root))
+    broken.extend(check_lint_delegation(root))
     return broken
 
 
